@@ -1,0 +1,252 @@
+// Command hsrbench regenerates every table and figure of the paper from the
+// synthetic measurement campaign and prints them as terminal tables and
+// text plots.
+//
+// Usage:
+//
+//	hsrbench [-quick] [-seed N] [-duration 120s] [-flows N] [-run name,...]
+//
+// Experiment names: table1, fig1, fig2, fig3, fig4, fig6, fig10, fig12,
+// window, scalars, delack, ablation, backupq, eifel, sensitivity, variants,
+// speed, validation, all (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/export"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hsrbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hsrbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced campaign (4 flows per Table I row, 45s flows)")
+	seed := fs.Int64("seed", 1, "base seed for all campaigns")
+	duration := fs.Duration("duration", 0, "override flow duration")
+	flows := fs.Int("flows", 0, "override flows per Table I row (0 = paper counts)")
+	runList := fs.String("run", "all", "comma-separated experiments to run")
+	csvDir := fs.String("csv", "", "also write figure series as CSV files into this directory")
+	reportPath := fs.String("report", "", "write a markdown reproduction report to this file (runs the full suite)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+	if *duration > 0 {
+		cfg.FlowDuration = *duration
+	}
+	if *flows > 0 {
+		cfg.FlowsPerRow = *flows
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	sel := func(name string) bool { return all || want[name] }
+
+	needCtx := all || *reportPath != "" || want["table1"] || want["fig3"] || want["fig4"] ||
+		want["fig6"] || want["fig10"] || want["scalars"] || want["ablation"]
+
+	var ctx *experiments.Context
+	if needCtx {
+		fmt.Fprintf(os.Stderr, "running campaigns (seed=%d, duration=%v, flowsPerRow=%d)...\n",
+			cfg.Seed, cfg.FlowDuration, cfg.FlowsPerRow)
+		start := time.Now()
+		var err error
+		ctx, err = experiments.NewContext(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "campaigns done in %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	section := func(s string) { fmt.Println(strings.Repeat("=", 90)); fmt.Println(s); fmt.Println() }
+	writeCSV := func(name string, t *export.Table) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := experiments.WriteCSV(*csvDir, name, t); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s/%s.csv\n", *csvDir, name)
+		return nil
+	}
+
+	if sel("table1") {
+		section("TABLE I")
+		fmt.Println(experiments.Table1(ctx).Render())
+	}
+	var fig1 *experiments.Figure1Result
+	if sel("fig1") || sel("fig2") || sel("window") {
+		var err error
+		fig1, err = experiments.Figure1(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if sel("fig1") {
+		section("FIGURE 1")
+		fmt.Println(fig1.Render())
+		if err := writeCSV("fig1_delivery", fig1.CSVTable()); err != nil {
+			return err
+		}
+	}
+	if sel("fig2") {
+		section("FIGURE 2")
+		f2, err := experiments.Figure2(fig1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f2.Render())
+	}
+	if sel("window") {
+		section("WINDOW EVOLUTION (the live Figs 7-9)")
+		w, err := experiments.WindowTrace(fig1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(w.Render())
+	}
+	if sel("fig3") {
+		section("FIGURE 3")
+		f3 := experiments.Figure3(ctx)
+		fmt.Println(f3.Render())
+		if err := writeCSV("fig3_loss_rates", f3.CSVTable()); err != nil {
+			return err
+		}
+	}
+	if sel("fig4") {
+		section("FIGURE 4")
+		f4 := experiments.Figure4(ctx)
+		fmt.Println(f4.Render())
+		if err := writeCSV("fig4_ack_vs_timeouts", f4.CSVTable()); err != nil {
+			return err
+		}
+	}
+	if sel("fig6") {
+		section("FIGURE 6")
+		f6 := experiments.Figure6(ctx)
+		fmt.Println(f6.Render())
+		if err := writeCSV("fig6_ack_loss", f6.CSVTable()); err != nil {
+			return err
+		}
+	}
+	if sel("fig10") {
+		section("FIGURE 10")
+		f10, err := experiments.Figure10(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f10.Render())
+		if err := writeCSV("fig10_model_fits", f10.CSVTable()); err != nil {
+			return err
+		}
+	}
+	if sel("fig12") {
+		section("FIGURE 12")
+		f12, err := experiments.Figure12(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(f12.Render())
+		if err := writeCSV("fig12_mptcp", f12.CSVTable()); err != nil {
+			return err
+		}
+	}
+	if sel("scalars") {
+		section("HEADLINE CLAIMS")
+		fmt.Println(experiments.Scalars(ctx).Render())
+	}
+	if sel("delack") {
+		section("DELAYED-ACK SWEEP (Section V-A)")
+		d, err := experiments.DelayedAck(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(d.Render())
+	}
+	if sel("ablation") {
+		section("MODEL ABLATION")
+		a, err := experiments.ModelAblation(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Println(a.Render())
+	}
+	if sel("backupq") {
+		section("MPTCP BACKUP MODE (Section V-B)")
+		bq, err := experiments.BackupQ(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bq.Render())
+	}
+	if sel("eifel") {
+		section("EIFEL-STYLE SPURIOUS-RTO RESPONSE")
+		e, err := experiments.Eifel(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(e.Render())
+	}
+	if sel("sensitivity") {
+		section("CHANNEL ABLATION — HANDOFF DURATION SWEEP")
+		s, err := experiments.ChannelSensitivity(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.Render())
+	}
+	if sel("variants") {
+		section("VARIANT COMPARISON — RENO VS NEWRENO")
+		v, err := experiments.Variants(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(v.Render())
+	}
+	if sel("speed") {
+		section("SPEED SWEEP — 0 TO 300 KM/H")
+		sp, err := experiments.SpeedSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sp.Render())
+	}
+	if sel("validation") {
+		section("PIPELINE VALIDATION — STATIC BERNOULLI CHANNEL")
+		v, err := experiments.ModelValidation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(v.Render())
+	}
+	if *reportPath != "" {
+		md, err := experiments.BuildReport(ctx)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*reportPath, []byte(md), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *reportPath)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunQuickSubset(t *testing.T) {
+	// A tiny campaign exercising the context-dependent experiments.
+	err := run([]string{"-quick", "-flows", "1", "-duration", "20s",
+		"-run", "table1,scalars,fig3,fig4,fig6,fig10,ablation"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunFigure1Only(t *testing.T) {
+	// fig1/fig2 need no campaign context.
+	err := run([]string{"-quick", "-duration", "30s", "-run", "fig1,fig2"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	// Unknown names simply select nothing (documented behaviour): the run
+	// must not fail.
+	if err := run([]string{"-quick", "-run", "doesnotexist"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-quick", "-flows", "1", "-duration", "20s",
+		"-run", "fig3,fig4", "-csv", dir})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, name := range []string{"fig3_loss_rates.csv", "fig4_ack_vs_timeouts.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command modelcalc evaluates the TCP throughput models for a given
+// parameter set — a calculator for the paper's Eq. (21) and the Padhye
+// baseline.
+//
+// Usage:
+//
+//	modelcalc -rtt 60ms -t 450ms -b 2 -wm 28 -pd 0.005 -pa 0.006 -q 0.3 -w 18
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/export"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "modelcalc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("modelcalc", flag.ContinueOnError)
+	rtt := fs.Duration("rtt", 60_000_000, "mean round-trip time")
+	t0 := fs.Duration("t", 450_000_000, "base retransmission timeout T")
+	b := fs.Int("b", 2, "data packets acknowledged per ACK")
+	wm := fs.Int("wm", 28, "receiver window limit (packets)")
+	pd := fs.Float64("pd", 0.005, "data loss rate p_d")
+	pa := fs.Float64("pa", 0.006, "ACK loss rate p_a")
+	q := fs.Float64("q", core.DefaultQ, "recovery-phase retransmission loss rate q")
+	w := fs.Float64("w", 18, "mean window size (for P_a = p_a^w)")
+	paBurst := fs.Float64("pburst", 0, "measured ACK burst probability P_a (overrides p_a^w)")
+	mss := fs.Int("mss", 1448, "segment size for Mbps conversion")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	prm := core.Params{
+		RTT: *rtt, T: *t0, B: *b, Wm: *wm,
+		PData: *pd, PAck: *pa, Q: *q, MeanWindow: *w, AckBurst: *paBurst,
+	}
+	if err := prm.Validate(); err != nil {
+		return err
+	}
+	type model struct {
+		name string
+		eval func(core.Params) (float64, error)
+	}
+	table := export.NewTable("model", "pps", "Mbps")
+	for _, m := range []model{
+		{"Padhye (full)", core.Padhye},
+		{"Padhye (sqrt approx)", core.PadhyeApprox},
+		{"Enhanced (paper Eq. 21)", core.Enhanced},
+		{"Enhanced (consistent Eq. 3)", core.EnhancedConsistent},
+	} {
+		pps, err := m.eval(prm)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.name, err)
+		}
+		table.AddRow(m.name, fmt.Sprintf("%.2f", pps), fmt.Sprintf("%.3f", pps*float64(*mss)*8/1e6))
+	}
+	fmt.Printf("parameters: RTT=%v T=%v b=%d Wm=%d p_d=%v p_a=%v q=%v w=%v P_a=%.3g\n",
+		prm.RTT, prm.T, prm.B, prm.Wm, prm.PData, prm.PAck, prm.Q, prm.MeanWindow, prm.AckBurstProb())
+	fmt.Println(table.Render())
+	return nil
+}

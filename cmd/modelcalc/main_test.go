@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatalf("run with defaults: %v", err)
+	}
+}
+
+func TestRunCustomParams(t *testing.T) {
+	args := []string{"-rtt", "80ms", "-t", "600ms", "-b", "1", "-wm", "64",
+		"-pd", "0.01", "-pa", "0.002", "-q", "0.4", "-w", "30", "-pburst", "0.01"}
+	if err := run(args); err != nil {
+		t.Fatalf("run custom: %v", err)
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	if err := run([]string{"-pd", "1.5"}); err == nil {
+		t.Error("impossible loss rate accepted")
+	}
+	if err := run([]string{"-rtt", "0s"}); err == nil {
+		t.Error("zero RTT accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Command traceanalyze reads stored packet traces (binary .hsrt or .jsonl)
+// and prints the paper's per-flow metrics, optionally with the throughput
+// model predictions alongside the measured throughput.
+//
+// Usage:
+//
+//	traceanalyze [-models] trace1.hsrt trace2.jsonl ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("traceanalyze", flag.ContinueOnError)
+	models := fs.Bool("models", false, "also evaluate the Padhye and enhanced models")
+	gaps := fs.Bool("gaps", false, "also report ACK silences (the sender-side view of ACK burst loss)")
+	events := fs.Int("events", 0, "print the first N packet events of each trace as a timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("no trace files given")
+	}
+
+	t := export.NewTable("flow", "op", "scenario", "pps", "Mbps", "p_d", "p_a", "q", "RTT",
+		"TO seqs", "spurious", "mean recovery")
+	var mt *export.Table
+	if *models {
+		mt = export.NewTable("flow", "actual pps", "Padhye pps", "D", "enhanced pps", "D")
+	}
+	var gt *export.Table
+	if *gaps {
+		gt = export.NewTable("flow", "ack gaps", "per round", "mean gap", "ended in RTO")
+	}
+	for _, path := range files {
+		ft, err := readTrace(path)
+		if err != nil {
+			return err
+		}
+		m, err := analysis.Analyze(ft)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		t.AddRow(m.Meta.ID, m.Meta.Operator, m.Meta.Scenario,
+			fmt.Sprintf("%.1f", m.ThroughputPps), fmt.Sprintf("%.2f", m.ThroughputBps/1e6),
+			export.Percent(m.DataLossRate), export.Percent(m.AckLossRate),
+			export.Percent(m.RecoveryLossRate),
+			fmt.Sprintf("%.0fms", float64(m.MeanRTT.Milliseconds())),
+			fmt.Sprintf("%d", m.TimeoutSequences), fmt.Sprintf("%d", m.SpuriousTimeouts),
+			fmt.Sprintf("%.2fs", m.MeanRecoveryDuration.Seconds()))
+		if *events > 0 {
+			fmt.Printf("-- %s: first %d events --\n", m.Meta.ID, *events)
+			et := export.NewTable("t", "event", "seq", "ack", "tx#", "cwnd")
+			for i, ev := range ft.Events {
+				if i >= *events {
+					break
+				}
+				et.AddRow(fmt.Sprintf("%.4fs", ev.At.Seconds()), ev.Type.String(),
+					fmt.Sprintf("%d", ev.Seq), fmt.Sprintf("%d", ev.Ack),
+					fmt.Sprintf("%d", ev.TransmitNo), fmt.Sprintf("%.1f", ev.Cwnd))
+			}
+			fmt.Println(et.Render())
+		}
+		if *gaps {
+			gs, err := analysis.AckGaps(ft, m, 0)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			var total time.Duration
+			rto := 0
+			for _, g := range gs.Gaps {
+				total += g.Duration()
+				if g.EndedInTimeout {
+					rto++
+				}
+			}
+			mean := time.Duration(0)
+			if len(gs.Gaps) > 0 {
+				mean = total / time.Duration(len(gs.Gaps))
+			}
+			gt.AddRow(m.Meta.ID, fmt.Sprintf("%d", len(gs.Gaps)),
+				fmt.Sprintf("%.4f", gs.PerRoundRate),
+				fmt.Sprintf("%.2fs", mean.Seconds()), fmt.Sprintf("%d", rto))
+		}
+		if *models {
+			prm := core.ParamsFromMetrics(m)
+			pad, err := core.Padhye(prm)
+			if err != nil {
+				return fmt.Errorf("%s: padhye: %w", path, err)
+			}
+			enh, err := core.Enhanced(prm)
+			if err != nil {
+				return fmt.Errorf("%s: enhanced: %w", path, err)
+			}
+			mt.AddRow(m.Meta.ID, fmt.Sprintf("%.1f", m.ThroughputPps),
+				fmt.Sprintf("%.1f", pad), export.Percent(core.Deviation(pad, m.ThroughputPps)),
+				fmt.Sprintf("%.1f", enh), export.Percent(core.Deviation(enh, m.ThroughputPps)))
+		}
+	}
+	fmt.Println(t.Render())
+	if gt != nil {
+		fmt.Println(gt.Render())
+	}
+	if mt != nil {
+		fmt.Println(mt.Render())
+	}
+	return nil
+}
+
+// readTrace loads a trace, picking the codec from the file extension and
+// falling back to trying both.
+func readTrace(path string) (*trace.FlowTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		ft, err := trace.ReadJSONL(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return ft, nil
+	}
+	ft, err := trace.ReadBinary(f)
+	if err == nil {
+		return ft, nil
+	}
+	if _, seekErr := f.Seek(0, 0); seekErr != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	ft, jerr := trace.ReadJSONL(f)
+	if jerr != nil {
+		return nil, fmt.Errorf("%s: not a trace file (binary: %v; jsonl: %v)", path, err, jerr)
+	}
+	return ft, nil
+}

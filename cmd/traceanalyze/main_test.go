@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/dataset"
+	"repro/internal/railway"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// writeTestTrace simulates a short flow and stores it in both formats.
+func writeTestTrace(t *testing.T, dir string) (binPath, jsonlPath string) {
+	t.Helper()
+	trip, err := railway.NewTrip(railway.BeijingTianjin, railway.DefaultProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, _ := trip.CruiseWindow()
+	ft, _, err := dataset.RunFlow(dataset.Scenario{
+		ID: "cmdtest", Operator: cellular.ChinaMobileLTE, Trip: trip,
+		TripOffset: start, FlowDuration: 15 * time.Second,
+		Seed: 9, TCP: tcp.DefaultConfig(), Scenario: "hsr",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binPath = filepath.Join(dir, "flow.hsrt")
+	f, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, ft); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	jsonlPath = filepath.Join(dir, "flow.jsonl")
+	f, err = os.Create(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSONL(f, ft); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return binPath, jsonlPath
+}
+
+func TestRunAnalyzesBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	binPath, jsonlPath := writeTestTrace(t, dir)
+	if err := run([]string{binPath, jsonlPath}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWithModels(t *testing.T) {
+	dir := t.TempDir()
+	binPath, _ := writeTestTrace(t, dir)
+	if err := run([]string{"-models", binPath}); err != nil {
+		t.Fatalf("run -models: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no files accepted")
+	}
+	if err := run([]string{"/does/not/exist.hsrt"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "garbage.bin")
+	if err := os.WriteFile(garbage, []byte("not a trace at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{garbage}); err == nil {
+		t.Error("garbage file accepted")
+	}
+}
+
+func TestReadTraceFallback(t *testing.T) {
+	dir := t.TempDir()
+	_, jsonlPath := writeTestTrace(t, dir)
+	// A JSONL trace with a non-jsonl extension exercises the binary-then-
+	// jsonl fallback.
+	odd := filepath.Join(dir, "flow.dat")
+	data, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(odd, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := readTrace(odd)
+	if err != nil {
+		t.Fatalf("fallback read: %v", err)
+	}
+	if ft.Meta.ID != "cmdtest" {
+		t.Errorf("meta = %+v", ft.Meta)
+	}
+}
+
+func TestRunWithGapsAndEvents(t *testing.T) {
+	dir := t.TempDir()
+	binPath, _ := writeTestTrace(t, dir)
+	if err := run([]string{"-gaps", "-events", "10", binPath}); err != nil {
+		t.Fatalf("run -gaps -events: %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+// Command tracegen generates synthetic packet traces — the stand-in for the
+// paper's wireshark captures — and writes them to disk in the binary or
+// JSONL trace format.
+//
+// Usage:
+//
+//	tracegen -out traces/ [-flows 8] [-duration 60s] [-seed 1]
+//	         [-scenario hsr|stationary] [-operator mobile|unicom|telecom]
+//	         [-format binary|jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cellular"
+	"repro/internal/dataset"
+	"repro/internal/railway"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	out := fs.String("out", "traces", "output directory")
+	flows := fs.Int("flows", 8, "number of flows to generate")
+	duration := fs.Duration("duration", 60*time.Second, "flow duration")
+	seed := fs.Int64("seed", 1, "base seed")
+	scenario := fs.String("scenario", "hsr", "hsr or stationary")
+	operator := fs.String("operator", "mobile", "mobile, unicom or telecom")
+	format := fs.String("format", "binary", "binary or jsonl")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var op cellular.Operator
+	switch *operator {
+	case "mobile":
+		op = cellular.ChinaMobileLTE
+	case "unicom":
+		op = cellular.ChinaUnicom3G
+	case "telecom":
+		op = cellular.ChinaTelecom3G
+	default:
+		return fmt.Errorf("unknown operator %q", *operator)
+	}
+	profile := railway.DefaultProfile
+	switch *scenario {
+	case "hsr":
+	case "stationary":
+		profile = railway.StationaryProfile
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+	var ext string
+	var write func(*os.File, *trace.FlowTrace) error
+	switch *format {
+	case "binary":
+		ext = ".hsrt"
+		write = func(f *os.File, ft *trace.FlowTrace) error { return trace.WriteBinary(f, ft) }
+	case "jsonl":
+		ext = ".jsonl"
+		write = func(f *os.File, ft *trace.FlowTrace) error { return trace.WriteJSONL(f, ft) }
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	trip, err := railway.NewTrip(railway.BeijingTianjin, profile)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return fmt.Errorf("create output dir: %w", err)
+	}
+
+	start, end := trip.CruiseWindow()
+	for i := 0; i < *flows; i++ {
+		offset := time.Duration(0)
+		if !trip.Stationary() {
+			offset = start + time.Duration(i)*37*time.Second
+			if offset+*duration > end {
+				offset = start
+			}
+		}
+		sc := dataset.Scenario{
+			ID:           fmt.Sprintf("%s-%s-%03d", *operator, *scenario, i),
+			Operator:     op,
+			Trip:         trip,
+			TripOffset:   offset,
+			FlowDuration: *duration,
+			Seed:         *seed*1009 + int64(i),
+			TCP:          tcp.DefaultConfig(),
+			Scenario:     *scenario,
+		}
+		ft, st, err := dataset.RunFlow(sc)
+		if err != nil {
+			return fmt.Errorf("flow %d: %w", i, err)
+		}
+		path := filepath.Join(*out, sc.ID+ext)
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", path, err)
+		}
+		if err := write(f, ft); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", path, err)
+		}
+		fmt.Printf("%s: %d events, %d segments delivered, %.1f pps\n",
+			path, len(ft.Events), st.UniqueDelivered, st.ThroughputPps())
+	}
+	return nil
+}

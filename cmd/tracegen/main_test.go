@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunGeneratesBinaryTraces(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-out", dir, "-flows", "2", "-duration", "10s", "-seed", "3"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.hsrt"))
+	if err != nil || len(files) != 2 {
+		t.Fatalf("generated files = %v (err %v), want 2", files, err)
+	}
+	f, err := os.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ft, err := trace.ReadBinary(f)
+	if err != nil {
+		t.Fatalf("generated trace unreadable: %v", err)
+	}
+	if len(ft.Events) == 0 {
+		t.Error("generated trace is empty")
+	}
+	if err := ft.Validate(); err != nil {
+		t.Errorf("generated trace invalid: %v", err)
+	}
+}
+
+func TestRunGeneratesJSONL(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-out", dir, "-flows", "1", "-duration", "5s",
+		"-format", "jsonl", "-scenario", "stationary", "-operator", "telecom"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if len(files) != 1 {
+		t.Fatalf("jsonl files = %v, want 1", files)
+	}
+	f, err := os.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ft, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("generated jsonl unreadable: %v", err)
+	}
+	if ft.Meta.Operator != "China Telecom" || ft.Meta.Scenario != "stationary" {
+		t.Errorf("meta = %+v", ft.Meta)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-out", dir, "-operator", "nope"}); err == nil {
+		t.Error("unknown operator accepted")
+	}
+	if err := run([]string{"-out", dir, "-scenario", "nope"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if err := run([]string{"-out", dir, "-format", "nope"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Measurement,
+// Modeling, and Analysis of TCP in High-Speed Mobility Scenarios"
+// (ICDCS 2016): a deterministic packet-level TCP Reno simulator over a
+// synthetic high-speed-rail cellular channel, the paper's trace-analysis
+// methodology, and its enhanced steady-state throughput model with the
+// Padhye baseline.
+//
+// The public surface lives in the command-line tools (cmd/hsrbench,
+// cmd/tracegen, cmd/traceanalyze, cmd/modelcalc), the runnable examples
+// under examples/, and the benchmark harness in bench_test.go, which
+// regenerates every table and figure of the paper's evaluation. See
+// README.md for a tour and DESIGN.md for the system inventory.
+package repro

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// AckGap is one interval during which the sender had data outstanding but
+// received no acknowledgements for well over a round-trip — the sender-side
+// view of the paper's "ACK burst loss": a whole round's ACKs failed to
+// arrive (lost or stalled), regardless of what happened to the data.
+type AckGap struct {
+	Start time.Duration // last ACK arrival before the silence
+	End   time.Duration // next ACK arrival (or the trace horizon)
+	// EndedInTimeout reports whether an RTO fired inside the gap.
+	EndedInTimeout bool
+}
+
+// Duration returns the silence length.
+func (g AckGap) Duration() time.Duration { return g.End - g.Start }
+
+// AckGapStats summarizes a flow's ACK silences.
+type AckGapStats struct {
+	// Gaps are the ACK silences longer than the detection threshold.
+	Gaps []AckGap
+	// Threshold is the silence length that counted as a gap.
+	Threshold time.Duration
+	// PerRoundRate is gaps per estimated transmission round — a direct,
+	// assumption-free estimator of the paper's P_a.
+	PerRoundRate float64
+}
+
+// AckGaps scans a trace for ACK silences longer than k round-trips (k = 1.5
+// by default via threshold <= 0) while data was outstanding. It needs the
+// flow's metrics for the mean RTT and round estimate.
+func AckGaps(ft *trace.FlowTrace, m *FlowMetrics, threshold time.Duration) (*AckGapStats, error) {
+	if ft == nil || m == nil {
+		return nil, fmt.Errorf("analysis: AckGaps requires a trace and its metrics")
+	}
+	if m.MeanRTT <= 0 {
+		return &AckGapStats{}, nil
+	}
+	if threshold <= 0 {
+		threshold = m.MeanRTT * 3 / 2
+	}
+	st := &AckGapStats{Threshold: threshold}
+
+	var lastAck time.Duration
+	var lastAckValid bool
+	var outstanding int64 // sends minus cumulative-acked, approximate
+	var sndUna int64
+	var timeoutInWindow bool
+
+	flush := func(now time.Duration) {
+		if lastAckValid && outstanding > 0 && now-lastAck >= threshold {
+			st.Gaps = append(st.Gaps, AckGap{
+				Start:          lastAck,
+				End:            now,
+				EndedInTimeout: timeoutInWindow,
+			})
+		}
+		timeoutInWindow = false
+	}
+
+	var sent int64
+	for _, ev := range ft.Events {
+		switch ev.Type {
+		case trace.EvDataSend:
+			if ev.TransmitNo == 1 {
+				sent = ev.Seq + 1
+				outstanding = sent - sndUna
+			}
+			if !lastAckValid {
+				lastAck = ev.At
+				lastAckValid = true
+			}
+		case trace.EvTimeout:
+			timeoutInWindow = true
+		case trace.EvAckRecv:
+			flush(ev.At)
+			if ev.Ack > sndUna {
+				sndUna = ev.Ack
+				outstanding = sent - sndUna
+			}
+			lastAck = ev.At
+			lastAckValid = true
+		}
+	}
+	flush(ft.Meta.Duration)
+
+	if m.EstimatedRounds > 0 {
+		st.PerRoundRate = float64(len(st.Gaps)) / m.EstimatedRounds
+	}
+	return st, nil
+}

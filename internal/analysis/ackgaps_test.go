@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestAckGapsHandTrace(t *testing.T) {
+	ft := handTrace()
+	m, err := Analyze(ft)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	st, err := AckGaps(ft, m, 300*time.Millisecond)
+	if err != nil {
+		t.Fatalf("AckGaps: %v", err)
+	}
+	// The hand trace has two long silences ending in timeouts: 136ms->536ms
+	// (genuine) and 631ms-ish->1261ms (spurious). Both exceed 300ms.
+	if len(st.Gaps) < 2 {
+		t.Fatalf("gaps = %d, want >= 2", len(st.Gaps))
+	}
+	timeoutGaps := 0
+	for _, g := range st.Gaps {
+		if g.Duration() < 300*time.Millisecond {
+			t.Errorf("gap %v shorter than the threshold", g.Duration())
+		}
+		if g.EndedInTimeout {
+			timeoutGaps++
+		}
+	}
+	if timeoutGaps < 2 {
+		t.Errorf("timeout gaps = %d, want >= 2", timeoutGaps)
+	}
+	if st.PerRoundRate <= 0 {
+		t.Errorf("PerRoundRate = %v, want positive", st.PerRoundRate)
+	}
+}
+
+func TestAckGapsNoGapsOnSteadyFlow(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	// A steady flow: ack every 60 ms, threshold would be ~90 ms.
+	ft := &trace.FlowTrace{Meta: trace.FlowMeta{ID: "steady", MSS: 1000, Duration: time.Second}}
+	for i := 0; i < 10; i++ {
+		base := i * 60
+		ft.Events = append(ft.Events,
+			trace.Event{At: ms(base), Type: trace.EvDataSend, Seq: int64(i), Ack: -1, TransmitNo: 1, Cwnd: 2},
+			trace.Event{At: ms(base + 30), Type: trace.EvDataRecv, Seq: int64(i), Ack: -1, TransmitNo: 1},
+			trace.Event{At: ms(base + 31), Type: trace.EvAckSend, Seq: -1, Ack: int64(i + 1)},
+			trace.Event{At: ms(base + 59), Type: trace.EvAckRecv, Seq: -1, Ack: int64(i + 1)},
+		)
+	}
+	m, err := Analyze(ft)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	st, err := AckGaps(ft, m, 0) // default threshold = 1.5 RTT
+	if err != nil {
+		t.Fatalf("AckGaps: %v", err)
+	}
+	if len(st.Gaps) != 0 {
+		t.Errorf("steady flow reported %d gaps: %+v", len(st.Gaps), st.Gaps)
+	}
+}
+
+func TestAckGapsValidation(t *testing.T) {
+	if _, err := AckGaps(nil, nil, 0); err == nil {
+		t.Error("nil inputs accepted")
+	}
+	ft := &trace.FlowTrace{Meta: trace.FlowMeta{ID: "empty", Duration: time.Second}}
+	m, err := Analyze(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := AckGaps(ft, m, 0)
+	if err != nil {
+		t.Fatalf("AckGaps on empty trace: %v", err)
+	}
+	if len(st.Gaps) != 0 {
+		t.Error("empty trace reported gaps")
+	}
+}

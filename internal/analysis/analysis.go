@@ -1,0 +1,333 @@
+// Package analysis extracts the paper's transport-layer metrics from packet
+// traces: loss rates for data and ACKs, RTT statistics, timeout events and
+// their spurious/genuine classification, timeout-recovery phases and the
+// loss rate of retransmissions inside them (the paper's q), and per-flow
+// throughput. It implements Section III of the paper as code.
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// RecoveryPhase is one timeout sequence: from the stall that precedes the
+// first RTO of the sequence to the ACK that restarts transmission (the
+// paper's Fig 2).
+type RecoveryPhase struct {
+	// Start is the last data activity before the first timeout (the end of
+	// the preceding congestion-avoidance phase).
+	Start time.Duration
+	// FirstTimeout is when the first RTO of the sequence fired.
+	FirstTimeout time.Duration
+	// End is when transmission recovered (new cumulative ACK).
+	End time.Duration
+	// Timeouts counts the RTO expiries in the sequence (the paper's R).
+	Timeouts int
+	// Retransmissions counts data transmissions inside [FirstTimeout, End).
+	Retransmissions int
+	// RetransmissionsLost counts those that the channel dropped.
+	RetransmissionsLost int
+	// Spurious reports whether the sequence's first timeout fired even
+	// though the timed-out segment had already reached the receiver.
+	Spurious bool
+}
+
+// Duration returns the length of the recovery phase.
+func (r RecoveryPhase) Duration() time.Duration { return r.End - r.Start }
+
+// FlowMetrics are the per-flow statistics the experiments consume.
+type FlowMetrics struct {
+	Meta trace.FlowMeta
+
+	Duration        time.Duration
+	UniqueDelivered int64
+	ThroughputPps   float64 // unique segments delivered per second
+	ThroughputBps   float64 // payload bits per second (MSS * 8 * pps)
+
+	DataSent     int64
+	DataLost     int64
+	DataLossRate float64 // the paper's p_d
+	AcksSent     int64
+	AcksLost     int64
+	AckLossRate  float64 // the paper's p_a
+
+	MeanRTT    time.Duration
+	RTTSamples int
+
+	MeanWindow float64 // mean cwnd over data transmissions (the w in P_a = p_a^w)
+
+	Timeouts         int // individual RTO expiries
+	TimeoutSequences int // recovery phases (timeout sequences)
+	SpuriousTimeouts int // timeout sequences classified spurious
+	FastRetransmits  int
+
+	// TimeoutProbability is the paper's Q: the fraction of loss indications
+	// (fast retransmits + timeout sequences) that were timeout sequences.
+	TimeoutProbability float64
+
+	Recoveries           []RecoveryPhase
+	MeanRecoveryDuration time.Duration
+	// RecoveryLossRate is the paper's q: the loss rate of retransmitted
+	// packets inside timeout recovery phases.
+	RecoveryLossRate float64
+
+	// BaseRTOEstimate is the flow's base retransmission timeout T, estimated
+	// from the exponential-backoff structure of consecutive timeouts: the
+	// gap between timeout k and k+1 of one sequence equals T * 2^(b+1)
+	// (capped), where b is the backoff exponent recorded at timeout k.
+	// Zero when the flow had no consecutive timeouts.
+	BaseRTOEstimate time.Duration
+
+	// EstimatedRounds approximates how many transmission rounds the flow
+	// spent outside timeout recovery: (duration - recovery time) / RTT.
+	EstimatedRounds float64
+	// AckBurstRate is a direct estimate of the paper's P_a: spurious
+	// timeout sequences per transmission round. (The independence formula
+	// p_a^w vastly underestimates P_a on bursty channels.)
+	AckBurstRate float64
+}
+
+// SpuriousFraction returns the fraction of timeout sequences classified as
+// spurious, or 0 when there were none.
+func (m *FlowMetrics) SpuriousFraction() float64 {
+	if m.TimeoutSequences == 0 {
+		return 0
+	}
+	return float64(m.SpuriousTimeouts) / float64(m.TimeoutSequences)
+}
+
+// txKey identifies one transmission of one segment.
+type txKey struct {
+	seq  int64
+	txNo int
+}
+
+// Analyze derives FlowMetrics from a packet trace.
+func Analyze(ft *trace.FlowTrace) (*FlowMetrics, error) {
+	if ft == nil {
+		return nil, fmt.Errorf("analysis: nil trace")
+	}
+	if err := ft.Validate(); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	m := &FlowMetrics{Meta: ft.Meta, Duration: ft.Meta.Duration}
+
+	recvAt := map[txKey]time.Duration{}    // arrival time per transmission
+	firstRecv := map[int64]time.Duration{} // earliest arrival per segment
+	for _, ev := range ft.Events {
+		if ev.Type == trace.EvDataRecv {
+			recvAt[txKey{ev.Seq, ev.TransmitNo}] = ev.At
+			if t, ok := firstRecv[ev.Seq]; !ok || ev.At < t {
+				firstRecv[ev.Seq] = ev.At
+			}
+		}
+	}
+
+	var (
+		cwndSum      float64
+		rttSum       time.Duration
+		pendingSend  = map[int64]time.Duration{} // unacked first transmissions
+		tainted      = map[int64]bool{}          // segments ever retransmitted (Karn)
+		uniqueSeqs   = map[int64]bool{}
+		curPhase     *RecoveryPhase
+		lastActivity time.Duration // last data send or ACK arrival before a timeout
+		prevTOAt     time.Duration
+		prevTOBk     int
+		rtoSum       time.Duration
+		rtoN         int
+	)
+	for _, ev := range ft.Events {
+		switch ev.Type {
+		case trace.EvDataSend:
+			m.DataSent++
+			cwndSum += ev.Cwnd
+			if ev.TransmitNo == 1 {
+				pendingSend[ev.Seq] = ev.At
+			} else {
+				tainted[ev.Seq] = true
+				delete(pendingSend, ev.Seq)
+			}
+			if curPhase != nil {
+				curPhase.Retransmissions++
+				if _, arrived := recvAt[txKey{ev.Seq, ev.TransmitNo}]; !arrived {
+					curPhase.RetransmissionsLost++
+				}
+			} else {
+				lastActivity = ev.At
+			}
+
+		case trace.EvDataDrop:
+			m.DataLost++
+
+		case trace.EvDataRecv:
+			if !uniqueSeqs[ev.Seq] {
+				uniqueSeqs[ev.Seq] = true
+				m.UniqueDelivered++
+			}
+
+		case trace.EvAckSend:
+			m.AcksSent++
+
+		case trace.EvAckDrop:
+			m.AcksLost++
+
+		case trace.EvAckRecv:
+			if at, ok := pendingSend[ev.Ack-1]; ok && !tainted[ev.Ack-1] {
+				rttSum += ev.At - at
+				m.RTTSamples++
+			}
+			for seq := range pendingSend {
+				if seq < ev.Ack {
+					delete(pendingSend, seq)
+				}
+			}
+			if curPhase == nil {
+				lastActivity = ev.At
+			}
+
+		case trace.EvTimeout:
+			m.Timeouts++
+			if curPhase == nil {
+				curPhase = &RecoveryPhase{
+					Start:        lastActivity,
+					FirstTimeout: ev.At,
+				}
+				// Spurious iff the timed-out segment had already arrived
+				// (the receiver will see the same payload twice).
+				if arrivedAt, ok := firstRecv[ev.Seq]; ok && arrivedAt <= ev.At {
+					curPhase.Spurious = true
+				}
+			} else {
+				// Consecutive timeout: the gap from the previous one encodes
+				// the base RTO through the backoff exponent.
+				shift := uint(prevTOBk + 1)
+				if shift > 6 {
+					shift = 6
+				}
+				rtoSum += (ev.At - prevTOAt) >> shift
+				rtoN++
+			}
+			prevTOAt, prevTOBk = ev.At, ev.Backoff
+			curPhase.Timeouts++
+
+		case trace.EvFastRetx:
+			m.FastRetransmits++
+
+		case trace.EvRecovered:
+			if curPhase != nil {
+				curPhase.End = ev.At
+				m.Recoveries = append(m.Recoveries, *curPhase)
+				curPhase = nil
+			}
+		}
+	}
+	// A phase still open at the end of the trace never recovered; count it
+	// with End at the trace horizon so its duration is not lost.
+	if curPhase != nil {
+		curPhase.End = ft.Meta.Duration
+		if curPhase.End < curPhase.FirstTimeout {
+			curPhase.End = curPhase.FirstTimeout
+		}
+		m.Recoveries = append(m.Recoveries, *curPhase)
+	}
+
+	m.TimeoutSequences = len(m.Recoveries)
+	var recDur time.Duration
+	var retx, retxLost int
+	for _, r := range m.Recoveries {
+		recDur += r.Duration()
+		retx += r.Retransmissions
+		retxLost += r.RetransmissionsLost
+		if r.Spurious {
+			m.SpuriousTimeouts++
+		}
+	}
+	if len(m.Recoveries) > 0 {
+		m.MeanRecoveryDuration = recDur / time.Duration(len(m.Recoveries))
+	}
+	if retx > 0 {
+		m.RecoveryLossRate = float64(retxLost) / float64(retx)
+	}
+
+	if m.DataSent > 0 {
+		m.DataLossRate = float64(m.DataLost) / float64(m.DataSent)
+		m.MeanWindow = cwndSum / float64(m.DataSent)
+	}
+	if m.AcksSent > 0 {
+		m.AckLossRate = float64(m.AcksLost) / float64(m.AcksSent)
+	}
+	if m.RTTSamples > 0 {
+		m.MeanRTT = rttSum / time.Duration(m.RTTSamples)
+	}
+	if rtoN > 0 {
+		m.BaseRTOEstimate = rtoSum / time.Duration(rtoN)
+	}
+	if d := m.Duration.Seconds(); d > 0 {
+		m.ThroughputPps = float64(m.UniqueDelivered) / d
+		m.ThroughputBps = m.ThroughputPps * float64(ft.Meta.MSS) * 8
+	}
+	if m.MeanRTT > 0 {
+		active := m.Duration - recDur
+		if active < m.MeanRTT {
+			active = m.MeanRTT
+		}
+		m.EstimatedRounds = float64(active) / float64(m.MeanRTT)
+		m.AckBurstRate = float64(m.SpuriousTimeouts) / m.EstimatedRounds
+	}
+	if ind := m.TimeoutSequences + m.FastRetransmits; ind > 0 {
+		m.TimeoutProbability = float64(m.TimeoutSequences) / float64(ind)
+	}
+	return m, nil
+}
+
+// Summary is a compact aggregate over many flows, used by the campaign
+// experiments.
+type Summary struct {
+	Flows                int
+	MeanThroughputPps    float64
+	MeanDataLossRate     float64
+	MeanAckLossRate      float64
+	MeanRecoveryDuration time.Duration
+	MeanRecoveryLossRate float64 // mean of per-flow q over flows with recoveries
+	SpuriousFraction     float64 // spurious timeout sequences / all sequences
+	TotalTimeoutSeqs     int
+	TotalSpurious        int
+}
+
+// Summarize aggregates per-flow metrics.
+func Summarize(ms []*FlowMetrics) Summary {
+	var s Summary
+	if len(ms) == 0 {
+		return s
+	}
+	var tput, dloss, aloss, qsum stats.Running
+	var recDur time.Duration
+	var recFlows int
+	for _, m := range ms {
+		tput.Add(m.ThroughputPps)
+		dloss.Add(m.DataLossRate)
+		aloss.Add(m.AckLossRate)
+		if len(m.Recoveries) > 0 {
+			qsum.Add(m.RecoveryLossRate)
+			recDur += m.MeanRecoveryDuration
+			recFlows++
+		}
+		s.TotalTimeoutSeqs += m.TimeoutSequences
+		s.TotalSpurious += m.SpuriousTimeouts
+	}
+	s.Flows = len(ms)
+	s.MeanThroughputPps = tput.Mean()
+	s.MeanDataLossRate = dloss.Mean()
+	s.MeanAckLossRate = aloss.Mean()
+	if recFlows > 0 {
+		s.MeanRecoveryDuration = recDur / time.Duration(recFlows)
+		s.MeanRecoveryLossRate = qsum.Mean()
+	}
+	if s.TotalTimeoutSeqs > 0 {
+		s.SpuriousFraction = float64(s.TotalSpurious) / float64(s.TotalTimeoutSeqs)
+	}
+	return s
+}

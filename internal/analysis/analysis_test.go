@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// handTrace builds a small trace with exactly known metrics:
+//   - 10 data transmissions, 2 channel drops (p_d = 0.2)
+//   - 8 ACKs, 1 dropped (p_a = 0.125)
+//   - 2 timeout sequences: one genuine (seq 2 lost), one spurious (seq 4
+//     delivered but its ACK dropped), plus 1 fast retransmit
+//   - 7 unique segments delivered
+func handTrace() *trace.FlowTrace {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	ev := []trace.Event{
+		{At: ms(0), Type: trace.EvDataSend, Seq: 0, Ack: -1, TransmitNo: 1, Cwnd: 2},
+		{At: ms(10), Type: trace.EvDataSend, Seq: 1, Ack: -1, TransmitNo: 1, Cwnd: 2},
+		{At: ms(30), Type: trace.EvDataRecv, Seq: 0, Ack: -1, TransmitNo: 1},
+		{At: ms(31), Type: trace.EvAckSend, Seq: -1, Ack: 1},
+		{At: ms(40), Type: trace.EvDataRecv, Seq: 1, Ack: -1, TransmitNo: 1},
+		{At: ms(41), Type: trace.EvAckSend, Seq: -1, Ack: 2},
+		{At: ms(61), Type: trace.EvAckRecv, Seq: -1, Ack: 1},
+		{At: ms(62), Type: trace.EvDataSend, Seq: 2, Ack: -1, TransmitNo: 1, Cwnd: 3},
+		{At: ms(62), Type: trace.EvDataDrop, Seq: 2, Ack: -1, TransmitNo: 1},
+		{At: ms(71), Type: trace.EvAckRecv, Seq: -1, Ack: 2},
+		{At: ms(75), Type: trace.EvDataSend, Seq: 3, Ack: -1, TransmitNo: 1, Cwnd: 3},
+		{At: ms(105), Type: trace.EvDataRecv, Seq: 3, Ack: -1, TransmitNo: 1},
+		{At: ms(106), Type: trace.EvAckSend, Seq: -1, Ack: 2},
+		{At: ms(136), Type: trace.EvAckRecv, Seq: -1, Ack: 2},
+		{At: ms(475), Type: trace.EvTimeout, Seq: 2, Ack: -1},
+		{At: ms(475), Type: trace.EvDataSend, Seq: 2, Ack: -1, TransmitNo: 2, Cwnd: 1},
+		{At: ms(505), Type: trace.EvDataRecv, Seq: 2, Ack: -1, TransmitNo: 2},
+		{At: ms(506), Type: trace.EvAckSend, Seq: -1, Ack: 4},
+		{At: ms(536), Type: trace.EvAckRecv, Seq: -1, Ack: 4},
+		{At: ms(536), Type: trace.EvRecovered, Seq: -1, Ack: 4},
+		{At: ms(600), Type: trace.EvDataSend, Seq: 4, Ack: -1, TransmitNo: 1, Cwnd: 2},
+		{At: ms(630), Type: trace.EvDataRecv, Seq: 4, Ack: -1, TransmitNo: 1},
+		{At: ms(631), Type: trace.EvAckSend, Seq: -1, Ack: 5},
+		{At: ms(631), Type: trace.EvAckDrop, Seq: -1, Ack: 5},
+		{At: ms(1200), Type: trace.EvTimeout, Seq: 4, Ack: -1},
+		{At: ms(1200), Type: trace.EvDataSend, Seq: 4, Ack: -1, TransmitNo: 2, Cwnd: 1},
+		{At: ms(1230), Type: trace.EvDataRecv, Seq: 4, Ack: -1, TransmitNo: 2},
+		{At: ms(1231), Type: trace.EvAckSend, Seq: -1, Ack: 5},
+		{At: ms(1261), Type: trace.EvAckRecv, Seq: -1, Ack: 5},
+		{At: ms(1261), Type: trace.EvRecovered, Seq: -1, Ack: 5},
+		{At: ms(1300), Type: trace.EvDataSend, Seq: 5, Ack: -1, TransmitNo: 1, Cwnd: 2},
+		{At: ms(1310), Type: trace.EvDataSend, Seq: 6, Ack: -1, TransmitNo: 1, Cwnd: 2},
+		{At: ms(1310), Type: trace.EvDataDrop, Seq: 6, Ack: -1, TransmitNo: 1},
+		{At: ms(1330), Type: trace.EvDataRecv, Seq: 5, Ack: -1, TransmitNo: 1},
+		{At: ms(1331), Type: trace.EvAckSend, Seq: -1, Ack: 6},
+		{At: ms(1361), Type: trace.EvAckRecv, Seq: -1, Ack: 6},
+		{At: ms(1400), Type: trace.EvFastRetx, Seq: 6, Ack: -1},
+		{At: ms(1400), Type: trace.EvDataSend, Seq: 6, Ack: -1, TransmitNo: 2, Cwnd: 2},
+		{At: ms(1430), Type: trace.EvDataRecv, Seq: 6, Ack: -1, TransmitNo: 2},
+		{At: ms(1431), Type: trace.EvAckSend, Seq: -1, Ack: 7},
+		{At: ms(1461), Type: trace.EvAckRecv, Seq: -1, Ack: 7},
+	}
+	return &trace.FlowTrace{
+		Meta: trace.FlowMeta{
+			ID: "hand", Operator: "Test", Scenario: "hsr",
+			MSS: 1000, DelayedAckB: 1, WindowLimit: 64,
+			Duration: 10 * time.Second,
+		},
+		Events: ev,
+	}
+}
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestAnalyzeHandTrace(t *testing.T) {
+	m, err := Analyze(handTrace())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if m.DataSent != 10 {
+		t.Errorf("DataSent = %d, want 10", m.DataSent)
+	}
+	if m.DataLost != 2 || !approx(m.DataLossRate, 0.2, 1e-12) {
+		t.Errorf("DataLost = %d rate %v, want 2 / 0.2", m.DataLost, m.DataLossRate)
+	}
+	if m.AcksSent != 8 || m.AcksLost != 1 || !approx(m.AckLossRate, 0.125, 1e-12) {
+		t.Errorf("ACKs = %d lost %d rate %v, want 8 / 1 / 0.125", m.AcksSent, m.AcksLost, m.AckLossRate)
+	}
+	if m.UniqueDelivered != 7 {
+		t.Errorf("UniqueDelivered = %d, want 7", m.UniqueDelivered)
+	}
+	if m.Timeouts != 2 || m.TimeoutSequences != 2 {
+		t.Errorf("Timeouts = %d sequences %d, want 2 / 2", m.Timeouts, m.TimeoutSequences)
+	}
+	if m.SpuriousTimeouts != 1 {
+		t.Errorf("SpuriousTimeouts = %d, want 1", m.SpuriousTimeouts)
+	}
+	if !approx(m.SpuriousFraction(), 0.5, 1e-12) {
+		t.Errorf("SpuriousFraction = %v, want 0.5", m.SpuriousFraction())
+	}
+	if m.FastRetransmits != 1 {
+		t.Errorf("FastRetransmits = %d, want 1", m.FastRetransmits)
+	}
+	if !approx(m.TimeoutProbability, 2.0/3.0, 1e-12) {
+		t.Errorf("TimeoutProbability = %v, want 2/3", m.TimeoutProbability)
+	}
+	if m.RTTSamples != 4 {
+		t.Errorf("RTTSamples = %d, want 4", m.RTTSamples)
+	}
+	if want := 161 * time.Millisecond; m.MeanRTT != want {
+		t.Errorf("MeanRTT = %v, want %v", m.MeanRTT, want)
+	}
+	if !approx(m.MeanWindow, 2.0, 1e-12) {
+		t.Errorf("MeanWindow = %v, want 2.0", m.MeanWindow)
+	}
+	if !approx(m.ThroughputPps, 0.7, 1e-12) {
+		t.Errorf("ThroughputPps = %v, want 0.7", m.ThroughputPps)
+	}
+	if !approx(m.ThroughputBps, 0.7*8000, 1e-9) {
+		t.Errorf("ThroughputBps = %v, want 5600", m.ThroughputBps)
+	}
+}
+
+func TestAnalyzeRecoveryPhases(t *testing.T) {
+	m, err := Analyze(handTrace())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(m.Recoveries) != 2 {
+		t.Fatalf("Recoveries = %d, want 2", len(m.Recoveries))
+	}
+	r1 := m.Recoveries[0]
+	if r1.Start != 136*time.Millisecond || r1.FirstTimeout != 475*time.Millisecond || r1.End != 536*time.Millisecond {
+		t.Errorf("phase 1 = %+v, want Start 136ms FirstTimeout 475ms End 536ms", r1)
+	}
+	if r1.Spurious {
+		t.Error("phase 1 classified spurious, want genuine (data was lost)")
+	}
+	if r1.Timeouts != 1 || r1.Retransmissions != 1 || r1.RetransmissionsLost != 0 {
+		t.Errorf("phase 1 counters = %+v", r1)
+	}
+	r2 := m.Recoveries[1]
+	if !r2.Spurious {
+		t.Error("phase 2 classified genuine, want spurious (data arrived, ACK lost)")
+	}
+	if r2.Start != 600*time.Millisecond || r2.End != 1261*time.Millisecond {
+		t.Errorf("phase 2 = %+v, want Start 600ms End 1261ms", r2)
+	}
+	wantMean := (400*time.Millisecond + 661*time.Millisecond) / 2
+	if m.MeanRecoveryDuration != wantMean {
+		t.Errorf("MeanRecoveryDuration = %v, want %v", m.MeanRecoveryDuration, wantMean)
+	}
+	if m.RecoveryLossRate != 0 {
+		t.Errorf("RecoveryLossRate = %v, want 0 (both retransmissions arrived)", m.RecoveryLossRate)
+	}
+}
+
+func TestAnalyzeLostRetransmissionsCountTowardQ(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	ft := &trace.FlowTrace{
+		Meta: trace.FlowMeta{ID: "q", MSS: 1000, Duration: 5 * time.Second},
+		Events: []trace.Event{
+			{At: ms(0), Type: trace.EvDataSend, Seq: 0, Ack: -1, TransmitNo: 1, Cwnd: 1},
+			{At: ms(0), Type: trace.EvDataDrop, Seq: 0, Ack: -1, TransmitNo: 1},
+			{At: ms(1000), Type: trace.EvTimeout, Seq: 0, Ack: -1},
+			{At: ms(1000), Type: trace.EvDataSend, Seq: 0, Ack: -1, TransmitNo: 2, Cwnd: 1},
+			{At: ms(1000), Type: trace.EvDataDrop, Seq: 0, Ack: -1, TransmitNo: 2},
+			{At: ms(3000), Type: trace.EvTimeout, Seq: 0, Ack: -1},
+			{At: ms(3000), Type: trace.EvDataSend, Seq: 0, Ack: -1, TransmitNo: 3, Cwnd: 1},
+			{At: ms(3030), Type: trace.EvDataRecv, Seq: 0, Ack: -1, TransmitNo: 3},
+			{At: ms(3031), Type: trace.EvAckSend, Seq: -1, Ack: 1},
+			{At: ms(3061), Type: trace.EvAckRecv, Seq: -1, Ack: 1},
+			{At: ms(3061), Type: trace.EvRecovered, Seq: -1, Ack: 1},
+		},
+	}
+	m, err := Analyze(ft)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(m.Recoveries) != 1 {
+		t.Fatalf("Recoveries = %d, want 1 (consecutive timeouts are one sequence)", len(m.Recoveries))
+	}
+	r := m.Recoveries[0]
+	if r.Timeouts != 2 {
+		t.Errorf("phase timeouts = %d, want 2", r.Timeouts)
+	}
+	if r.Retransmissions != 2 || r.RetransmissionsLost != 1 {
+		t.Errorf("retx = %d lost %d, want 2 / 1", r.Retransmissions, r.RetransmissionsLost)
+	}
+	if !approx(m.RecoveryLossRate, 0.5, 1e-12) {
+		t.Errorf("q = %v, want 0.5", m.RecoveryLossRate)
+	}
+}
+
+func TestAnalyzeUnrecoveredPhaseAtCutoff(t *testing.T) {
+	ms := func(v int) time.Duration { return time.Duration(v) * time.Millisecond }
+	ft := &trace.FlowTrace{
+		Meta: trace.FlowMeta{ID: "cut", MSS: 1000, Duration: 4 * time.Second},
+		Events: []trace.Event{
+			{At: ms(0), Type: trace.EvDataSend, Seq: 0, Ack: -1, TransmitNo: 1, Cwnd: 1},
+			{At: ms(0), Type: trace.EvDataDrop, Seq: 0, Ack: -1, TransmitNo: 1},
+			{At: ms(1000), Type: trace.EvTimeout, Seq: 0, Ack: -1},
+			{At: ms(1000), Type: trace.EvDataSend, Seq: 0, Ack: -1, TransmitNo: 2, Cwnd: 1},
+			{At: ms(1000), Type: trace.EvDataDrop, Seq: 0, Ack: -1, TransmitNo: 2},
+		},
+	}
+	m, err := Analyze(ft)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if len(m.Recoveries) != 1 {
+		t.Fatalf("Recoveries = %d, want 1 (open phase closed at horizon)", len(m.Recoveries))
+	}
+	if got := m.Recoveries[0].End; got != 4*time.Second {
+		t.Errorf("open phase End = %v, want trace horizon 4s", got)
+	}
+}
+
+func TestAnalyzeRejectsBadInput(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+	bad := handTrace()
+	bad.Events[0].At = time.Hour // breaks ordering
+	if _, err := Analyze(bad); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	m, err := Analyze(&trace.FlowTrace{Meta: trace.FlowMeta{ID: "empty", Duration: time.Second}})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if m.DataSent != 0 || m.ThroughputPps != 0 || m.TimeoutSequences != 0 {
+		t.Errorf("empty trace metrics = %+v", m)
+	}
+	if m.SpuriousFraction() != 0 {
+		t.Error("SpuriousFraction of empty trace should be 0")
+	}
+}
+
+func TestDeliverySeriesHandTrace(t *testing.T) {
+	pts, err := DeliverySeries(handTrace())
+	if err != nil {
+		t.Fatalf("DeliverySeries: %v", err)
+	}
+	var data, acks, lostData, lostAcks int
+	for _, p := range pts {
+		switch p.Kind {
+		case DataPacket:
+			data++
+			if p.Lost {
+				lostData++
+				if p.Latency != -1 {
+					t.Errorf("lost packet has latency %v, want -1", p.Latency)
+				}
+			} else if p.Latency != 30*time.Millisecond {
+				t.Errorf("data latency = %v, want 30ms", p.Latency)
+			}
+		case AckPacket:
+			acks++
+			if p.Lost {
+				lostAcks++
+			} else if p.Latency != 30*time.Millisecond {
+				t.Errorf("ack latency = %v, want 30ms", p.Latency)
+			}
+		}
+	}
+	if data != 10 || lostData != 2 {
+		t.Errorf("data points = %d lost %d, want 10 / 2", data, lostData)
+	}
+	if acks != 8 || lostAcks != 1 {
+		t.Errorf("ack points = %d lost %d, want 8 / 1", acks, lostAcks)
+	}
+}
+
+func TestDeliverySeriesInFlightAtCutoff(t *testing.T) {
+	ft := &trace.FlowTrace{
+		Meta: trace.FlowMeta{ID: "inflight", Duration: time.Second},
+		Events: []trace.Event{
+			{At: 0, Type: trace.EvDataSend, Seq: 0, Ack: -1, TransmitNo: 1},
+			// No recv and no drop: the packet is in flight at cutoff.
+		},
+	}
+	pts, err := DeliverySeries(ft)
+	if err != nil {
+		t.Fatalf("DeliverySeries: %v", err)
+	}
+	if len(pts) != 1 || !pts[0].Lost {
+		t.Errorf("in-flight packet = %+v, want marked lost", pts)
+	}
+}
+
+func TestDeliverySeriesRejectsInconsistent(t *testing.T) {
+	ft := &trace.FlowTrace{
+		Meta: trace.FlowMeta{ID: "bad", Duration: time.Second},
+		Events: []trace.Event{
+			{At: 0, Type: trace.EvDataRecv, Seq: 0, Ack: -1, TransmitNo: 1},
+		},
+	}
+	if _, err := DeliverySeries(ft); err == nil {
+		t.Error("recv without send accepted")
+	}
+}
+
+func TestPacketKindString(t *testing.T) {
+	if DataPacket.String() != "data" || AckPacket.String() != "ack" {
+		t.Error("PacketKind.String mismatch")
+	}
+	if got := PacketKind(9).String(); got != "PacketKind(9)" {
+		t.Errorf("unknown PacketKind = %q", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m1, err := Analyze(handTrace())
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	s := Summarize([]*FlowMetrics{m1, m1})
+	if s.Flows != 2 {
+		t.Errorf("Flows = %d, want 2", s.Flows)
+	}
+	if !approx(s.MeanDataLossRate, 0.2, 1e-12) {
+		t.Errorf("MeanDataLossRate = %v, want 0.2", s.MeanDataLossRate)
+	}
+	if !approx(s.MeanAckLossRate, 0.125, 1e-12) {
+		t.Errorf("MeanAckLossRate = %v, want 0.125", s.MeanAckLossRate)
+	}
+	if s.TotalTimeoutSeqs != 4 || s.TotalSpurious != 2 {
+		t.Errorf("timeout totals = %d/%d, want 4/2", s.TotalTimeoutSeqs, s.TotalSpurious)
+	}
+	if !approx(s.SpuriousFraction, 0.5, 1e-12) {
+		t.Errorf("SpuriousFraction = %v, want 0.5", s.SpuriousFraction)
+	}
+	if s.MeanRecoveryDuration == 0 {
+		t.Error("MeanRecoveryDuration = 0, want positive")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Flows != 0 || s.SpuriousFraction != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}

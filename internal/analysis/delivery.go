@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// PacketKind distinguishes the two halves of the paper's Fig 1 scatter.
+type PacketKind int
+
+// Packet kinds.
+const (
+	DataPacket PacketKind = iota + 1
+	AckPacket
+)
+
+// String implements fmt.Stringer.
+func (k PacketKind) String() string {
+	switch k {
+	case DataPacket:
+		return "data"
+	case AckPacket:
+		return "ack"
+	default:
+		return fmt.Sprintf("PacketKind(%d)", int(k))
+	}
+}
+
+// DeliveryPoint is one point of the Fig 1 scatter: when a packet was sent
+// and how long it took to arrive. Lost packets have Lost=true and, following
+// the paper's plotting convention, a latency of -1.
+type DeliveryPoint struct {
+	Kind    PacketKind
+	SentAt  time.Duration
+	Latency time.Duration // -1 when Lost
+	Lost    bool
+	Seq     int64 // data: segment; ack: cumulative ack value
+}
+
+// DeliverySeries reconstructs per-packet delivery latency from a trace. The
+// emulated links never reorder, so the k-th non-dropped transmission in each
+// direction matches the k-th arrival.
+func DeliverySeries(ft *trace.FlowTrace) ([]DeliveryPoint, error) {
+	if ft == nil {
+		return nil, fmt.Errorf("analysis: nil trace")
+	}
+	if err := ft.Validate(); err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var out []DeliveryPoint
+	// Indices into out of sent-but-not-yet-matched packets, per direction.
+	var pendingData, pendingAcks []int
+
+	pop := func(pending *[]int) int {
+		idx := (*pending)[0]
+		*pending = (*pending)[1:]
+		return idx
+	}
+
+	for _, ev := range ft.Events {
+		switch ev.Type {
+		case trace.EvDataSend:
+			out = append(out, DeliveryPoint{Kind: DataPacket, SentAt: ev.At, Seq: ev.Seq, Latency: -1})
+			pendingData = append(pendingData, len(out)-1)
+		case trace.EvDataDrop:
+			// Drops are recorded synchronously after their send: the newest
+			// pending data packet is the dropped one.
+			if len(pendingData) == 0 {
+				return nil, fmt.Errorf("analysis: data drop without pending send at %v", ev.At)
+			}
+			idx := pendingData[len(pendingData)-1]
+			pendingData = pendingData[:len(pendingData)-1]
+			out[idx].Lost = true
+		case trace.EvDataRecv:
+			if len(pendingData) == 0 {
+				return nil, fmt.Errorf("analysis: data recv without pending send at %v", ev.At)
+			}
+			idx := pop(&pendingData)
+			out[idx].Latency = ev.At - out[idx].SentAt
+		case trace.EvAckSend:
+			out = append(out, DeliveryPoint{Kind: AckPacket, SentAt: ev.At, Seq: ev.Ack, Latency: -1})
+			pendingAcks = append(pendingAcks, len(out)-1)
+		case trace.EvAckDrop:
+			if len(pendingAcks) == 0 {
+				return nil, fmt.Errorf("analysis: ack drop without pending send at %v", ev.At)
+			}
+			idx := pendingAcks[len(pendingAcks)-1]
+			pendingAcks = pendingAcks[:len(pendingAcks)-1]
+			out[idx].Lost = true
+		case trace.EvAckRecv:
+			if len(pendingAcks) == 0 {
+				return nil, fmt.Errorf("analysis: ack recv without pending send at %v", ev.At)
+			}
+			idx := pop(&pendingAcks)
+			out[idx].Latency = ev.At - out[idx].SentAt
+		}
+	}
+	// Packets still pending at the trace horizon were in flight at cutoff;
+	// mark them lost for plotting purposes (the paper's flows end the same
+	// way: trailing packets have no observable arrival).
+	for _, idx := range pendingData {
+		out[idx].Lost = true
+	}
+	for _, idx := range pendingAcks {
+		out[idx].Lost = true
+	}
+	return out, nil
+}

@@ -1,0 +1,367 @@
+package cellular
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/railway"
+	"repro/internal/sim"
+)
+
+func btrTrip(t *testing.T) railway.Trip {
+	t.Helper()
+	trip, err := railway.NewTrip(railway.BeijingTianjin, railway.DefaultProfile)
+	if err != nil {
+		t.Fatalf("NewTrip: %v", err)
+	}
+	return trip
+}
+
+func stationaryTrip(t *testing.T) railway.Trip {
+	t.Helper()
+	trip, err := railway.NewTrip(railway.BeijingTianjin, railway.StationaryProfile)
+	if err != nil {
+		t.Fatalf("NewTrip: %v", err)
+	}
+	return trip
+}
+
+func TestOperatorProfilesValid(t *testing.T) {
+	for _, op := range Operators() {
+		if err := op.Validate(); err != nil {
+			t.Errorf("%s: %v", op.Name, err)
+		}
+	}
+}
+
+func TestOperatorValidateRejects(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Operator)
+	}{
+		{"empty name", func(o *Operator) { o.Name = "" }},
+		{"zero downlink", func(o *Operator) { o.DownlinkRate = 0 }},
+		{"negative delay", func(o *Operator) { o.DownDelay = -time.Second }},
+		{"probability > 1", func(o *Operator) { o.HandoffAckLoss = 1.5 }},
+		{"zero cell spacing", func(o *Operator) { o.CellSpacingKm = 0 }},
+		{"handoff max < min", func(o *Operator) { o.HandoffMax = o.HandoffMin - time.Millisecond }},
+		{"gap fraction without count", func(o *Operator) { o.GapFraction = 0.1; o.GapCount = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			op := ChinaMobileLTE
+			tt.mutate(&op)
+			if err := op.Validate(); err == nil {
+				t.Errorf("Validate accepted bad profile %q", tt.name)
+			}
+		})
+	}
+}
+
+func TestTechString(t *testing.T) {
+	if LTE.String() != "LTE" || ThreeG.String() != "3G" {
+		t.Error("Tech.String mismatch")
+	}
+	if got := Tech(42).String(); got != "Tech(42)" {
+		t.Errorf("unknown Tech.String = %q", got)
+	}
+}
+
+func TestChannelHandoffCadence(t *testing.T) {
+	trip := btrTrip(t)
+	rng := sim.NewRand(1, sim.StreamHandoff)
+	start, _ := trip.CruiseWindow()
+	horizon := 120 * time.Second
+	ch, err := NewChannel(ChinaMobileLTE, trip, start, horizon, rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	// At 300 km/h with 1 km cells, a handoff every 12 s => ~10 in 120 s.
+	got := ch.HandoffCount()
+	if got < 8 || got > 12 {
+		t.Errorf("HandoffCount = %d, want ~10", got)
+	}
+}
+
+func TestChannelStationaryHasNoHandoffs(t *testing.T) {
+	trip := stationaryTrip(t)
+	rng := sim.NewRand(2, sim.StreamHandoff)
+	ch, err := NewChannel(ChinaMobileLTE, trip, 0, time.Hour, rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	// A stationary phone sees only rare micro-outages: roughly one per
+	// 250 s on average, each a few hundred milliseconds.
+	got := ch.HandoffCount()
+	if got < 5 || got > 30 {
+		t.Errorf("stationary micro-outages over 1h = %d, want ~14", got)
+	}
+	var outageTime time.Duration
+	for _, h := range ch.handoffs {
+		d := h.end - h.start
+		if d < stationaryOutageMin || d >= stationaryOutageMax {
+			t.Errorf("micro-outage duration %v outside [%v, %v)", d, stationaryOutageMin, stationaryOutageMax)
+		}
+		outageTime += d
+	}
+	if frac := float64(outageTime) / float64(time.Hour); frac > 0.005 {
+		t.Errorf("stationary outage time fraction = %v, want < 0.5%%", frac)
+	}
+	// Outside the micro-outages, loss at rest equals the base rate exactly
+	// (no speed term).
+	var clean time.Duration = -1
+	for ft := time.Duration(0); ft < time.Hour; ft += time.Second {
+		if !ch.InHandoff(ft) {
+			clean = ft
+			break
+		}
+	}
+	if clean < 0 {
+		t.Fatal("no clean moment found")
+	}
+	if got := ch.DataLossProb(clean); got != ChinaMobileLTE.BaseDataLoss {
+		t.Errorf("stationary DataLossProb = %v, want base %v", got, ChinaMobileLTE.BaseDataLoss)
+	}
+	if got := ch.AckLossProb(clean); got != ChinaMobileLTE.BaseAckLoss {
+		t.Errorf("stationary AckLossProb = %v, want base %v", got, ChinaMobileLTE.BaseAckLoss)
+	}
+	if got := ch.ExtraDelay(clean); got != 0 {
+		t.Errorf("stationary ExtraDelay = %v, want 0", got)
+	}
+}
+
+func TestChannelLossSpikesDuringHandoff(t *testing.T) {
+	trip := btrTrip(t)
+	rng := sim.NewRand(3, sim.StreamHandoff)
+	start, _ := trip.CruiseWindow()
+	ch, err := NewChannel(ChinaMobileLTE, trip, start, 120*time.Second, rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	if len(ch.handoffs) == 0 {
+		t.Fatal("no handoffs precomputed")
+	}
+	h := ch.handoffs[0]
+	mid := h.start + (h.end-h.start)/2
+	inside := ch.AckLossProb(mid)
+	if inside < ChinaMobileLTE.HandoffAckLoss {
+		t.Errorf("ACK loss during handoff = %v, want >= %v", inside, ChinaMobileLTE.HandoffAckLoss)
+	}
+	// Find a handoff-free moment for the outside-the-outage checks.
+	var clean time.Duration = -1
+	for ft := time.Duration(0); ft < 120*time.Second; ft += 200 * time.Millisecond {
+		if !ch.InHandoff(ft) {
+			clean = ft
+			break
+		}
+	}
+	if clean < 0 {
+		t.Fatal("no handoff-free moment in 120s")
+	}
+	if outside := ch.AckLossProb(clean); outside > 0.05 {
+		t.Errorf("ACK loss outside handoff = %v, want residual-level", outside)
+	}
+	if !ch.InHandoff(mid) {
+		t.Error("InHandoff(mid) = false")
+	}
+	if ch.ExtraDelay(clean) != 0 {
+		t.Error("ExtraDelay outside handoff should be 0")
+	}
+	// During the outage the bearer buffers: delay inflation is the remaining
+	// outage plus the signalling cost.
+	want := (h.end - mid) + ChinaMobileLTE.HandoffDelay
+	if got := ch.ExtraDelay(mid); got != want {
+		t.Errorf("ExtraDelay during handoff = %v, want %v", got, want)
+	}
+	// Probes sent during the outage face the probe loss; packets arriving
+	// into it face the (lower) flush loss.
+	probe := ch.DataTransitProb(mid, h.end+time.Second)
+	straddle := ch.DataTransitProb(h.start-time.Millisecond, mid)
+	if probe <= straddle {
+		t.Errorf("probe loss %v should exceed straddle loss %v", probe, straddle)
+	}
+	if probe < ChinaMobileLTE.HandoffProbeLoss {
+		t.Errorf("probe loss = %v, want >= %v", probe, ChinaMobileLTE.HandoffProbeLoss)
+	}
+	if straddle < ChinaMobileLTE.HandoffDataLoss {
+		t.Errorf("straddle loss = %v, want >= %v", straddle, ChinaMobileLTE.HandoffDataLoss)
+	}
+	// ACK loss depends only on the sent epoch: an ACK sent on a clean
+	// channel is safe even if it "arrives" during an outage.
+	if got := ch.AckTransitProb(clean, mid); got > 0.05 {
+		t.Errorf("ACK sent on clean channel lost at %v", got)
+	}
+}
+
+func TestChannelSpeedLossAtCruise(t *testing.T) {
+	trip := btrTrip(t)
+	rng := sim.NewRand(4, sim.StreamHandoff)
+	start, _ := trip.CruiseWindow()
+	ch, err := NewChannel(ChinaMobileLTE, trip, start, 60*time.Second, rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	// Find a moment outside any handoff window.
+	var at time.Duration = -1
+	for ft := time.Duration(0); ft < 60*time.Second; ft += time.Second {
+		if !ch.InHandoff(ft) {
+			at = ft
+			break
+		}
+	}
+	if at < 0 {
+		t.Fatal("no handoff-free moment found")
+	}
+	want := ChinaMobileLTE.BaseDataLoss + ChinaMobileLTE.SpeedDataLoss // (300/300)^2 = 1
+	got := ch.DataLossProb(at)
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("cruise DataLossProb = %v, want %v", got, want)
+	}
+}
+
+func TestChannelTelecomGaps(t *testing.T) {
+	trip := btrTrip(t)
+	rng := sim.NewRand(5, sim.StreamHandoff)
+	// Cover the full cruise so that the flow crosses gaps with high
+	// probability (22% of the track).
+	start, end := trip.CruiseWindow()
+	ch, err := NewChannel(ChinaTelecom3G, trip, start, end-start, rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	if len(ch.gaps) == 0 {
+		t.Fatal("Telecom channel across the whole cruise has no coverage gaps")
+	}
+	// Total gap time should be a meaningful share of the trip (not exact
+	// because gaps may overlap and extend beyond the ramps).
+	var gapTime time.Duration
+	for _, g := range ch.gaps {
+		gapTime += g.end - g.start
+	}
+	frac := float64(gapTime) / float64(end-start)
+	if frac < 0.08 || frac > 0.45 {
+		t.Errorf("gap time fraction = %v, want roughly 0.1-0.4", frac)
+	}
+	mid := ch.gaps[0].start + (ch.gaps[0].end-ch.gaps[0].start)/2
+	if !ch.InGap(mid) {
+		t.Error("InGap inside a gap = false")
+	}
+	if ch.DataLossProb(mid) < ChinaTelecom3G.GapLoss {
+		t.Errorf("loss inside gap = %v, want >= %v", ch.DataLossProb(mid), ChinaTelecom3G.GapLoss)
+	}
+}
+
+func TestChannelMobileHasNoGaps(t *testing.T) {
+	trip := btrTrip(t)
+	rng := sim.NewRand(6, sim.StreamHandoff)
+	start, end := trip.CruiseWindow()
+	ch, err := NewChannel(ChinaMobileLTE, trip, start, end-start, rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	if len(ch.gaps) != 0 {
+		t.Errorf("Mobile channel has %d gaps, want 0", len(ch.gaps))
+	}
+}
+
+func TestChannelDeterministic(t *testing.T) {
+	trip := btrTrip(t)
+	build := func() *Channel {
+		rng := sim.NewRand(7, sim.StreamHandoff)
+		ch, err := NewChannel(ChinaUnicom3G, trip, 300*time.Second, 120*time.Second, rng)
+		if err != nil {
+			t.Fatalf("NewChannel: %v", err)
+		}
+		return ch
+	}
+	a, b := build(), build()
+	if a.HandoffCount() != b.HandoffCount() {
+		t.Fatal("same seed produced different handoff counts")
+	}
+	for i := range a.handoffs {
+		if a.handoffs[i] != b.handoffs[i] {
+			t.Fatal("same seed produced different handoff windows")
+		}
+	}
+}
+
+func TestChannelProbabilitiesBounded(t *testing.T) {
+	trip := btrTrip(t)
+	rng := sim.NewRand(8, sim.StreamHandoff)
+	ch, err := NewChannel(ChinaTelecom3G, trip, 0, trip.Duration(), rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	for ft := time.Duration(0); ft < trip.Duration(); ft += 500 * time.Millisecond {
+		for _, p := range []float64{ch.DataLossProb(ft), ch.AckLossProb(ft)} {
+			if p < 0 || p > 1 {
+				t.Fatalf("loss probability %v out of range at %v", p, ft)
+			}
+		}
+	}
+}
+
+func TestNewChannelRejectsBadArgs(t *testing.T) {
+	trip := btrTrip(t)
+	rng := sim.NewRand(9, sim.StreamHandoff)
+	if _, err := NewChannel(ChinaMobileLTE, trip, -time.Second, time.Minute, rng); err == nil {
+		t.Error("negative tripOffset accepted")
+	}
+	if _, err := NewChannel(ChinaMobileLTE, trip, 0, 0, rng); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad := ChinaMobileLTE
+	bad.Name = ""
+	if _, err := NewChannel(bad, trip, 0, time.Minute, rng); err == nil {
+		t.Error("invalid operator accepted")
+	}
+}
+
+func TestMergeSpans(t *testing.T) {
+	in := []span{
+		{start: 10 * time.Second, end: 12 * time.Second},
+		{start: 1 * time.Second, end: 3 * time.Second},
+		{start: 2 * time.Second, end: 5 * time.Second},
+		{start: 5 * time.Second, end: 6 * time.Second}, // touching merges too
+	}
+	got := mergeSpans(in)
+	want := []span{
+		{start: 1 * time.Second, end: 6 * time.Second},
+		{start: 10 * time.Second, end: 12 * time.Second},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("mergeSpans = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mergeSpans[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if mergeSpans(nil) != nil {
+		t.Error("mergeSpans(nil) should be nil")
+	}
+}
+
+func TestInSpans(t *testing.T) {
+	spans := []span{
+		{start: time.Second, end: 2 * time.Second},
+		{start: 5 * time.Second, end: 6 * time.Second},
+	}
+	tests := []struct {
+		at   time.Duration
+		want bool
+	}{
+		{0, false},
+		{time.Second, true},
+		{1500 * time.Millisecond, true},
+		{2 * time.Second, false}, // half-open
+		{3 * time.Second, false},
+		{5500 * time.Millisecond, true},
+		{7 * time.Second, false},
+	}
+	for _, tt := range tests {
+		if got := inSpans(spans, tt.at); got != tt.want {
+			t.Errorf("inSpans(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package cellular
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/railway"
+)
+
+// span is a half-open virtual-time interval [start, end).
+type span struct {
+	start, end time.Duration
+}
+
+func (s span) contains(t time.Duration) bool { return t >= s.start && t < s.end }
+
+// Channel is the time-varying radio channel seen by one flow: given the
+// operator profile, the trip, and the offset of the flow's start within the
+// trip, it precomputes the handoff outages and coverage-gap windows the flow
+// will traverse and exposes loss probabilities and delay inflation as
+// functions of flow-local virtual time.
+//
+// All randomness (handoff durations, gap placement) is drawn once at
+// construction from the supplied rng, so a Channel is deterministic
+// afterwards and can be shared by both directions of a path.
+type Channel struct {
+	op         Operator
+	trip       railway.Trip
+	tripOffset time.Duration
+
+	handoffs []span // flow-local time, sorted
+	gaps     []span // flow-local time, sorted
+}
+
+// NewChannel builds the channel for a flow starting at tripOffset into trip.
+// The horizon parameter bounds how much flow time is precomputed; flows must
+// not run past it.
+func NewChannel(op Operator, trip railway.Trip, tripOffset, horizon time.Duration, rng *rand.Rand) (*Channel, error) {
+	if err := op.Validate(); err != nil {
+		return nil, err
+	}
+	if tripOffset < 0 || horizon <= 0 {
+		return nil, fmt.Errorf("cellular: invalid tripOffset %v or horizon %v", tripOffset, horizon)
+	}
+	c := &Channel{op: op, trip: trip, tripOffset: tripOffset}
+	if trip.Stationary() {
+		// Even a stationary phone occasionally loses the channel for a few
+		// hundred milliseconds (interference, cell congestion transients).
+		// These rare micro-outages are what give stationary flows their
+		// occasional — and quickly recovered — timeouts, the paper's 0.65 s
+		// baseline against the 5.05 s HSR recoveries.
+		c.handoffs = mergeSpans(c.computeStationaryOutages(horizon, rng))
+	} else {
+		c.handoffs = mergeSpans(c.computeHandoffs(horizon, rng))
+		c.gaps = mergeSpans(c.computeGaps(horizon, rng))
+	}
+	return c, nil
+}
+
+// Stationary micro-outage process: one outage every stationaryOutageGap on
+// average (exponentially distributed), each lasting between
+// stationaryOutageMin and stationaryOutageMax.
+const (
+	stationaryOutageGap = 250 * time.Second
+	stationaryOutageMin = 150 * time.Millisecond
+	stationaryOutageMax = 400 * time.Millisecond
+)
+
+func (c *Channel) computeStationaryOutages(horizon time.Duration, rng *rand.Rand) []span {
+	var out []span
+	at := time.Duration(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() * float64(stationaryOutageGap))
+		at += gap
+		if at > horizon {
+			return out
+		}
+		dur := stationaryOutageMin +
+			time.Duration(rng.Int63n(int64(stationaryOutageMax-stationaryOutageMin)))
+		out = append(out, span{start: at, end: at + dur})
+		at += dur
+	}
+}
+
+// mergeSpans sorts spans by start and merges overlapping or touching ones,
+// so lookups can binary-search a disjoint list.
+func mergeSpans(spans []span) []span {
+	if len(spans) == 0 {
+		return nil
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	out := spans[:1]
+	for _, s := range spans[1:] {
+		last := &out[len(out)-1]
+		if s.start <= last.end {
+			if s.end > last.end {
+				last.end = s.end
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// computeHandoffs walks the trip from the flow's start and opens an outage
+// window at every cell-boundary crossing.
+func (c *Channel) computeHandoffs(horizon time.Duration, rng *rand.Rand) []span {
+	const step = 50 * time.Millisecond
+	var out []span
+	prevCell := c.cellIndex(c.trip.PositionKm(c.tripOffset))
+	for ft := step; ft <= horizon; ft += step {
+		cell := c.cellIndex(c.trip.PositionKm(c.tripOffset + ft))
+		if cell != prevCell {
+			dur := c.op.HandoffMin
+			if c.op.HandoffMax > c.op.HandoffMin {
+				dur += time.Duration(rng.Int63n(int64(c.op.HandoffMax - c.op.HandoffMin)))
+			}
+			out = append(out, span{start: ft, end: ft + dur})
+			prevCell = cell
+		}
+	}
+	return out
+}
+
+// computeGaps places the operator's coverage gaps along the track (by
+// position, deterministically seeded) and converts the ones the flow
+// traverses into flow-local time windows.
+func (c *Channel) computeGaps(horizon time.Duration, rng *rand.Rand) []span {
+	if c.op.GapFraction <= 0 || c.op.GapCount <= 0 {
+		return nil
+	}
+	trackLen := c.trip.Track.LengthKm
+	gapLen := trackLen * c.op.GapFraction / float64(c.op.GapCount)
+	// Place gap starts uniformly; overlaps are acceptable (they just merge
+	// into a longer bad stretch).
+	type posSpan struct{ startKm, endKm float64 }
+	posGaps := make([]posSpan, 0, c.op.GapCount)
+	for i := 0; i < c.op.GapCount; i++ {
+		start := rng.Float64() * (trackLen - gapLen)
+		posGaps = append(posGaps, posSpan{startKm: start, endKm: start + gapLen})
+	}
+	sort.Slice(posGaps, func(i, j int) bool { return posGaps[i].startKm < posGaps[j].startKm })
+
+	// Convert position spans to flow-time spans by scanning the trip.
+	const step = 50 * time.Millisecond
+	inGap := func(km float64) bool {
+		for _, g := range posGaps {
+			if km >= g.startKm && km < g.endKm {
+				return true
+			}
+		}
+		return false
+	}
+	var out []span
+	open := false
+	var openAt time.Duration
+	for ft := time.Duration(0); ft <= horizon; ft += step {
+		g := inGap(c.trip.PositionKm(c.tripOffset + ft))
+		switch {
+		case g && !open:
+			open, openAt = true, ft
+		case !g && open:
+			out = append(out, span{start: openAt, end: ft})
+			open = false
+		}
+	}
+	if open {
+		out = append(out, span{start: openAt, end: horizon + step})
+	}
+	return out
+}
+
+// cellIndex maps a track position to the serving cell number.
+func (c *Channel) cellIndex(km float64) int {
+	return int(km / c.op.CellSpacingKm)
+}
+
+// speedFraction returns (v / 300 km/h)^2 at the given flow time, the scale
+// factor for Doppler-driven residual loss.
+func (c *Channel) speedFraction(flowTime time.Duration) float64 {
+	v := c.trip.SpeedKmh(c.tripOffset + flowTime)
+	f := v / 300.0
+	return f * f
+}
+
+// InHandoff reports whether flow time t falls inside a handoff outage.
+func (c *Channel) InHandoff(t time.Duration) bool { return inSpans(c.handoffs, t) }
+
+// InGap reports whether flow time t falls inside a coverage gap.
+func (c *Channel) InGap(t time.Duration) bool { return inSpans(c.gaps, t) }
+
+// inSpans reports whether t falls inside any of the disjoint, sorted spans.
+func inSpans(spans []span, t time.Duration) bool {
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].start > t })
+	return i > 0 && spans[i-1].contains(t)
+}
+
+// HandoffCount returns the number of handoffs within the precomputed horizon.
+func (c *Channel) HandoffCount() int { return len(c.handoffs) }
+
+// DataLossProb returns the downlink (data) loss probability for a packet
+// whose whole transit happens at flow time t. It is the single-epoch view
+// of DataTransitProb, kept for channel inspection and plotting.
+func (c *Channel) DataLossProb(t time.Duration) float64 {
+	return c.DataTransitProb(t, t)
+}
+
+// DataTransitProb returns the downlink loss probability for a packet sent
+// at flow time sent and arriving at flow time arrival. A packet sent while
+// the bearer is down is a retransmission probe and faces HandoffProbeLoss;
+// one that was already in flight and arrives into the outage faces
+// HandoffDataLoss (partial flush of the old cell's queue).
+func (c *Channel) DataTransitProb(sent, arrival time.Duration) float64 {
+	p := c.op.BaseDataLoss + c.op.SpeedDataLoss*c.speedFraction(sent)
+	switch {
+	case c.InHandoff(sent):
+		p += c.op.HandoffProbeLoss
+	case c.InHandoff(arrival):
+		p += c.op.HandoffDataLoss
+	}
+	if c.InGap(sent) {
+		p += c.op.GapLoss
+	}
+	return clampProb(p)
+}
+
+// AckLossProb returns the uplink (ACK) loss probability at flow time t —
+// the single-epoch view of AckTransitProb.
+func (c *Channel) AckLossProb(t time.Duration) float64 {
+	return c.AckTransitProb(t, t)
+}
+
+// AckTransitProb returns the uplink loss probability for an ACK sent at
+// flow time sent. The radio segment sits at the start of an ACK's journey
+// (the phone), so only the sent epoch matters.
+func (c *Channel) AckTransitProb(sent, _ time.Duration) float64 {
+	p := c.op.BaseAckLoss + c.op.SpeedAckLoss*c.speedFraction(sent)
+	if c.InHandoff(sent) {
+		p += c.op.HandoffAckLoss
+	}
+	if c.InGap(sent) {
+		p += c.op.GapLoss
+	}
+	return clampProb(p)
+}
+
+// ExtraDelay returns the one-way delay inflation at flow time t. During a
+// handoff the radio bearer is interrupted and the link layer buffers
+// traffic: a packet entering the link mid-outage is held until the outage
+// ends (plus the handoff signalling cost). This buffering is what turns
+// handoffs into spurious retransmission timeouts — the original packets are
+// not lost, they arrive after the sender's RTO has already fired.
+func (c *Channel) ExtraDelay(t time.Duration) time.Duration {
+	if rem := c.handoffRemaining(t); rem > 0 {
+		return rem + c.op.HandoffDelay
+	}
+	return 0
+}
+
+// handoffRemaining returns how much of the surrounding handoff outage is
+// left at flow time t, or 0 when t is outside any outage.
+func (c *Channel) handoffRemaining(t time.Duration) time.Duration {
+	i := sort.Search(len(c.handoffs), func(i int) bool { return c.handoffs[i].start > t })
+	if i > 0 && c.handoffs[i-1].contains(t) {
+		return c.handoffs[i-1].end - t
+	}
+	return 0
+}
+
+// Operator returns the profile this channel was built from.
+func (c *Channel) Operator() Operator { return c.op }
+
+func clampProb(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	default:
+		return p
+	}
+}

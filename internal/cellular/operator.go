@@ -1,0 +1,183 @@
+// Package cellular models the radio network between the train and the
+// server: per-operator link characteristics, the cell layout along the
+// track, handoff outages, speed-dependent residual loss, and coverage gaps.
+// Its central type, Channel, converts a railway trip plus an operator
+// profile into time-varying loss probabilities and delay inflation that plug
+// directly into internal/netem.
+//
+// The profiles are synthetic stand-ins for the paper's three carriers
+// (China Mobile LTE, China Unicom 3G, China Telecom 3G); their parameters
+// are tuned so the *transport-layer* statistics the paper reports emerge
+// from the simulation: ~0.7% data loss, ~0.66% ACK loss, multi-second
+// timeout recovery on the train, and near-zero loss when stationary.
+package cellular
+
+import (
+	"fmt"
+	"time"
+)
+
+// Tech is the radio access technology of an operator's network.
+type Tech int
+
+// Radio access technologies used in the paper's dataset.
+const (
+	LTE Tech = iota + 1
+	ThreeG
+)
+
+// String implements fmt.Stringer.
+func (t Tech) String() string {
+	switch t {
+	case LTE:
+		return "LTE"
+	case ThreeG:
+		return "3G"
+	default:
+		return fmt.Sprintf("Tech(%d)", int(t))
+	}
+}
+
+// Operator is a synthetic carrier profile. Rates are in bits per second,
+// delays are one-way. "Data" refers to the downlink (server -> phone),
+// "Ack" to the uplink (phone -> server); the uplink of a phone on a train
+// is the weaker direction (limited transmit power), which is what makes ACK
+// loss during handoffs more severe than data loss.
+type Operator struct {
+	Name string
+	Tech Tech
+
+	// Link capacity and base latency.
+	DownlinkRate float64       // bps
+	UplinkRate   float64       // bps
+	DownDelay    time.Duration // one-way propagation, downlink
+	UpDelay      time.Duration // one-way propagation, uplink
+	Jitter       time.Duration // uniform per-packet jitter, both directions
+	QueuePackets int           // bottleneck buffer, packets
+
+	// Residual (non-handoff) loss. Base applies always; the speed term adds
+	// SpeedLoss * (v/300km/h)^2 to model Doppler-driven fading at speed.
+	BaseDataLoss  float64
+	BaseAckLoss   float64
+	SpeedDataLoss float64
+	SpeedAckLoss  float64
+
+	// Handoff behaviour. A handoff fires whenever the train crosses a cell
+	// boundary (every CellSpacingKm); it opens an outage window of
+	// HandoffMin..HandoffMax. The bearer interruption affects traffic in
+	// three distinct ways:
+	//
+	//   - HandoffDataLoss hits downlink packets that were already in flight
+	//     and *arrive* into the outage (partial flush of the old cell's
+	//     queue) — the genuine losses that make some timeouts non-spurious;
+	//   - HandoffProbeLoss hits downlink packets *sent* while the bearer is
+	//     down (the RTO retransmission probes) — what the paper measures as
+	//     q, the recovery-phase retransmission loss rate;
+	//   - HandoffAckLoss hits uplink ACKs sent while the phone is detached —
+	//     the "ACK burst loss" that makes timeouts spurious.
+	//
+	// Surviving packets are buffered and delivered when the outage ends
+	// (delay inflation of up to the remaining outage plus HandoffDelay).
+	CellSpacingKm    float64
+	HandoffMin       time.Duration
+	HandoffMax       time.Duration
+	HandoffDataLoss  float64
+	HandoffProbeLoss float64
+	HandoffAckLoss   float64
+	HandoffDelay     time.Duration
+
+	// Coverage gaps: a fraction of the track where the carrier's signal is
+	// weak (the paper explains China Telecom's 3G barely covers the
+	// Beijing-Tianjin corridor). Inside a gap both directions suffer
+	// GapLoss in addition to everything else.
+	GapFraction float64
+	GapLoss     float64
+	GapCount    int
+}
+
+// Validate checks that the profile is internally consistent.
+func (o Operator) Validate() error {
+	if o.Name == "" {
+		return fmt.Errorf("cellular: operator name is empty")
+	}
+	if o.DownlinkRate <= 0 || o.UplinkRate <= 0 {
+		return fmt.Errorf("cellular: %s: link rates must be positive", o.Name)
+	}
+	if o.DownDelay < 0 || o.UpDelay < 0 || o.Jitter < 0 || o.HandoffDelay < 0 {
+		return fmt.Errorf("cellular: %s: negative delay", o.Name)
+	}
+	for _, p := range []float64{
+		o.BaseDataLoss, o.BaseAckLoss, o.SpeedDataLoss, o.SpeedAckLoss,
+		o.HandoffDataLoss, o.HandoffProbeLoss, o.HandoffAckLoss, o.GapFraction, o.GapLoss,
+	} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("cellular: %s: probability %v outside [0,1]", o.Name, p)
+		}
+	}
+	if o.CellSpacingKm <= 0 {
+		return fmt.Errorf("cellular: %s: cell spacing must be positive", o.Name)
+	}
+	if o.HandoffMin < 0 || o.HandoffMax < o.HandoffMin {
+		return fmt.Errorf("cellular: %s: handoff window [%v, %v] invalid", o.Name, o.HandoffMin, o.HandoffMax)
+	}
+	if o.GapFraction > 0 && o.GapCount <= 0 {
+		return fmt.Errorf("cellular: %s: GapFraction %v with zero GapCount", o.Name, o.GapFraction)
+	}
+	return nil
+}
+
+// The three carrier profiles of the paper's dataset (Table I). Parameter
+// choices are documented in DESIGN.md; they are synthetic but shaped so the
+// measured transport statistics land near the paper's.
+var (
+	// ChinaMobileLTE: the January+October LTE network — fastest links,
+	// shortest handoffs.
+	ChinaMobileLTE = Operator{
+		Name: "China Mobile", Tech: LTE,
+		DownlinkRate: 5.5e6, UplinkRate: 2.5e6,
+		DownDelay: 22 * time.Millisecond, UpDelay: 22 * time.Millisecond,
+		Jitter: 8 * time.Millisecond, QueuePackets: 120,
+		BaseDataLoss: 0.0004, BaseAckLoss: 0.0003,
+		SpeedDataLoss: 0.0015, SpeedAckLoss: 0.0013,
+		CellSpacingKm: 1.0,
+		HandoffMin:    3 * time.Second, HandoffMax: 8 * time.Second,
+		HandoffDataLoss: 0.14, HandoffProbeLoss: 0.32, HandoffAckLoss: 0.60,
+		HandoffDelay: 120 * time.Millisecond,
+	}
+
+	// ChinaUnicom3G: October 3G network — slower, longer handoffs.
+	ChinaUnicom3G = Operator{
+		Name: "China Unicom", Tech: ThreeG,
+		DownlinkRate: 7e6, UplinkRate: 2.2e6,
+		DownDelay: 30 * time.Millisecond, UpDelay: 30 * time.Millisecond,
+		Jitter: 12 * time.Millisecond, QueuePackets: 80,
+		BaseDataLoss: 0.0008, BaseAckLoss: 0.0006,
+		SpeedDataLoss: 0.0009, SpeedAckLoss: 0.0008,
+		CellSpacingKm: 1.2,
+		HandoffMin:    3500 * time.Millisecond, HandoffMax: 9 * time.Second,
+		HandoffDataLoss: 0.10, HandoffProbeLoss: 0.30, HandoffAckLoss: 0.60,
+		HandoffDelay: 200 * time.Millisecond,
+	}
+
+	// ChinaTelecom3G: October 3G network with poor coverage along the
+	// Beijing-Tianjin corridor (the paper attributes the huge MPTCP gain for
+	// Telecom to this).
+	ChinaTelecom3G = Operator{
+		Name: "China Telecom", Tech: ThreeG,
+		DownlinkRate: 5e6, UplinkRate: 1.6e6,
+		DownDelay: 35 * time.Millisecond, UpDelay: 35 * time.Millisecond,
+		Jitter: 14 * time.Millisecond, QueuePackets: 64,
+		BaseDataLoss: 0.0010, BaseAckLoss: 0.0008,
+		SpeedDataLoss: 0.0009, SpeedAckLoss: 0.0008,
+		CellSpacingKm: 1.1,
+		HandoffMin:    4 * time.Second, HandoffMax: 10 * time.Second,
+		HandoffDataLoss: 0.08, HandoffProbeLoss: 0.32, HandoffAckLoss: 0.60,
+		HandoffDelay: 250 * time.Millisecond,
+		GapFraction:  0.22, GapLoss: 0.06, GapCount: 6,
+	}
+)
+
+// Operators lists the dataset's carriers in the order the paper plots them.
+func Operators() []Operator {
+	return []Operator{ChinaMobileLTE, ChinaUnicom3G, ChinaTelecom3G}
+}

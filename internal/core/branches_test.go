@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// windowLimitedParams forces the E[W] >= W_m branch of Eq. (21): tiny data
+// loss with a small advertised window.
+func windowLimitedParams() Params {
+	return Params{
+		RTT: 60 * time.Millisecond, T: 450 * time.Millisecond,
+		B: 2, Wm: 8, PData: 0.0001, PAck: 0.0002,
+		Q: 0.3, MeanWindow: 8, AckBurst: 0.001,
+	}
+}
+
+func TestEnhancedWindowLimitedBranch(t *testing.T) {
+	p := windowLimitedParams()
+	// Confirm this parameter set really selects the limited branch.
+	xp := XP(p.PData, p.B)
+	ex := EX(p.AckBurstProb(), xp)
+	if EW(ex, p.B) < float64(p.Wm) {
+		t.Fatalf("test params do not trigger the window-limited branch (E[W] = %v)", EW(ex, p.B))
+	}
+	tp, err := Enhanced(p)
+	if err != nil {
+		t.Fatalf("Enhanced: %v", err)
+	}
+	ceiling := float64(p.Wm) / p.RTT.Seconds()
+	if tp <= 0 || tp > ceiling*1.01 {
+		t.Errorf("window-limited throughput = %v, want in (0, %v]", tp, ceiling)
+	}
+	// The branch must saturate near the ceiling when losses are tiny.
+	if tp < ceiling*0.5 {
+		t.Errorf("window-limited throughput = %v, want near ceiling %v", tp, ceiling)
+	}
+}
+
+func TestEnhancedWindowLimitedMonotoneInWm(t *testing.T) {
+	p := windowLimitedParams()
+	prev := 0.0
+	for _, wm := range []int{4, 8, 16, 32} {
+		p.Wm = wm
+		tp, err := Enhanced(p)
+		if err != nil {
+			t.Fatalf("Enhanced(Wm=%d): %v", wm, err)
+		}
+		if tp <= prev {
+			t.Errorf("throughput not increasing in Wm at %d: %v after %v", wm, tp, prev)
+		}
+		prev = tp
+	}
+}
+
+func TestEnhancedBranchesAgreeNearBoundary(t *testing.T) {
+	// Varying Wm across the E[W] boundary must not produce a wild jump:
+	// the two branches should agree within a factor of ~1.5 at the switch.
+	p := hsrParams()
+	p.PData = 0.002 // E[W]_printed ~ 28
+	xp := XP(p.PData, p.B)
+	ex := EX(p.AckBurstProb(), xp)
+	boundary := int(EW(ex, p.B))
+	if boundary < 4 {
+		t.Skip("boundary too small to straddle")
+	}
+	p.Wm = boundary + 1 // unconstrained branch
+	hi, err := Enhanced(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Wm = boundary - 1 // limited branch
+	lo, err := Enhanced(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := hi / lo
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Errorf("branch discontinuity at Wm=%d: unconstrained %v vs limited %v (ratio %v)",
+			boundary, hi, lo, ratio)
+	}
+}
+
+func TestPadhyeWindowLimitedBranch(t *testing.T) {
+	p := windowLimitedParams()
+	tp, err := Padhye(p)
+	if err != nil {
+		t.Fatalf("Padhye: %v", err)
+	}
+	ceiling := float64(p.Wm) / p.RTT.Seconds()
+	if tp <= 0 || tp > ceiling*1.01 {
+		t.Errorf("Padhye window-limited = %v, want in (0, %v]", tp, ceiling)
+	}
+}
+
+func TestEnhancedExtremeParams(t *testing.T) {
+	// Stress corners: all models should stay finite and positive.
+	corners := []Params{
+		{RTT: time.Millisecond, T: 10 * time.Millisecond, B: 1, Wm: 2,
+			PData: 0.3, PAck: 0.3, Q: 0.9, MeanWindow: 1, AckBurst: 0.3},
+		{RTT: 2 * time.Second, T: 30 * time.Second, B: 4, Wm: 1000,
+			PData: 1e-9, PAck: 0, Q: 0, MeanWindow: 500},
+		{RTT: 100 * time.Millisecond, T: 400 * time.Millisecond, B: 2, Wm: 28,
+			PData: 0, PAck: 0.5, Q: 0.5, MeanWindow: 2}, // only ACK loss
+	}
+	for i, p := range corners {
+		for name, model := range map[string]func(Params) (float64, error){
+			"Enhanced": Enhanced, "EnhancedConsistent": EnhancedConsistent,
+			"Padhye": Padhye, "PadhyeApprox": PadhyeApprox,
+		} {
+			tp, err := model(p)
+			if err != nil {
+				t.Errorf("corner %d %s: %v", i, name, err)
+				continue
+			}
+			if math.IsNaN(tp) || math.IsInf(tp, 0) || tp <= 0 {
+				t.Errorf("corner %d %s = %v", i, name, tp)
+			}
+		}
+	}
+}
+
+func TestEnhancedPureAckLossChannel(t *testing.T) {
+	// No data loss at all, but a nonzero ACK-burst probability: the
+	// enhanced model must still predict a finite, below-ceiling throughput
+	// (every CA phase ends in a spurious timeout), while Padhye — blind to
+	// ACK loss — predicts the full window-limited ceiling.
+	p := Params{
+		RTT: 60 * time.Millisecond, T: 450 * time.Millisecond,
+		B: 2, Wm: 28, PData: 0, PAck: 0.01, Q: 0.3,
+		MeanWindow: 20, AckBurst: 0.01,
+	}
+	enh, err := Enhanced(p)
+	if err != nil {
+		t.Fatalf("Enhanced: %v", err)
+	}
+	pad, err := Padhye(p)
+	if err != nil {
+		t.Fatalf("Padhye: %v", err)
+	}
+	ceiling := float64(p.Wm) / p.RTT.Seconds()
+	if math.Abs(pad-ceiling) > 1e-6 {
+		t.Errorf("Padhye with zero data loss = %v, want the ceiling %v", pad, ceiling)
+	}
+	if enh >= pad {
+		t.Errorf("enhanced (%v) should sit below Padhye (%v) on a pure-ACK-loss channel", enh, pad)
+	}
+	if enh <= 0 {
+		t.Errorf("enhanced = %v, want positive", enh)
+	}
+}

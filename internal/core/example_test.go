@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ExampleEnhanced evaluates the paper's model for a typical HSR flow.
+func ExampleEnhanced() {
+	params := core.Params{
+		RTT:        60 * time.Millisecond,
+		T:          450 * time.Millisecond,
+		B:          2,  // delayed ACK every 2 segments
+		Wm:         28, // receiver advertised window, packets
+		PData:      0.005,
+		PAck:       0.006,
+		Q:          0.3, // the paper's recommended recovery loss rate
+		MeanWindow: 18,
+	}
+	tp, err := core.Enhanced(params)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("enhanced model: %.1f packets/s\n", tp)
+	// Output:
+	// enhanced model: 159.8 packets/s
+}
+
+// ExamplePadhye evaluates the baseline on the same parameters: without the
+// q and P_a corrections it predicts more throughput than the HSR channel
+// delivers.
+func ExamplePadhye() {
+	params := core.Params{
+		RTT: 60 * time.Millisecond, T: 450 * time.Millisecond,
+		B: 2, Wm: 28, PData: 0.005, PAck: 0.006, Q: 0.3, MeanWindow: 18,
+	}
+	padhye, _ := core.Padhye(params)
+	enhanced, _ := core.Enhanced(params)
+	fmt.Printf("padhye %.1f pps, enhanced %.1f pps\n", padhye, enhanced)
+	// Output:
+	// padhye 179.2 pps, enhanced 159.8 pps
+}
+
+// ExampleDeviation computes the paper's accuracy metric D (Eq. 22).
+func ExampleDeviation() {
+	fmt.Printf("D = %.1f%%\n", core.Deviation(120, 100)*100)
+	// Output:
+	// D = 20.0%
+}

@@ -1,0 +1,353 @@
+// Package core implements the paper's primary contribution: the enhanced
+// TCP Reno steady-state throughput model for high-speed mobility scenarios
+// (Section IV, equations 1-21), alongside its baseline, the full Padhye
+// (PFTK) model and the well-known square-root approximation.
+//
+// The enhanced model adds two parameters to the Padhye framework:
+//
+//   - P_a, the probability of "ACK burst loss" — all ACKs of one round being
+//     lost, which ends a congestion-avoidance phase with a spurious
+//     retransmission timeout even without data loss. It is approximated as
+//     p_a^w from the per-ACK loss rate p_a and the mean window w
+//     (Section IV-A).
+//   - q, the loss rate of retransmitted packets inside a timeout recovery
+//     phase, which in the paper's traces (~27%) is far above the lifetime
+//     data loss rate (~0.75%) and is what makes recoveries take seconds.
+//
+// Fidelity notes. The formulas follow the paper as printed, including two
+// spots where the print is internally inconsistent; both are kept (and
+// documented) because the paper's own evaluation used them:
+//
+//  1. Eq. (4) writes E[W] = (b/2)E[X] - 2 although Eq. (3) solves to
+//     E[W] = (2/b)E[X] - 2; the two agree at the evaluated b = 2. The
+//     throughput numerator of Eq. (15) is consistent with the printed (b/2)
+//     form, which we implement. EnhancedConsistent provides the re-derived
+//     variant as an ablation.
+//  2. The window-limited branch of Eq. (21) omits the RTT factor on the
+//     round count in the denominator; we restore it (as Eq. (8) requires
+//     E[A] = RTT*E[X]) — without it the branch is dimensionally wrong.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Params are the link/flow parameters the models consume. All probabilities
+// are per-packet; windows are in packets.
+type Params struct {
+	RTT time.Duration // mean round-trip time
+	T   time.Duration // base retransmission timeout (Padhye's T0, the paper's T)
+	B   int           // b: data packets acknowledged by one ACK
+	Wm  int           // receiver advertised window limit W_m
+
+	PData float64 // p_d: data packet loss rate over the flow lifetime
+	PAck  float64 // p_a: ACK loss rate
+	Q     float64 // q: loss rate of retransmissions during timeout recovery
+
+	MeanWindow float64 // w: mean window size, for P_a = p_a^w
+
+	// AckBurst, when positive, is a directly measured P_a (the per-round
+	// probability that every ACK of the round is lost). The paper's
+	// p_a^w formula assumes independent ACK losses; on bursty channels
+	// (handoff outages) that assumption collapses P_a to ~0, so a measured
+	// value — e.g. spurious timeout sequences per round — is preferred when
+	// available. Zero means "derive from PAck and MeanWindow".
+	AckBurst float64
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.RTT <= 0 {
+		return fmt.Errorf("core: RTT %v must be positive", p.RTT)
+	}
+	if p.T <= 0 {
+		return fmt.Errorf("core: T %v must be positive", p.T)
+	}
+	if p.B < 1 {
+		return fmt.Errorf("core: b %d must be >= 1", p.B)
+	}
+	if p.Wm < 1 {
+		return fmt.Errorf("core: Wm %d must be >= 1", p.Wm)
+	}
+	for name, v := range map[string]float64{"PData": p.PData, "PAck": p.PAck, "Q": p.Q} {
+		if v < 0 || v >= 1 || math.IsNaN(v) {
+			return fmt.Errorf("core: %s %v outside [0, 1)", name, v)
+		}
+	}
+	if p.MeanWindow < 0 || math.IsNaN(p.MeanWindow) {
+		return fmt.Errorf("core: MeanWindow %v must be non-negative", p.MeanWindow)
+	}
+	if p.AckBurst < 0 || p.AckBurst >= 1 || math.IsNaN(p.AckBurst) {
+		return fmt.Errorf("core: AckBurst %v outside [0, 1)", p.AckBurst)
+	}
+	return nil
+}
+
+// AckBurstProb returns P_a: the measured AckBurst when set, otherwise the
+// paper's independence approximation p_a^w (Section IV-A) with the window
+// clamped to at least 1.
+func (p Params) AckBurstProb() float64 {
+	if p.AckBurst > 0 {
+		return p.AckBurst
+	}
+	if p.PAck <= 0 {
+		return 0
+	}
+	w := p.MeanWindow
+	if w < 1 {
+		w = 1
+	}
+	return math.Pow(p.PAck, w)
+}
+
+// FP is the paper's Eq. (14) (Padhye's f(p)): the expected backoff-weighted
+// duration multiplier of a timeout sequence.
+func FP(p float64) float64 {
+	return 1 + p + 2*p*p + 4*math.Pow(p, 3) + 8*math.Pow(p, 4) + 16*math.Pow(p, 5) + 32*math.Pow(p, 6)
+}
+
+// XP is Eq. (1): the expected round in which data loss first occurs in a
+// congestion-avoidance phase, as derived by Padhye. pd must be in (0, 1);
+// it returns +Inf for pd = 0.
+func XP(pd float64, b int) float64 {
+	if pd <= 0 {
+		return math.Inf(1)
+	}
+	c := (2 + float64(b)) / 6
+	return c + math.Sqrt(2*float64(b)*(1-pd)/(3*pd)+c*c)
+}
+
+// EX is Eq. (2): the expected number of rounds in a CA phase when each round
+// survives ACK burst loss with probability 1-Pa and the phase is capped at
+// XP+1 rounds by data loss. As Pa -> 0 it approaches XP + 1 (the L'Hopital
+// limit, which returns the model to Padhye's).
+func EX(pa, xp float64) float64 {
+	if math.IsInf(xp, 1) {
+		if pa <= 0 {
+			return math.Inf(1)
+		}
+		return 1 / pa
+	}
+	if pa <= 0 {
+		return xp + 1
+	}
+	// (1 - (1-Pa)^(XP+1)) / Pa computed stably for tiny Pa via
+	// -expm1((XP+1) * log1p(-Pa)) / Pa.
+	return -math.Expm1((xp+1)*math.Log1p(-pa)) / pa
+}
+
+// EW is the expected window at the end of a CA phase as *printed* in
+// Eq. (4): E[W] = (b/2)E[X] - 2. See the package comment for the
+// inconsistency with Eq. (3); the printed form is what the paper's Eq. (15)
+// uses, and the two coincide at b = 2.
+func EW(ex float64, b int) float64 {
+	return float64(b)/2*ex - 2
+}
+
+// EWConsistent is the end-of-phase window implied by Eq. (3):
+// E[W] = (2/b)E[X] - 2.
+func EWConsistent(ex float64, b int) float64 {
+	return 2/float64(b)*ex - 2
+}
+
+// QP is Eq. (9): Padhye's probability that a loss indication is a timeout,
+// min(1, 3/E[W]).
+func QP(ew float64) float64 {
+	if ew <= 3 {
+		return 1
+	}
+	return 3 / ew
+}
+
+// QProb is Eq. (10): the enhanced probability that a CA phase ends in a
+// timeout — either data loss ends it (probability (1-Pa)^XP) and the
+// indication is a timeout with probability QP, or ACK burst loss ends it
+// first and the timeout is certain.
+func QProb(qp, pa, xp float64) float64 {
+	if math.IsInf(xp, 1) {
+		// Data loss never happens; every phase ends in an ACK-burst timeout
+		// (if Pa > 0) or never ends (Pa = 0).
+		if pa > 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - (1-qp)*math.Pow(1-pa, xp)
+}
+
+// TimeoutPersist returns p = 1 - (1-q)(1-Pa): the probability that one
+// retransmission attempt fails to end the timeout sequence (Section IV-C).
+func TimeoutPersist(q, pa float64) float64 {
+	return 1 - (1-q)*(1-pa)
+}
+
+// ER is Eq. (11): the expected number of timeouts in a timeout sequence,
+// 1/(1-p).
+func ER(p float64) float64 {
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (1 - p)
+}
+
+// EYTO is Eq. (12) as printed: the expected number of packets delivered
+// during a timeout sequence, (1-q)^{E[R]}.
+func EYTO(q, er float64) float64 {
+	return math.Pow(1-q, er)
+}
+
+// EATO is Eq. (13): the expected duration of a timeout sequence,
+// T * f(p) / (1-p).
+func EATO(t time.Duration, p float64) time.Duration {
+	if p >= 1 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(float64(t) * FP(p) / (1 - p))
+}
+
+// VP is Eq. (17): Padhye's expected number of window-limited rounds before a
+// loss indication, (1-pd)/(pd*Wm) + 1 - 3*b*Wm/8.
+func VP(pd float64, b, wm int) float64 {
+	if pd <= 0 {
+		return math.Inf(1)
+	}
+	return (1-pd)/(pd*float64(wm)) + 1 - 3*float64(b)*float64(wm)/8
+}
+
+// EV is Eq. (18): the expected number of window-limited rounds when ACK
+// burst loss can also end the phase. As Pa -> 0 it approaches VP.
+func EV(pa, vp float64) float64 {
+	if vp < 1 {
+		vp = 1 // the phase spends at least one round at the limit in this branch
+	}
+	if math.IsInf(vp, 1) {
+		if pa <= 0 {
+			return math.Inf(1)
+		}
+		return 1 / pa
+	}
+	if pa <= 0 {
+		return vp
+	}
+	return -math.Expm1(vp*math.Log1p(-pa)) / pa
+}
+
+// Enhanced evaluates the paper's full model, Eq. (21), returning the
+// expected steady-state throughput in packets per second.
+func Enhanced(prm Params) (float64, error) {
+	if err := prm.Validate(); err != nil {
+		return 0, err
+	}
+	pa := prm.AckBurstProb()
+	q := prm.Q
+	rtt := prm.RTT.Seconds()
+	wm := float64(prm.Wm)
+
+	// Perfectly clean channel: purely window-limited.
+	if prm.PData <= 0 && pa <= 0 {
+		return wm / rtt, nil
+	}
+
+	xp := XP(prm.PData, prm.B)
+	ex := EX(pa, xp)
+	ew := EW(ex, prm.B)
+
+	p := TimeoutPersist(q, pa)
+	er := ER(p)
+	eyTO := EYTO(q, er)
+	eaTO := EATO(prm.T, p).Seconds()
+	qp := QP(ew)
+	bigQ := QProb(qp, pa, xp)
+
+	if ew < wm {
+		// Unconstrained branch, Eq. (15).
+		b := float64(prm.B)
+		num := 3*b/8*ex*ex - (6+b)/4*ex - 1 + bigQ*eyTO
+		den := rtt*ex + bigQ*eaTO
+		if num <= 0 || den <= 0 {
+			// Degenerate corner (tiny windows): fall back to one packet per
+			// timeout-dominated cycle.
+			return math.Max(eyTO/(rtt+eaTO), 1e-9), nil
+		}
+		return num / den, nil
+	}
+
+	// Window-limited branch of Eq. (21) (RTT restored in the denominator).
+	vp := VP(prm.PData, prm.B, prm.Wm)
+	ev := EV(pa, vp)
+	b := float64(prm.B)
+	var num, den float64
+	if math.IsInf(ev, 1) {
+		return wm / rtt, nil
+	}
+	num = 3*b*wm*wm/8 + wm*(ev-0.5) + bigQ*eyTO
+	den = rtt*(b*wm/2+ev) + bigQ*eaTO
+	if num <= 0 || den <= 0 {
+		return math.Max(eyTO/(rtt+eaTO), 1e-9), nil
+	}
+	return num / den, nil
+}
+
+// EnhancedConsistent is the ablation variant of Enhanced that re-derives the
+// CA-phase packet count from Eq. (3)'s consistent window relation
+// E[W] = (2/b)E[X] - 2 (see the package comment). At b = 2 it differs from
+// the printed model only by the sign of the small constant term in the
+// numerator (the paper prints "-1" where the algebra yields "+1"); at other
+// b the window forms diverge too.
+func EnhancedConsistent(prm Params) (float64, error) {
+	if err := prm.Validate(); err != nil {
+		return 0, err
+	}
+	pa := prm.AckBurstProb()
+	q := prm.Q
+	rtt := prm.RTT.Seconds()
+	wm := float64(prm.Wm)
+	if prm.PData <= 0 && pa <= 0 {
+		return wm / rtt, nil
+	}
+
+	xp := XP(prm.PData, prm.B)
+	ex := EX(pa, xp)
+	ew := EWConsistent(ex, prm.B)
+
+	p := TimeoutPersist(q, pa)
+	er := ER(p)
+	eyTO := EYTO(q, er)
+	eaTO := EATO(prm.T, p).Seconds()
+	bigQ := QProb(QP(ew), pa, xp)
+
+	if ew < wm {
+		// E[Y] = (E[W]/2)(3E[X]/2 - 1) with the consistent E[W].
+		ey := ew / 2 * (3*ex/2 - 1)
+		num := ey + bigQ*eyTO
+		den := rtt*ex + bigQ*eaTO
+		if num <= 0 || den <= 0 {
+			return math.Max(eyTO/(rtt+eaTO), 1e-9), nil
+		}
+		return num / den, nil
+	}
+	vp := VP(prm.PData, prm.B, prm.Wm)
+	ev := EV(pa, vp)
+	if math.IsInf(ev, 1) {
+		return wm / rtt, nil
+	}
+	b := float64(prm.B)
+	num := 3*b*wm*wm/8 + wm*(ev-0.5) + bigQ*eyTO
+	den := rtt*(b*wm/2+ev) + bigQ*eaTO
+	if num <= 0 || den <= 0 {
+		return math.Max(eyTO/(rtt+eaTO), 1e-9), nil
+	}
+	return num / den, nil
+}
+
+// Deviation is Eq. (22): the absolute relative deviation D between a model
+// prediction and the measured throughput (both in the same unit). It
+// returns NaN if actual is zero.
+func Deviation(model, actual float64) float64 {
+	if actual == 0 {
+		return math.NaN()
+	}
+	return math.Abs(model-actual) / actual
+}

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// hsrParams returns parameters typical of the paper's HSR flows.
+func hsrParams() Params {
+	return Params{
+		RTT:        80 * time.Millisecond,
+		T:          600 * time.Millisecond,
+		B:          2,
+		Wm:         64,
+		PData:      0.0075,
+		PAck:       0.0066,
+		Q:          0.3,
+		MeanWindow: 24,
+		AckBurst:   0.002,
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := hsrParams().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero RTT", func(p *Params) { p.RTT = 0 }},
+		{"zero T", func(p *Params) { p.T = 0 }},
+		{"b < 1", func(p *Params) { p.B = 0 }},
+		{"Wm < 1", func(p *Params) { p.Wm = 0 }},
+		{"PData = 1", func(p *Params) { p.PData = 1 }},
+		{"negative PAck", func(p *Params) { p.PAck = -0.1 }},
+		{"Q = 1", func(p *Params) { p.Q = 1 }},
+		{"NaN window", func(p *Params) { p.MeanWindow = math.NaN() }},
+		{"AckBurst = 1", func(p *Params) { p.AckBurst = 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := hsrParams()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("invalid params accepted")
+			}
+		})
+	}
+}
+
+func TestAckBurstProb(t *testing.T) {
+	p := Params{PAck: 0.1, MeanWindow: 3}
+	want := 0.001
+	if got := p.AckBurstProb(); math.Abs(got-want) > 1e-15 {
+		t.Errorf("p_a^w = %v, want %v", got, want)
+	}
+	p.AckBurst = 0.05 // measured value takes precedence
+	if got := p.AckBurstProb(); got != 0.05 {
+		t.Errorf("AckBurstProb with override = %v, want 0.05", got)
+	}
+	if got := (Params{PAck: 0}).AckBurstProb(); got != 0 {
+		t.Errorf("AckBurstProb with no ACK loss = %v, want 0", got)
+	}
+	// Window below 1 clamps to 1.
+	if got := (Params{PAck: 0.1, MeanWindow: 0.5}).AckBurstProb(); got != 0.1 {
+		t.Errorf("AckBurstProb with tiny window = %v, want 0.1", got)
+	}
+}
+
+func TestFP(t *testing.T) {
+	if got := FP(0); got != 1 {
+		t.Errorf("f(0) = %v, want 1", got)
+	}
+	if got := FP(1); got != 64 {
+		t.Errorf("f(1) = %v, want 64 (1+1+2+4+8+16+32)", got)
+	}
+	if FP(0.5) <= FP(0.1) {
+		t.Error("f(p) should be increasing")
+	}
+}
+
+func TestXP(t *testing.T) {
+	// Known value: pd=0.01, b=1 -> 0.5 + sqrt(2*0.99/0.03 + 0.25).
+	want := 0.5 + math.Sqrt(2*0.99/0.03+0.25)
+	if got := XP(0.01, 1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("XP(0.01, 1) = %v, want %v", got, want)
+	}
+	if !math.IsInf(XP(0, 2), 1) {
+		t.Error("XP(0) should be +Inf")
+	}
+	if XP(0.1, 2) <= XP(0.2, 2) {
+		t.Error("XP should decrease with loss rate")
+	}
+}
+
+func TestEXLimit(t *testing.T) {
+	xp := 10.0
+	// L'Hopital limit: Pa -> 0 gives XP + 1, restoring the Padhye model.
+	if got := EX(0, xp); got != xp+1 {
+		t.Errorf("EX(Pa=0) = %v, want %v", got, xp+1)
+	}
+	// Continuity near zero.
+	if got := EX(1e-12, xp); math.Abs(got-(xp+1)) > 1e-6 {
+		t.Errorf("EX(Pa=1e-12) = %v, want ~%v", got, xp+1)
+	}
+	// EX is bounded by both 1/Pa and XP+1.
+	if got := EX(0.5, xp); got > 2 || got < 1 {
+		t.Errorf("EX(0.5, 10) = %v, want within [1, 2]", got)
+	}
+	// Infinite XP (no data loss): phase ends only by ACK burst.
+	if got := EX(0.1, math.Inf(1)); got != 10 {
+		t.Errorf("EX(0.1, Inf) = %v, want 10", got)
+	}
+	if !math.IsInf(EX(0, math.Inf(1)), 1) {
+		t.Error("EX(0, Inf) should be +Inf")
+	}
+}
+
+func TestEXDecreasingInPa(t *testing.T) {
+	xp := 20.0
+	prev := EX(0.001, xp)
+	for _, pa := range []float64{0.01, 0.05, 0.1, 0.3, 0.6} {
+		cur := EX(pa, xp)
+		if cur >= prev {
+			t.Errorf("EX not decreasing at Pa=%v: %v >= %v", pa, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestEWFormsAgreeAtB2(t *testing.T) {
+	for _, ex := range []float64{5, 10, 50} {
+		if EW(ex, 2) != EWConsistent(ex, 2) {
+			t.Errorf("EW forms disagree at b=2 for E[X]=%v", ex)
+		}
+	}
+	if EW(10, 4) == EWConsistent(10, 4) {
+		t.Error("EW forms should differ at b=4")
+	}
+}
+
+func TestQP(t *testing.T) {
+	if got := QP(2); got != 1 {
+		t.Errorf("QP(2) = %v, want 1 (window <= 3)", got)
+	}
+	if got := QP(6); got != 0.5 {
+		t.Errorf("QP(6) = %v, want 0.5", got)
+	}
+}
+
+func TestQProb(t *testing.T) {
+	// Pa = 0: Q reduces to Padhye's QP.
+	if got := QProb(0.4, 0, 10); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("QProb(Pa=0) = %v, want 0.4", got)
+	}
+	// Huge Pa: timeout nearly certain.
+	if got := QProb(0.1, 0.9, 10); got < 0.99 {
+		t.Errorf("QProb(Pa=0.9) = %v, want ~1", got)
+	}
+	// Q is increasing in Pa.
+	if QProb(0.3, 0.05, 10) <= QProb(0.3, 0.01, 10) {
+		t.Error("QProb should increase with Pa")
+	}
+	// Infinite XP cases.
+	if got := QProb(0.3, 0.1, math.Inf(1)); got != 1 {
+		t.Errorf("QProb(Inf, Pa>0) = %v, want 1", got)
+	}
+	if got := QProb(0.3, 0, math.Inf(1)); got != 0 {
+		t.Errorf("QProb(Inf, Pa=0) = %v, want 0", got)
+	}
+}
+
+func TestTimeoutSequenceQuantities(t *testing.T) {
+	p := TimeoutPersist(0.3, 0.1) // 1 - 0.7*0.9 = 0.37
+	if math.Abs(p-0.37) > 1e-12 {
+		t.Errorf("p = %v, want 0.37", p)
+	}
+	if got := ER(0.5); got != 2 {
+		t.Errorf("ER(0.5) = %v, want 2", got)
+	}
+	if !math.IsInf(ER(1), 1) {
+		t.Error("ER(1) should be +Inf")
+	}
+	if got := EYTO(0.5, 2); got != 0.25 {
+		t.Errorf("EYTO = %v, want 0.25", got)
+	}
+	// EATO = T * f(p)/(1-p); for p=0 this is exactly T.
+	if got := EATO(time.Second, 0); got != time.Second {
+		t.Errorf("EATO(p=0) = %v, want 1s", got)
+	}
+	if got := EATO(time.Second, 0.5); got <= time.Second {
+		t.Errorf("EATO(p=0.5) = %v, want > 1s", got)
+	}
+}
+
+func TestVPAndEV(t *testing.T) {
+	if !math.IsInf(VP(0, 2, 64), 1) {
+		t.Error("VP(pd=0) should be +Inf")
+	}
+	vp := VP(0.0001, 2, 8) // large: (0.9999)/(0.0008) + 1 - 6 ~ 1245
+	if vp < 1000 {
+		t.Errorf("VP = %v, want > 1000", vp)
+	}
+	if got := EV(0, vp); got != vp {
+		t.Errorf("EV(Pa=0) = %v, want VP", got)
+	}
+	if got := EV(0.1, math.Inf(1)); got != 10 {
+		t.Errorf("EV(0.1, Inf) = %v, want 10", got)
+	}
+	if EV(0.2, vp) >= EV(0.01, vp) {
+		t.Error("EV should decrease with Pa")
+	}
+}
+
+func TestEnhancedCleanChannelIsWindowLimited(t *testing.T) {
+	p := hsrParams()
+	p.PData, p.PAck, p.AckBurst = 0, 0, 0
+	got, err := Enhanced(p)
+	if err != nil {
+		t.Fatalf("Enhanced: %v", err)
+	}
+	want := float64(p.Wm) / p.RTT.Seconds()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("clean-channel throughput = %v, want Wm/RTT = %v", got, want)
+	}
+}
+
+func TestEnhancedMonotonicity(t *testing.T) {
+	base := hsrParams()
+	tpBase, err := Enhanced(base)
+	if err != nil {
+		t.Fatalf("Enhanced: %v", err)
+	}
+	if tpBase <= 0 {
+		t.Fatalf("baseline throughput = %v, want positive", tpBase)
+	}
+
+	worse := base
+	worse.Q = 0.6
+	tpQ, _ := Enhanced(worse)
+	if tpQ >= tpBase {
+		t.Errorf("higher q should lower throughput: %v >= %v", tpQ, tpBase)
+	}
+
+	worse = base
+	worse.AckBurst = 0.02
+	tpPa, _ := Enhanced(worse)
+	if tpPa >= tpBase {
+		t.Errorf("higher P_a should lower throughput: %v >= %v", tpPa, tpBase)
+	}
+
+	worse = base
+	worse.PData = 0.03
+	tpPd, _ := Enhanced(worse)
+	if tpPd >= tpBase {
+		t.Errorf("higher p_d should lower throughput: %v >= %v", tpPd, tpBase)
+	}
+
+	worse = base
+	worse.RTT = 2 * base.RTT
+	tpRTT, _ := Enhanced(worse)
+	if tpRTT >= tpBase {
+		t.Errorf("higher RTT should lower throughput: %v >= %v", tpRTT, tpBase)
+	}
+}
+
+func TestEnhancedReducesTowardPadhyeWithoutHSREffects(t *testing.T) {
+	// With P_a = 0 and q = p_d the enhanced model describes the same network
+	// as Padhye's; the two derivations differ slightly, so require agreement
+	// within 25% rather than equality.
+	p := hsrParams()
+	p.AckBurst = 0
+	p.PAck = 0
+	p.Q = p.PData
+	enh, err := Enhanced(p)
+	if err != nil {
+		t.Fatalf("Enhanced: %v", err)
+	}
+	pad, err := Padhye(p)
+	if err != nil {
+		t.Fatalf("Padhye: %v", err)
+	}
+	ratio := enh / pad
+	if ratio < 0.75 || ratio > 1.25 {
+		t.Errorf("Enhanced/Padhye without HSR effects = %v, want within [0.75, 1.25] (enh=%v pad=%v)", ratio, enh, pad)
+	}
+}
+
+func TestEnhancedBelowPadhyeUnderHSRConditions(t *testing.T) {
+	// Under HSR conditions (high q, nonzero P_a) the enhanced model must
+	// predict lower throughput than Padhye, which ignores both effects —
+	// that is the whole point of the paper.
+	p := hsrParams()
+	enh, err := Enhanced(p)
+	if err != nil {
+		t.Fatalf("Enhanced: %v", err)
+	}
+	pad, err := Padhye(p)
+	if err != nil {
+		t.Fatalf("Padhye: %v", err)
+	}
+	if enh >= pad {
+		t.Errorf("Enhanced (%v) should be below Padhye (%v) under HSR conditions", enh, pad)
+	}
+}
+
+func TestEnhancedConsistentMatchesAtB2(t *testing.T) {
+	// At b = 2 the two window forms coincide and the variants differ only by
+	// the paper's "-1" vs the re-derived "+1" constant; they must agree
+	// within a few percent.
+	p := hsrParams() // b = 2
+	a, err := Enhanced(p)
+	if err != nil {
+		t.Fatalf("Enhanced: %v", err)
+	}
+	b, err := EnhancedConsistent(p)
+	if err != nil {
+		t.Fatalf("EnhancedConsistent: %v", err)
+	}
+	if ratio := a / b; ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("variants disagree at b=2 beyond tolerance: %v vs %v", a, b)
+	}
+	p.B = 4
+	a, _ = Enhanced(p)
+	b, _ = EnhancedConsistent(p)
+	if a == b {
+		t.Error("variants should differ at b=4")
+	}
+}
+
+func TestPadhyeCleanChannel(t *testing.T) {
+	p := hsrParams()
+	p.PData = 0
+	got, err := Padhye(p)
+	if err != nil {
+		t.Fatalf("Padhye: %v", err)
+	}
+	want := float64(p.Wm) / p.RTT.Seconds()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Padhye(p=0) = %v, want Wm/RTT = %v", got, want)
+	}
+}
+
+func TestPadhyeDecreasingInLoss(t *testing.T) {
+	p := hsrParams()
+	prev := math.Inf(1)
+	for _, pd := range []float64{0.0001, 0.001, 0.01, 0.05, 0.2} {
+		p.PData = pd
+		got, err := Padhye(p)
+		if err != nil {
+			t.Fatalf("Padhye(%v): %v", pd, err)
+		}
+		if got >= prev {
+			t.Errorf("Padhye not decreasing at pd=%v: %v >= %v", pd, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPadhyeApproxTracksFullModel(t *testing.T) {
+	p := hsrParams()
+	for _, pd := range []float64{0.001, 0.005, 0.02, 0.08} {
+		p.PData = pd
+		full, err := Padhye(p)
+		if err != nil {
+			t.Fatalf("Padhye: %v", err)
+		}
+		approx, err := PadhyeApprox(p)
+		if err != nil {
+			t.Fatalf("PadhyeApprox: %v", err)
+		}
+		ratio := approx / full
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("approx/full at pd=%v = %v (approx=%v full=%v)", pd, ratio, approx, full)
+		}
+	}
+}
+
+func TestPadhyeApproxWindowCap(t *testing.T) {
+	p := hsrParams()
+	p.PData = 1e-9
+	got, err := PadhyeApprox(p)
+	if err != nil {
+		t.Fatalf("PadhyeApprox: %v", err)
+	}
+	want := float64(p.Wm) / p.RTT.Seconds()
+	if got > want+1e-9 {
+		t.Errorf("PadhyeApprox = %v, want capped at Wm/RTT = %v", got, want)
+	}
+}
+
+func TestDeviation(t *testing.T) {
+	if got := Deviation(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Deviation(110, 100) = %v, want 0.1", got)
+	}
+	if got := Deviation(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Deviation(90, 100) = %v, want 0.1", got)
+	}
+	if got := Deviation(1, 0); !math.IsNaN(got) {
+		t.Errorf("Deviation with zero actual = %v, want NaN", got)
+	}
+}
+
+// Property: for random valid parameters, all three models return finite
+// positive throughput no greater than the window-limited ceiling (with a
+// small numerical tolerance).
+func TestModelsBoundedProperty(t *testing.T) {
+	f := func(pdSeed, paSeed, qSeed, rttSeed, wmSeed, bSeed uint16) bool {
+		prm := Params{
+			RTT:        time.Duration(20+rttSeed%400) * time.Millisecond,
+			T:          time.Second,
+			B:          1 + int(bSeed%4),
+			Wm:         4 + int(wmSeed%128),
+			PData:      float64(pdSeed%1000) / 10000, // 0 - 0.0999
+			PAck:       float64(paSeed%1000) / 10000, // 0 - 0.0999
+			Q:          float64(qSeed%90) / 100,      // 0 - 0.89
+			MeanWindow: 1 + float64(wmSeed%64),
+			AckBurst:   float64(paSeed%50) / 1000, // 0 - 0.049
+		}
+		ceiling := float64(prm.Wm)/prm.RTT.Seconds()*1.05 + 1
+		for _, model := range []func(Params) (float64, error){Enhanced, EnhancedConsistent, Padhye, PadhyeApprox} {
+			tp, err := model(prm)
+			if err != nil {
+				return false
+			}
+			if math.IsNaN(tp) || math.IsInf(tp, 0) || tp <= 0 || tp > ceiling {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

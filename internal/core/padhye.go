@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+)
+
+// Padhye evaluates the full PFTK model (Padhye, Firoiu, Towsley, Kurose,
+// "Modeling TCP Reno performance", ToN 2000) — the paper's baseline — and
+// returns the expected steady-state throughput in packets per second.
+//
+// The model assumes ACKs are never lost and that retransmissions during a
+// timeout sequence are lost at the same rate p as ordinary data, the two
+// assumptions the paper shows fail in high-speed mobility.
+func Padhye(prm Params) (float64, error) {
+	if err := prm.Validate(); err != nil {
+		return 0, err
+	}
+	p := prm.PData
+	rtt := prm.RTT.Seconds()
+	t0 := prm.T.Seconds()
+	b := float64(prm.B)
+	wm := float64(prm.Wm)
+
+	if p <= 0 {
+		return wm / rtt, nil
+	}
+
+	// Expected window at the first loss indication (PFTK Eq. 13).
+	c := (2 + b) / (3 * b)
+	ew := c + math.Sqrt(8*(1-p)/(3*b*p)+c*c)
+
+	qhat := func(w float64) float64 {
+		if w <= 3 {
+			return 1
+		}
+		return 3 / w
+	}
+	fp := FP(p)
+
+	if ew < wm {
+		// PFTK Eq. 30 (unconstrained window).
+		num := (1-p)/p + ew/2 + qhat(ew)
+		den := rtt*(b/2*ew+1) + qhat(ew)*t0*fp/(1-p)
+		return num / den, nil
+	}
+	// PFTK Eq. 31 (receiver-window limited).
+	num := (1-p)/p + wm/2 + qhat(wm)
+	den := rtt*(b/8*wm+(1-p)/(p*wm)+2) + qhat(wm)*t0*fp/(1-p)
+	return num / den, nil
+}
+
+// PadhyeApprox is the famous closed-form approximation (PFTK Eq. 32):
+//
+//	B(p) = min( Wm/RTT, 1 / (RTT*sqrt(2bp/3) + T0*min(1, 3*sqrt(3bp/8))*p*(1+32p^2)) )
+//
+// in packets per second.
+func PadhyeApprox(prm Params) (float64, error) {
+	if err := prm.Validate(); err != nil {
+		return 0, err
+	}
+	p := prm.PData
+	rtt := prm.RTT.Seconds()
+	wm := float64(prm.Wm)
+	if p <= 0 {
+		return wm / rtt, nil
+	}
+	b := float64(prm.B)
+	t0 := prm.T.Seconds()
+	den := rtt*math.Sqrt(2*b*p/3) + t0*math.Min(1, 3*math.Sqrt(3*b*p/8))*p*(1+32*p*p)
+	bw := 1 / den
+	if lim := wm / rtt; bw > lim {
+		bw = lim
+	}
+	return bw, nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/analysis"
+)
+
+// DefaultQ is the paper's recommended q when a trace has too few timeout
+// recoveries to measure it ("we recommend a value between 0.25 to 0.4",
+// Section IV-A).
+const DefaultQ = 0.3
+
+// ParamsFromMetrics estimates the model parameters from measured flow
+// metrics, the way the paper's evaluation feeds trace statistics into
+// Eq. (21):
+//
+//   - RTT, p_d, p_a, b, W_m and the mean window come straight from the flow;
+//   - T (the base timeout) is estimated as the mean gap between the end of a
+//     CA phase and the first RTO of the following timeout sequence, falling
+//     back to 3*RTT clamped to at least 400 ms when the flow had no
+//     timeouts;
+//   - q is the measured recovery-phase retransmission loss rate, falling
+//     back to DefaultQ when the flow had no recoveries (and clamped just
+//     below 1 to keep Eq. (11) finite);
+//   - P_a follows the paper's independence approximation p_a^w (AckBurst is
+//     left unset). ParamsFromMetricsMeasuredPa is the ablation variant that
+//     instead feeds the directly measured per-round ACK-burst rate.
+func ParamsFromMetrics(m *analysis.FlowMetrics) Params {
+	prm := Params{
+		RTT:        m.MeanRTT,
+		B:          m.Meta.DelayedAckB,
+		Wm:         m.Meta.WindowLimit,
+		PData:      clampProb(m.DataLossRate),
+		PAck:       clampProb(m.AckLossRate),
+		MeanWindow: m.MeanWindow,
+	}
+	if prm.RTT <= 0 {
+		prm.RTT = 100 * time.Millisecond
+	}
+	if prm.B < 1 {
+		prm.B = 1
+	}
+	if prm.Wm < 1 {
+		prm.Wm = 64
+	}
+	if prm.MeanWindow < 1 {
+		prm.MeanWindow = 1
+	}
+
+	switch {
+	case m.BaseRTOEstimate > 0:
+		// Preferred: T recovered from the backoff structure of consecutive
+		// timeouts, which reflects the sender's actual timer.
+		prm.T = m.BaseRTOEstimate
+	case len(m.Recoveries) > 0:
+		// Fallback: the stall before the first timeout of each sequence.
+		var gap time.Duration
+		for _, r := range m.Recoveries {
+			gap += r.FirstTimeout - r.Start
+		}
+		prm.T = gap / time.Duration(len(m.Recoveries))
+	}
+	if prm.T <= 0 {
+		prm.T = 3 * prm.RTT
+		if prm.T < 400*time.Millisecond {
+			prm.T = 400 * time.Millisecond
+		}
+	}
+
+	switch {
+	case len(m.Recoveries) > 0 && m.RecoveryLossRate > 0:
+		prm.Q = clampProb(m.RecoveryLossRate)
+	default:
+		prm.Q = DefaultQ
+	}
+	return prm
+}
+
+// ParamsFromMetricsMeasuredPa is ParamsFromMetrics with P_a taken from the
+// trace's measured per-round ACK-burst rate instead of the paper's p_a^w
+// independence approximation. On bursty channels the two differ by many
+// orders of magnitude; the model-ablation experiment contrasts them.
+func ParamsFromMetricsMeasuredPa(m *analysis.FlowMetrics) Params {
+	prm := ParamsFromMetrics(m)
+	prm.AckBurst = clampProb(m.AckBurstRate)
+	return prm
+}
+
+// clampProb keeps an estimated probability strictly inside [0, 1) so the
+// geometric expectations of the model stay finite.
+func clampProb(p float64) float64 {
+	const maxP = 0.999
+	switch {
+	case p < 0:
+		return 0
+	case p > maxP:
+		return maxP
+	default:
+		return p
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/trace"
+)
+
+func metricsFixture() *analysis.FlowMetrics {
+	return &analysis.FlowMetrics{
+		Meta: trace.FlowMeta{
+			ID: "fix", DelayedAckB: 2, WindowLimit: 64, MSS: 1448,
+		},
+		Duration:         60 * time.Second,
+		MeanRTT:          80 * time.Millisecond,
+		DataLossRate:     0.008,
+		AckLossRate:      0.006,
+		MeanWindow:       22,
+		AckBurstRate:     0.0015,
+		RecoveryLossRate: 0.28,
+		Recoveries: []analysis.RecoveryPhase{
+			{Start: 10 * time.Second, FirstTimeout: 10*time.Second + 500*time.Millisecond, End: 13 * time.Second},
+			{Start: 30 * time.Second, FirstTimeout: 30*time.Second + 700*time.Millisecond, End: 31 * time.Second},
+		},
+	}
+}
+
+func TestParamsFromMetrics(t *testing.T) {
+	prm := ParamsFromMetrics(metricsFixture())
+	if err := prm.Validate(); err != nil {
+		t.Fatalf("derived params invalid: %v", err)
+	}
+	if prm.RTT != 80*time.Millisecond {
+		t.Errorf("RTT = %v, want 80ms", prm.RTT)
+	}
+	if prm.B != 2 || prm.Wm != 64 {
+		t.Errorf("B/Wm = %d/%d, want 2/64", prm.B, prm.Wm)
+	}
+	if prm.PData != 0.008 || prm.PAck != 0.006 {
+		t.Errorf("loss rates = %v/%v", prm.PData, prm.PAck)
+	}
+	if prm.Q != 0.28 {
+		t.Errorf("Q = %v, want measured 0.28", prm.Q)
+	}
+	// Paper-faithful estimation leaves AckBurst unset (P_a = p_a^w).
+	if prm.AckBurst != 0 {
+		t.Errorf("AckBurst = %v, want 0 (paper uses p_a^w)", prm.AckBurst)
+	}
+	measured := ParamsFromMetricsMeasuredPa(metricsFixture())
+	if measured.AckBurst != 0.0015 {
+		t.Errorf("measured-Pa AckBurst = %v, want 0.0015", measured.AckBurst)
+	}
+	if err := measured.Validate(); err != nil {
+		t.Errorf("measured-Pa params invalid: %v", err)
+	}
+	// T = mean of (500ms, 700ms) = 600ms (fallback path, no backoff gaps).
+	if prm.T != 600*time.Millisecond {
+		t.Errorf("T = %v, want 600ms", prm.T)
+	}
+}
+
+func TestParamsFromMetricsPrefersBackoffRTO(t *testing.T) {
+	m := metricsFixture()
+	m.BaseRTOEstimate = 450 * time.Millisecond
+	prm := ParamsFromMetrics(m)
+	if prm.T != 450*time.Millisecond {
+		t.Errorf("T = %v, want the backoff-derived 450ms", prm.T)
+	}
+}
+
+func TestParamsFromMetricsFallbacks(t *testing.T) {
+	m := metricsFixture()
+	m.Recoveries = nil
+	m.RecoveryLossRate = 0
+	m.MeanRTT = 0
+	m.Meta.DelayedAckB = 0
+	m.Meta.WindowLimit = 0
+	m.MeanWindow = 0
+	prm := ParamsFromMetrics(m)
+	if err := prm.Validate(); err != nil {
+		t.Fatalf("fallback params invalid: %v", err)
+	}
+	if prm.Q != DefaultQ {
+		t.Errorf("Q fallback = %v, want %v", prm.Q, DefaultQ)
+	}
+	if prm.RTT != 100*time.Millisecond {
+		t.Errorf("RTT fallback = %v, want 100ms", prm.RTT)
+	}
+	if prm.T < 400*time.Millisecond {
+		t.Errorf("T fallback = %v, want >= 400ms", prm.T)
+	}
+	if prm.B != 1 || prm.Wm != 64 || prm.MeanWindow != 1 {
+		t.Errorf("structural fallbacks = %+v", prm)
+	}
+}
+
+func TestParamsFromMetricsClampsRates(t *testing.T) {
+	m := metricsFixture()
+	m.DataLossRate = 1.5 // impossible, but the estimator must stay sane
+	m.AckLossRate = -0.2
+	prm := ParamsFromMetrics(m)
+	if prm.PData >= 1 || prm.PData < 0 {
+		t.Errorf("PData clamp failed: %v", prm.PData)
+	}
+	if prm.PAck != 0 {
+		t.Errorf("PAck clamp failed: %v", prm.PAck)
+	}
+	if err := prm.Validate(); err != nil {
+		t.Errorf("clamped params invalid: %v", err)
+	}
+}
+
+func TestParamsFeedModels(t *testing.T) {
+	prm := ParamsFromMetrics(metricsFixture())
+	for name, model := range map[string]func(Params) (float64, error){
+		"Enhanced": Enhanced, "Padhye": Padhye, "PadhyeApprox": PadhyeApprox,
+	} {
+		tp, err := model(prm)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if math.IsNaN(tp) || tp <= 0 {
+			t.Errorf("%s = %v, want positive", name, tp)
+		}
+	}
+}

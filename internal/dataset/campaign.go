@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cellular"
+	"repro/internal/railway"
+	"repro/internal/tcp"
+)
+
+// TableRow is one row of the paper's Table I.
+type TableRow struct {
+	Month    string
+	Trips    int
+	Phone    string
+	Operator cellular.Operator
+	Flows    int
+	TraceGB  float64 // the paper's captured trace size, for reference
+}
+
+// TableI returns the paper's dataset structure: 255 flows over four
+// carrier/month groups captured on the Beijing-Tianjin Intercity Railway.
+func TableI() []TableRow {
+	return []TableRow{
+		{Month: "January 2015", Trips: 8, Phone: "Samsung Note 3", Operator: cellular.ChinaMobileLTE, Flows: 52, TraceGB: 7.73},
+		{Month: "October 2015", Trips: 24, Phone: "Samsung Note 3", Operator: cellular.ChinaMobileLTE, Flows: 73, TraceGB: 18.9},
+		{Month: "October 2015", Trips: 24, Phone: "Samsung Galaxy S4", Operator: cellular.ChinaUnicom3G, Flows: 65, TraceGB: 9.63},
+		{Month: "October 2015", Trips: 24, Phone: "Samsung Galaxy S4", Operator: cellular.ChinaTelecom3G, Flows: 65, TraceGB: 4.21},
+	}
+}
+
+// CampaignConfig controls a synthetic measurement campaign.
+type CampaignConfig struct {
+	// Seed is the campaign-level base seed; each flow derives its own.
+	Seed int64
+	// FlowDuration is the simulated length of each flow.
+	FlowDuration time.Duration
+	// FlowsPerRow overrides the Table I flow counts when positive (smaller
+	// campaigns for tests), otherwise the table counts are used.
+	FlowsPerRow int
+	// Stationary switches the whole campaign to the stationary baseline
+	// scenario (no movement: no handoffs, base loss only).
+	Stationary bool
+	// TCP is the endpoint configuration; zero value means tcp.DefaultConfig.
+	TCP *tcp.Config
+	// Parallelism bounds concurrent flow simulations; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// FlowResult pairs a flow's metrics with its Table I row.
+type FlowResult struct {
+	Row     TableRow
+	Metrics *analysis.FlowMetrics
+}
+
+// Campaign is the outcome of a full synthetic measurement campaign.
+type Campaign struct {
+	Config  CampaignConfig
+	Results []FlowResult
+}
+
+// ByOperator groups the campaign's metrics by carrier name, preserving the
+// Table I order.
+func (c *Campaign) ByOperator() (names []string, groups map[string][]*analysis.FlowMetrics) {
+	groups = make(map[string][]*analysis.FlowMetrics)
+	for _, r := range c.Results {
+		name := r.Row.Operator.Name
+		if _, ok := groups[name]; !ok {
+			names = append(names, name)
+		}
+		groups[name] = append(groups[name], r.Metrics)
+	}
+	return names, groups
+}
+
+// Metrics returns all per-flow metrics in campaign order.
+func (c *Campaign) Metrics() []*analysis.FlowMetrics {
+	out := make([]*analysis.FlowMetrics, len(c.Results))
+	for i, r := range c.Results {
+		out[i] = r.Metrics
+	}
+	return out
+}
+
+// RunCampaign simulates every flow of the campaign (concurrently, each in
+// its own deterministic simulation) and reduces the traces to metrics.
+func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
+	if cfg.FlowDuration <= 0 {
+		return nil, fmt.Errorf("dataset: campaign flow duration %v must be positive", cfg.FlowDuration)
+	}
+	tcpCfg := tcp.DefaultConfig()
+	if cfg.TCP != nil {
+		tcpCfg = *cfg.TCP
+	}
+	profile := railway.DefaultProfile
+	scenarioName := "hsr"
+	if cfg.Stationary {
+		profile = railway.StationaryProfile
+		scenarioName = "stationary"
+	}
+	trip, err := railway.NewTrip(railway.BeijingTianjin, profile)
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		idx int
+		sc  Scenario
+		row TableRow
+	}
+	var jobs []job
+	flowIdx := 0
+	for rowIdx, row := range TableI() {
+		flows := row.Flows
+		if cfg.FlowsPerRow > 0 {
+			flows = cfg.FlowsPerRow
+		}
+		for f := 0; f < flows; f++ {
+			seed := cfg.Seed*1_000_003 + int64(rowIdx)*10_007 + int64(f)
+			sc := Scenario{
+				ID:           fmt.Sprintf("%s-%02d-%03d", shortName(row.Operator.Name), rowIdx, f),
+				Operator:     row.Operator,
+				Trip:         trip,
+				TripOffset:   flowOffset(trip, seed, cfg.FlowDuration),
+				FlowDuration: cfg.FlowDuration,
+				Seed:         seed,
+				TCP:          tcpCfg,
+				Scenario:     scenarioName,
+			}
+			jobs = append(jobs, job{idx: flowIdx, sc: sc, row: row})
+			flowIdx++
+		}
+	}
+
+	results := make([]FlowResult, len(jobs))
+	errs := make([]error, len(jobs))
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		j := j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m, err := AnalyzeFlow(j.sc)
+			if err != nil {
+				errs[j.idx] = fmt.Errorf("flow %s: %w", j.sc.ID, err)
+				return
+			}
+			results[j.idx] = FlowResult{Row: j.row, Metrics: m}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Campaign{Config: cfg, Results: results}, nil
+}
+
+// flowOffset places a flow inside the trip's cruise window (the paper's
+// flows were captured at steady ~300 km/h), deterministically from the
+// flow seed. Stationary trips always start at zero.
+func flowOffset(trip railway.Trip, seed int64, flowDuration time.Duration) time.Duration {
+	if trip.Stationary() {
+		return 0
+	}
+	start, end := trip.CruiseWindow()
+	usable := end - start - flowDuration
+	if usable <= 0 {
+		return start
+	}
+	r := int64(uint64(seed*2654435761) % uint64(usable))
+	return start + time.Duration(r)
+}
+
+// shortName compresses an operator name for flow IDs.
+func shortName(name string) string {
+	switch name {
+	case cellular.ChinaMobileLTE.Name:
+		return "cm"
+	case cellular.ChinaUnicom3G.Name:
+		return "cu"
+	case cellular.ChinaTelecom3G.Name:
+		return "ct"
+	default:
+		return "op"
+	}
+}

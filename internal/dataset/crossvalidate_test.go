@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cellular"
+	"repro/internal/railway"
+	"repro/internal/tcp"
+)
+
+// TestAnalysisMatchesEndpointCounters cross-validates the two independent
+// accounting paths: the trace analyzer must reconstruct exactly the same
+// counters the endpoints maintained while the simulation ran.
+func TestAnalysisMatchesEndpointCounters(t *testing.T) {
+	for _, op := range cellular.Operators() {
+		op := op
+		t.Run(op.Name, func(t *testing.T) {
+			sc := hsrScenario(t, op, 13, 45*time.Second)
+			ft, st, err := RunFlow(sc)
+			if err != nil {
+				t.Fatalf("RunFlow: %v", err)
+			}
+			m, err := analysis.Analyze(ft)
+			if err != nil {
+				t.Fatalf("Analyze: %v", err)
+			}
+			if m.DataSent != st.DataSent {
+				t.Errorf("DataSent: analyzer %d vs endpoint %d", m.DataSent, st.DataSent)
+			}
+			if m.DataLost != st.DataDropped {
+				t.Errorf("DataLost: analyzer %d vs endpoint %d", m.DataLost, st.DataDropped)
+			}
+			if m.UniqueDelivered != st.UniqueDelivered {
+				t.Errorf("UniqueDelivered: analyzer %d vs endpoint %d", m.UniqueDelivered, st.UniqueDelivered)
+			}
+			if m.AcksSent != st.AcksSent {
+				t.Errorf("AcksSent: analyzer %d vs endpoint %d", m.AcksSent, st.AcksSent)
+			}
+			if m.AcksLost != st.AcksDropped {
+				t.Errorf("AcksLost: analyzer %d vs endpoint %d", m.AcksLost, st.AcksDropped)
+			}
+			if int64(m.Timeouts) != st.Timeouts {
+				t.Errorf("Timeouts: analyzer %d vs endpoint %d", m.Timeouts, st.Timeouts)
+			}
+			if int64(m.FastRetransmits) != st.FastRetransmits {
+				t.Errorf("FastRetransmits: analyzer %d vs endpoint %d", m.FastRetransmits, st.FastRetransmits)
+			}
+		})
+	}
+}
+
+// TestCampaignDeterministic re-runs a small campaign and requires
+// bit-identical metrics.
+func TestCampaignDeterministic(t *testing.T) {
+	run := func() []float64 {
+		c, err := RunCampaign(CampaignConfig{Seed: 77, FlowDuration: 15 * time.Second, FlowsPerRow: 1})
+		if err != nil {
+			t.Fatalf("RunCampaign: %v", err)
+		}
+		var out []float64
+		for _, m := range c.Metrics() {
+			out = append(out, m.ThroughputPps, m.DataLossRate, m.AckLossRate, float64(m.TimeoutSequences))
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different result counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("campaign not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: any seed yields a structurally valid flow — trace validates,
+// rates are probabilities, delivery never exceeds transmission, and the
+// recovery phases nest inside the flow duration.
+func TestFlowInvariantsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test runs dozens of simulations")
+	}
+	f := func(seed int64, opIdx uint8) bool {
+		ops := cellular.Operators()
+		op := ops[int(opIdx)%len(ops)]
+		trip := hsrTripShared
+		start, _ := trip.CruiseWindow()
+		sc := Scenario{
+			ID: "prop", Operator: op, Trip: trip, TripOffset: start,
+			FlowDuration: 20 * time.Second, Seed: seed, TCP: tcp.DefaultConfig(), Scenario: "hsr",
+		}
+		ft, st, err := RunFlow(sc)
+		if err != nil {
+			return false
+		}
+		if err := ft.Validate(); err != nil {
+			return false
+		}
+		m, err := analysis.Analyze(ft)
+		if err != nil {
+			return false
+		}
+		if m.DataLossRate < 0 || m.DataLossRate > 1 || m.AckLossRate < 0 || m.AckLossRate > 1 {
+			return false
+		}
+		if m.RecoveryLossRate < 0 || m.RecoveryLossRate > 1 {
+			return false
+		}
+		if st.UniqueDelivered > st.DataSent {
+			return false
+		}
+		for _, rec := range m.Recoveries {
+			if rec.Start > rec.FirstTimeout || rec.FirstTimeout > rec.End {
+				return false
+			}
+			if rec.End > sc.FlowDuration+time.Minute {
+				return false
+			}
+			if rec.RetransmissionsLost > rec.Retransmissions {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// hsrTripShared avoids rebuilding the trip in the property loop.
+var hsrTripShared = func() railway.Trip {
+	trip, err := railway.NewTrip(railway.BeijingTianjin, railway.DefaultProfile)
+	if err != nil {
+		panic(err)
+	}
+	return trip
+}()

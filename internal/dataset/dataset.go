@@ -1,0 +1,171 @@
+// Package dataset assembles complete measurement scenarios — a railway
+// trip, a carrier's cellular channel, the emulated links and a TCP flow —
+// and runs whole measurement campaigns shaped like the paper's Table I
+// dataset (255 flows across China Mobile LTE, China Unicom 3G and China
+// Telecom 3G, January and October 2015), plus the stationary baseline the
+// paper compares against.
+//
+// Real HSR rides obviously cannot be re-run; the campaign synthesizes the
+// same structure (trips x carriers x flows) with deterministic per-flow
+// seeds so every experiment is reproducible bit for bit.
+package dataset
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cellular"
+	"repro/internal/netem"
+	"repro/internal/railway"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/trace"
+)
+
+// Scenario is the full environment of one simulated flow.
+type Scenario struct {
+	ID           string
+	Operator     cellular.Operator
+	Trip         railway.Trip
+	TripOffset   time.Duration // where in the trip the flow starts
+	FlowDuration time.Duration
+	Seed         int64
+	TCP          tcp.Config
+	Scenario     string // "hsr" or "stationary" (trace metadata)
+}
+
+// Validate checks the scenario.
+func (sc Scenario) Validate() error {
+	if sc.FlowDuration <= 0 {
+		return fmt.Errorf("dataset: flow duration %v must be positive", sc.FlowDuration)
+	}
+	if sc.TripOffset < 0 {
+		return fmt.Errorf("dataset: trip offset %v must be non-negative", sc.TripOffset)
+	}
+	if err := sc.Operator.Validate(); err != nil {
+		return err
+	}
+	return sc.TCP.Validate()
+}
+
+// BuildPath constructs the emulated path (downlink data + uplink ACK) for a
+// scenario on the given simulator. It is exported so the MPTCP experiments
+// can wire several paths into one simulation.
+func BuildPath(simulator *sim.Simulator, sc Scenario) (*netem.Path, *cellular.Channel, error) {
+	horizon := sc.FlowDuration + time.Minute // slack for in-flight cleanup
+	ch, err := cellular.NewChannel(sc.Operator, sc.Trip, sc.TripOffset, horizon, sim.NewRand(sc.Seed, sim.StreamHandoff))
+	if err != nil {
+		return nil, nil, err
+	}
+	op := sc.Operator
+	fwd := netem.NewLink(simulator, netem.LinkConfig{
+		Rate:     op.DownlinkRate,
+		MaxQueue: op.QueuePackets,
+		Delay: netem.NewSumDelay(
+			netem.NewUniformDelay(op.DownDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay)),
+			netem.DelayFunc{Fn: ch.ExtraDelay},
+		),
+		Loss: netem.NewTransitLossFunc(ch.DataTransitProb, sim.NewRand(sc.Seed, sim.StreamDataLoss)),
+	})
+	rev := netem.NewLink(simulator, netem.LinkConfig{
+		Rate:     op.UplinkRate,
+		MaxQueue: op.QueuePackets,
+		Delay: netem.NewSumDelay(
+			netem.NewUniformDelay(op.UpDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay+1000)),
+			netem.DelayFunc{Fn: ch.ExtraDelay},
+		),
+		Loss: netem.NewTransitLossFunc(ch.AckTransitProb, sim.NewRand(sc.Seed, sim.StreamAckLoss)),
+	})
+	return netem.NewPath(fwd, rev), ch, nil
+}
+
+// BuildSharedCell creates the shared air-interface capacity stage of one
+// cell: a downlink and an uplink that only model line rate and queueing.
+// Several subflows of the same phone chained through these stages compete
+// for the same radio capacity (used by the MPTCP duplex experiments).
+func BuildSharedCell(simulator *sim.Simulator, op cellular.Operator) (down, up *netem.Link) {
+	down = netem.NewLink(simulator, netem.LinkConfig{
+		Rate: op.DownlinkRate, MaxQueue: op.QueuePackets, Delay: netem.FixedDelay(0),
+	})
+	up = netem.NewLink(simulator, netem.LinkConfig{
+		Rate: op.UplinkRate, MaxQueue: op.QueuePackets, Delay: netem.FixedDelay(0),
+	})
+	return down, up
+}
+
+// BuildSubflowPath builds a per-subflow path whose loss and delay are
+// independent (own cellular channel, own seed) but whose capacity is the
+// shared cell stage: packets traverse the subflow's channel link first
+// (synchronous loss verdict, so traces stay exact) and then queue on the
+// shared air interface.
+func BuildSubflowPath(simulator *sim.Simulator, sc Scenario, sharedDown, sharedUp *netem.Link) (*netem.Path, error) {
+	horizon := sc.FlowDuration + time.Minute
+	ch, err := cellular.NewChannel(sc.Operator, sc.Trip, sc.TripOffset, horizon, sim.NewRand(sc.Seed, sim.StreamHandoff))
+	if err != nil {
+		return nil, err
+	}
+	op := sc.Operator
+	fwd := netem.NewLink(simulator, netem.LinkConfig{
+		Delay: netem.NewSumDelay(
+			netem.NewUniformDelay(op.DownDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay)),
+			netem.DelayFunc{Fn: ch.ExtraDelay},
+		),
+		Loss: netem.NewTransitLossFunc(ch.DataTransitProb, sim.NewRand(sc.Seed, sim.StreamDataLoss)),
+	})
+	rev := netem.NewLink(simulator, netem.LinkConfig{
+		Delay: netem.NewSumDelay(
+			netem.NewUniformDelay(op.UpDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay+1000)),
+			netem.DelayFunc{Fn: ch.ExtraDelay},
+		),
+		Loss: netem.NewTransitLossFunc(ch.AckTransitProb, sim.NewRand(sc.Seed, sim.StreamAckLoss)),
+	})
+	return netem.NewPath(
+		netem.NewChain(fwd, sharedDown),
+		netem.NewChain(rev, sharedUp),
+	), nil
+}
+
+// RunFlow simulates one scenario end to end and returns its packet trace
+// and the endpoint counters.
+func RunFlow(sc Scenario) (*trace.FlowTrace, tcp.Stats, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, tcp.Stats{}, err
+	}
+	simulator := sim.New()
+	path, _, err := BuildPath(simulator, sc)
+	if err != nil {
+		return nil, tcp.Stats{}, err
+	}
+	ft := &trace.FlowTrace{Meta: trace.FlowMeta{
+		ID:          sc.ID,
+		Operator:    sc.Operator.Name,
+		Tech:        sc.Operator.Tech.String(),
+		Scenario:    sc.Scenario,
+		Seed:        sc.Seed,
+		MSS:         sc.TCP.MSS,
+		DelayedAckB: sc.TCP.DelayedAckB,
+		WindowLimit: sc.TCP.WindowLimit,
+		Duration:    sc.FlowDuration,
+	}}
+	conn, err := tcp.New(simulator, path, sc.TCP, ft)
+	if err != nil {
+		return nil, tcp.Stats{}, err
+	}
+	if err := conn.Start(sc.FlowDuration); err != nil {
+		return nil, tcp.Stats{}, err
+	}
+	simulator.RunUntil(sc.FlowDuration)
+	return ft, conn.Stats(), nil
+}
+
+// AnalyzeFlow runs a scenario and immediately reduces the trace to metrics,
+// releasing the event list (campaigns over hundreds of flows would
+// otherwise hold gigabytes of events).
+func AnalyzeFlow(sc Scenario) (*analysis.FlowMetrics, error) {
+	ft, _, err := RunFlow(sc)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Analyze(ft)
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/export"
+)
+
+// CSVTable renders the Fig 1 scatter as rows of (send time, kind, latency,
+// lost, seq) for external plotting.
+func (r *Figure1Result) CSVTable() *export.Table {
+	t := export.NewTable("sent_s", "kind", "latency_ms", "lost", "seq")
+	for _, p := range r.Points {
+		lat := "-1"
+		if !p.Lost {
+			lat = fmt.Sprintf("%.3f", p.Latency.Seconds()*1000)
+		}
+		t.AddRow(fmt.Sprintf("%.6f", p.SentAt.Seconds()), p.Kind.String(), lat,
+			fmt.Sprintf("%v", p.Lost), fmt.Sprintf("%d", p.Seq))
+	}
+	return t
+}
+
+// CSVTable renders the Fig 3 distributions: one row per flow with its
+// lifetime loss rate and (when defined) its recovery-phase loss rate.
+func (r *Figure3Result) CSVTable() *export.Table {
+	t := export.NewTable("series", "loss_rate")
+	for _, v := range r.RecoveryLoss {
+		t.AddRow("recovery_q", fmt.Sprintf("%.6f", v))
+	}
+	for _, v := range r.LifetimeLoss {
+		t.AddRow("lifetime_pd", fmt.Sprintf("%.6f", v))
+	}
+	return t
+}
+
+// CSVTable renders the Fig 4 scatter.
+func (r *Figure4Result) CSVTable() *export.Table {
+	t := export.NewTable("ack_loss_rate", "timeout_probability")
+	for i := range r.AckLoss {
+		t.AddRow(fmt.Sprintf("%.6f", r.AckLoss[i]), fmt.Sprintf("%.6f", r.TimeoutProb[i]))
+	}
+	return t
+}
+
+// CSVTable renders the Fig 6 distributions.
+func (r *Figure6Result) CSVTable() *export.Table {
+	t := export.NewTable("scenario", "ack_loss_rate")
+	for _, v := range r.HSR {
+		t.AddRow("hsr", fmt.Sprintf("%.6f", v))
+	}
+	for _, v := range r.Stationary {
+		t.AddRow("stationary", fmt.Sprintf("%.6f", v))
+	}
+	return t
+}
+
+// CSVTable renders the per-flow model fits of Fig 10.
+func (r *Figure10Result) CSVTable() *export.Table {
+	t := export.NewTable("flow", "operator", "actual_pps", "padhye_pps", "enhanced_pps", "D_padhye", "D_enhanced")
+	for _, op := range r.Operators {
+		for _, f := range op.Flows {
+			t.AddRow(f.FlowID, f.Operator,
+				fmt.Sprintf("%.3f", f.ActualPps),
+				fmt.Sprintf("%.3f", f.PadhyePps), fmt.Sprintf("%.3f", f.EnhPps),
+				fmt.Sprintf("%.5f", f.DPadhye), fmt.Sprintf("%.5f", f.DEnhanced))
+		}
+	}
+	return t
+}
+
+// CSVTable renders the Fig 12 pairs.
+func (r *Figure12Result) CSVTable() *export.Table {
+	t := export.NewTable("operator", "pair", "single_pps", "duplex_pps", "improvement")
+	for _, op := range r.Operators {
+		for i, p := range op.Pairs {
+			t.AddRow(op.Name, fmt.Sprintf("%d", i),
+				fmt.Sprintf("%.3f", p.SinglePps), fmt.Sprintf("%.3f", p.DuplexPps),
+				fmt.Sprintf("%.5f", p.Improvement))
+		}
+	}
+	return t
+}
+
+// WriteCSV writes one experiment's CSV table into dir as <name>.csv.
+func WriteCSV(dir, name string, t *export.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: create csv dir: %w", err)
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: create %s: %w", path, err)
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the extension studies DESIGN.md calls out. Each
+// experiment is a function from a Config (or a shared Context holding the
+// synthetic measurement campaigns) to a typed result with a Render method;
+// cmd/hsrbench prints the renders and bench_test.go reports the headline
+// numbers as benchmark metrics.
+//
+// Per-experiment index (see DESIGN.md for the full mapping):
+//
+//	Table1        — the dataset (paper Table I)
+//	Figure1       — per-packet delivery latency scatter with losses/timeouts
+//	Figure2       — the retransmission process inside one recovery phase
+//	Figure3       — CDFs of recovery-phase loss (q) vs lifetime data loss
+//	Figure4       — ACK loss rate vs timeout probability correlation
+//	Figure6       — CDFs of ACK loss, HSR vs stationary
+//	Figure10      — model deviation D: Padhye vs the enhanced model
+//	Figure12      — MPTCP (two subflows) vs TCP throughput by carrier
+//	Scalars       — headline numbers (5.05 s vs 0.65 s, 49.24% spurious, ...)
+//	DelayedAck    — Section V-A: the delayed-ACK window sweep
+//	ModelAblation — Section IV ablations (P_a source, consistent variant, sensitivity)
+//	BackupQ       — Section V-B: MPTCP backup-mode double retransmission
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/tcp"
+)
+
+// Config scales the experiments. The zero value is not valid; use Default
+// or Quick.
+type Config struct {
+	// Seed is the base seed for every campaign and flow.
+	Seed int64
+	// FlowDuration is the simulated duration of duration-bounded flows.
+	FlowDuration time.Duration
+	// FlowsPerRow overrides Table I's flow counts when positive.
+	FlowsPerRow int
+	// SizedSegments is the transfer size (in MSS segments) of the fixed-size
+	// flows used by the MPTCP comparison.
+	SizedSegments int64
+	// PairsPerOperator is the number of single-vs-duplex pairs per carrier
+	// in the MPTCP comparison.
+	PairsPerOperator int
+	// Parallelism bounds concurrent flow simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Default is the full-scale configuration: the complete 255-flow Table I
+// campaign with 120-second flows. It takes a few CPU-minutes.
+func Default() Config {
+	return Config{
+		Seed:             1,
+		FlowDuration:     120 * time.Second,
+		SizedSegments:    6000,
+		PairsPerOperator: 10,
+	}
+}
+
+// Quick is a reduced configuration for tests and smoke runs: 4 flows per
+// Table I row, 45-second flows.
+func Quick() Config {
+	return Config{
+		Seed:             1,
+		FlowDuration:     45 * time.Second,
+		FlowsPerRow:      4,
+		SizedSegments:    2000,
+		PairsPerOperator: 3,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.FlowDuration <= 0 {
+		return fmt.Errorf("experiments: FlowDuration %v must be positive", c.FlowDuration)
+	}
+	if c.SizedSegments < 2 {
+		return fmt.Errorf("experiments: SizedSegments %d must be >= 2", c.SizedSegments)
+	}
+	if c.PairsPerOperator < 1 {
+		return fmt.Errorf("experiments: PairsPerOperator %d must be >= 1", c.PairsPerOperator)
+	}
+	return nil
+}
+
+// Context holds the shared synthetic campaigns several experiments consume,
+// so a full run simulates the dataset once.
+type Context struct {
+	Cfg        Config
+	HSR        *dataset.Campaign
+	Stationary *dataset.Campaign
+}
+
+// NewContext runs the HSR and stationary campaigns for the configuration.
+func NewContext(cfg Config) (*Context, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hsr, err := dataset.RunCampaign(dataset.CampaignConfig{
+		Seed: cfg.Seed, FlowDuration: cfg.FlowDuration,
+		FlowsPerRow: cfg.FlowsPerRow, Parallelism: cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hsr campaign: %w", err)
+	}
+	stat, err := dataset.RunCampaign(dataset.CampaignConfig{
+		Seed: cfg.Seed + 5000, FlowDuration: cfg.FlowDuration,
+		FlowsPerRow: cfg.FlowsPerRow, Parallelism: cfg.Parallelism,
+		Stationary: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: stationary campaign: %w", err)
+	}
+	return &Context{Cfg: cfg, HSR: hsr, Stationary: stat}, nil
+}
+
+// defaultTCP returns the endpoint configuration experiments use.
+func defaultTCP() tcp.Config { return tcp.DefaultConfig() }

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/export"
+	"repro/internal/stats"
+)
+
+// Figure3Result compares the loss rate of retransmitted packets inside
+// timeout recovery phases (the paper's q, ~27.26%) with the lifetime data
+// loss rate (~0.7526%) across the HSR campaign's flows (paper Fig 3).
+type Figure3Result struct {
+	RecoveryLoss []float64 // per flow with >= 1 recovery
+	LifetimeLoss []float64 // per flow
+	MeanRecovery float64
+	MeanLifetime float64
+	PaperMeanQ   float64
+	PaperMeanPd  float64
+}
+
+// Figure3 extracts both loss-rate distributions from the campaign.
+func Figure3(ctx *Context) *Figure3Result {
+	res := &Figure3Result{PaperMeanQ: 0.2726, PaperMeanPd: 0.007526}
+	for _, m := range ctx.HSR.Metrics() {
+		res.LifetimeLoss = append(res.LifetimeLoss, m.DataLossRate)
+		if len(m.Recoveries) > 0 {
+			res.RecoveryLoss = append(res.RecoveryLoss, m.RecoveryLossRate)
+		}
+	}
+	res.MeanRecovery = stats.Mean(res.RecoveryLoss)
+	res.MeanLifetime = stats.Mean(res.LifetimeLoss)
+	return res
+}
+
+// Render draws both CDFs on one canvas.
+func (r *Figure3Result) Render() string {
+	plot := export.Plot{
+		Title:  "Fig 3 — CDF of recovery-phase loss rate q vs lifetime data loss rate",
+		XLabel: "loss rate",
+		YLabel: "CDF",
+		Height: 16,
+	}
+	plot.Add("q (recovery)", 'q', cdfPoints(r.RecoveryLoss))
+	plot.Add("p_d (lifetime)", 'p', cdfPoints(r.LifetimeLoss))
+	var b strings.Builder
+	b.WriteString(plot.Render())
+	fmt.Fprintf(&b, "mean q = %s (paper %s);  mean p_d = %s (paper %s)\n",
+		export.Percent(r.MeanRecovery), export.Percent(r.PaperMeanQ),
+		export.Percent(r.MeanLifetime), export.Percent(r.PaperMeanPd))
+	return b.String()
+}
+
+// Figure4Result is the per-flow scatter of ACK loss rate against timeout
+// probability with its correlation statistics (paper Fig 4).
+type Figure4Result struct {
+	AckLoss     []float64
+	TimeoutProb []float64
+	Pearson     float64
+	Spearman    float64
+	Fit         stats.Regression
+}
+
+// Figure4 computes the correlation across the HSR campaign.
+func Figure4(ctx *Context) *Figure4Result {
+	res := &Figure4Result{}
+	for _, m := range ctx.HSR.Metrics() {
+		if m.TimeoutSequences+m.FastRetransmits == 0 {
+			continue
+		}
+		res.AckLoss = append(res.AckLoss, m.AckLossRate)
+		res.TimeoutProb = append(res.TimeoutProb, m.TimeoutProbability)
+	}
+	res.Pearson = stats.Pearson(res.AckLoss, res.TimeoutProb)
+	res.Spearman = stats.Spearman(res.AckLoss, res.TimeoutProb)
+	res.Fit = stats.LinearFit(res.AckLoss, res.TimeoutProb)
+	return res
+}
+
+// Render draws the scatter and prints the correlation.
+func (r *Figure4Result) Render() string {
+	pts := make([]export.XY, len(r.AckLoss))
+	for i := range r.AckLoss {
+		pts[i] = export.XY{X: r.AckLoss[i], Y: r.TimeoutProb[i]}
+	}
+	plot := export.Plot{
+		Title:  "Fig 4 — ACK loss rate vs probability of timeout events (one point per flow)",
+		XLabel: "ACK loss rate p_a",
+		YLabel: "P(loss indication is a timeout)",
+		Height: 16,
+	}
+	plot.Add("flow", '*', pts)
+	var b strings.Builder
+	b.WriteString(plot.Render())
+	fmt.Fprintf(&b, "flows=%d  Pearson r=%.3f  Spearman rho=%.3f  fit slope=%.2f (R2=%.3f)\n",
+		len(pts), r.Pearson, r.Spearman, r.Fit.Slope, r.Fit.R2)
+	b.WriteString("paper: clear positive (though not strong) correlation — timeouts grow with ACK loss\n")
+	return b.String()
+}
+
+// Figure6Result compares the ACK loss rate distributions of the HSR and
+// stationary campaigns (paper Fig 6: 0.661% vs 0.0718% on average).
+type Figure6Result struct {
+	HSR             []float64
+	Stationary      []float64
+	MeanHSR         float64
+	MeanStationary  float64
+	PaperHSR        float64
+	PaperStationary float64
+}
+
+// Figure6 extracts per-flow ACK loss rates for both scenarios.
+func Figure6(ctx *Context) *Figure6Result {
+	res := &Figure6Result{PaperHSR: 0.00661, PaperStationary: 0.000718}
+	for _, m := range ctx.HSR.Metrics() {
+		res.HSR = append(res.HSR, m.AckLossRate)
+	}
+	for _, m := range ctx.Stationary.Metrics() {
+		res.Stationary = append(res.Stationary, m.AckLossRate)
+	}
+	res.MeanHSR = stats.Mean(res.HSR)
+	res.MeanStationary = stats.Mean(res.Stationary)
+	return res
+}
+
+// Render draws both CDFs.
+func (r *Figure6Result) Render() string {
+	plot := export.Plot{
+		Title:  "Fig 6 — CDF of ACK loss rate: high-speed vs stationary",
+		XLabel: "ACK loss rate",
+		YLabel: "CDF",
+		Height: 16,
+	}
+	plot.Add("HSR", 'h', cdfPoints(r.HSR))
+	plot.Add("stationary", 's', cdfPoints(r.Stationary))
+	var b strings.Builder
+	b.WriteString(plot.Render())
+	fmt.Fprintf(&b, "mean ACK loss: HSR %s (paper %s);  stationary %s (paper %s)\n",
+		export.Percent(r.MeanHSR), export.Percent(r.PaperHSR),
+		export.Percent(r.MeanStationary), export.Percent(r.PaperStationary))
+	return b.String()
+}
+
+// cdfPoints converts a sample into CDF curve points for plotting.
+func cdfPoints(xs []float64) []export.XY {
+	c := stats.NewCDF(xs)
+	pts := c.Points(min(64, max(1, len(xs))))
+	out := make([]export.XY, len(pts))
+	for i, p := range pts {
+		out[i] = export.XY{X: p.X, Y: p.P}
+	}
+	return out
+}
+
+// ScalarsResult carries the paper's headline measurement claims.
+type ScalarsResult struct {
+	MeanRecoveryHSR        time.Duration // paper: 5.05 s
+	MeanRecoveryStationary time.Duration // paper: 0.65 s
+	SpuriousFraction       float64       // paper: 49.24%
+	MeanDataLossHSR        float64       // paper: 0.7526%
+	MeanAckLossHSR         float64       // paper: 0.661%
+	MeanAckLossStationary  float64       // paper: 0.0718%
+	HSRTimeoutSequences    int
+	StationaryTimeoutSeqs  int
+}
+
+// Scalars aggregates the headline numbers from both campaigns.
+func Scalars(ctx *Context) *ScalarsResult {
+	h := ctxSummary(ctx, true)
+	s := ctxSummary(ctx, false)
+	return &ScalarsResult{
+		MeanRecoveryHSR:        h.MeanRecoveryDuration,
+		MeanRecoveryStationary: s.MeanRecoveryDuration,
+		SpuriousFraction:       h.SpuriousFraction,
+		MeanDataLossHSR:        h.MeanDataLossRate,
+		MeanAckLossHSR:         h.MeanAckLossRate,
+		MeanAckLossStationary:  s.MeanAckLossRate,
+		HSRTimeoutSequences:    h.TotalTimeoutSeqs,
+		StationaryTimeoutSeqs:  s.TotalTimeoutSeqs,
+	}
+}
+
+func ctxSummary(ctx *Context, hsr bool) analysis.Summary {
+	camp := ctx.Stationary
+	if hsr {
+		camp = ctx.HSR
+	}
+	return analysis.Summarize(camp.Metrics())
+}
+
+// Render prints paper-vs-measured for each claim.
+func (r *ScalarsResult) Render() string {
+	t := export.NewTable("claim", "paper", "measured")
+	t.AddRow("mean timeout recovery, HSR", "5.05 s", fmt.Sprintf("%.2f s", r.MeanRecoveryHSR.Seconds()))
+	t.AddRow("mean timeout recovery, stationary", "0.65 s", fmt.Sprintf("%.2f s", r.MeanRecoveryStationary.Seconds()))
+	t.AddRow("spurious timeout fraction", "49.24%", export.Percent(r.SpuriousFraction))
+	t.AddRow("mean data loss rate, HSR", "0.7526%", export.Percent(r.MeanDataLossHSR))
+	t.AddRow("mean ACK loss rate, HSR", "0.661%", export.Percent(r.MeanAckLossHSR))
+	t.AddRow("mean ACK loss rate, stationary", "0.0718%", export.Percent(r.MeanAckLossStationary))
+	var b strings.Builder
+	b.WriteString("Headline measurement claims (Section III)\n")
+	b.WriteString(t.Render())
+	fmt.Fprintf(&b, "timeout sequences: %d on the train, %d stationary\n",
+		r.HSRTimeoutSequences, r.StationaryTimeoutSeqs)
+	return b.String()
+}

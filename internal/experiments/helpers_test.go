@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestCdfPoints(t *testing.T) {
+	pts := cdfPoints([]float64{3, 1, 2})
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y <= pts[i-1].Y || pts[i].X < pts[i-1].X {
+			t.Fatalf("CDF points not monotone at %d: %+v", i, pts)
+		}
+	}
+	if last := pts[len(pts)-1]; last.Y != 1 || last.X != 3 {
+		t.Errorf("last point = %+v, want (3, 1)", last)
+	}
+	if got := cdfPoints(nil); len(got) != 0 {
+		t.Errorf("cdfPoints(nil) = %v, want nil", got)
+	}
+}
+
+func TestCtxSummary(t *testing.T) {
+	ctx := testContext(t)
+	hsr := ctxSummary(ctx, true)
+	stat := ctxSummary(ctx, false)
+	if hsr.Flows != len(ctx.HSR.Results) || stat.Flows != len(ctx.Stationary.Results) {
+		t.Errorf("summaries cover %d/%d flows, want %d/%d",
+			hsr.Flows, stat.Flows, len(ctx.HSR.Results), len(ctx.Stationary.Results))
+	}
+	if hsr.MeanAckLossRate <= stat.MeanAckLossRate {
+		t.Error("HSR summary should show higher ACK loss")
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildReport(t *testing.T) {
+	ctx := testContext(t)
+	md, err := BuildReport(ctx)
+	if err != nil {
+		t.Fatalf("BuildReport: %v", err)
+	}
+	for _, want := range []string{
+		"# Reproduction report",
+		"Section III headline claims",
+		"Fig 10 — model accuracy",
+		"21.96%", // the paper reference values must appear
+		"Fig 12 — MPTCP vs TCP",
+		"delayed-ACK sweep",
+		"Eifel",
+		"| China Mobile |",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// It must be plausible markdown: tables have separator rows.
+	if !strings.Contains(md, "| --- |") {
+		t.Error("no markdown table separators")
+	}
+}

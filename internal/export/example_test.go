@@ -1,0 +1,20 @@
+package export_test
+
+import (
+	"fmt"
+
+	"repro/internal/export"
+)
+
+// ExampleTable renders an aligned text table.
+func ExampleTable() {
+	t := export.NewTable("provider", "Mbps")
+	t.AddRow("China Mobile", 1.84)
+	t.AddRow("China Telecom", 0.67)
+	fmt.Print(t.Render())
+	// Output:
+	// provider       Mbps
+	// -------------  ----
+	// China Mobile   1.84
+	// China Telecom  0.67
+}

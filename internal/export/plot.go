@@ -1,0 +1,129 @@
+package export
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// XY is one point of a 2-D series.
+type XY struct {
+	X, Y float64
+}
+
+// Series is a named point set with a plot glyph.
+type Series struct {
+	Name   string
+	Glyph  rune
+	Points []XY
+}
+
+// Plot renders one or more series on a shared text canvas with axis labels —
+// enough to eyeball the shape of a scatter or a CDF in a terminal.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // canvas columns (default 72)
+	Height int // canvas rows (default 20)
+	Series []Series
+}
+
+// Add appends a series.
+func (p *Plot) Add(name string, glyph rune, pts []XY) {
+	p.Series = append(p.Series, Series{Name: name, Glyph: glyph, Points: pts})
+}
+
+// Render draws the plot.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	total := 0
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			if math.IsNaN(pt.X) || math.IsNaN(pt.Y) {
+				continue
+			}
+			total++
+			minX, maxX = math.Min(minX, pt.X), math.Max(maxX, pt.X)
+			minY, maxY = math.Min(minY, pt.Y), math.Max(maxY, pt.Y)
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title + "\n")
+	}
+	if total == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	canvas := make([][]rune, h)
+	for i := range canvas {
+		canvas[i] = make([]rune, w)
+		for j := range canvas[i] {
+			canvas[i][j] = ' '
+		}
+	}
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			if math.IsNaN(pt.X) || math.IsNaN(pt.Y) {
+				continue
+			}
+			col := int((pt.X - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((pt.Y-minY)/(maxY-minY)*float64(h-1))
+			canvas[row][col] = s.Glyph
+		}
+	}
+	for i, line := range canvas {
+		label := "          "
+		switch i {
+		case 0:
+			label = leftPad(fmt.Sprintf("%.3g", maxY), 10)
+		case h - 1:
+			label = leftPad(fmt.Sprintf("%.3g", minY), 10)
+		}
+		b.WriteString(label + " |" + string(line) + "\n")
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", w) + "\n")
+	xAxis := leftPad(fmt.Sprintf("%.3g", minX), 12) +
+		strings.Repeat(" ", maxInt(1, w-10)) + fmt.Sprintf("%.3g", maxX)
+	b.WriteString(xAxis + "\n")
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "x: %s   y: %s\n", p.XLabel, p.YLabel)
+	}
+	var legend []string
+	for _, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Glyph, s.Name))
+	}
+	if len(legend) > 0 {
+		b.WriteString("legend: " + strings.Join(legend, "  ") + "\n")
+	}
+	return b.String()
+}
+
+func leftPad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return strings.Repeat(" ", n-len(s)) + s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,234 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DropKind classifies why the link dropped a packet.
+type DropKind int
+
+// Drop causes.
+const (
+	// DropChannel is a random radio-channel loss decided by the LossModel.
+	DropChannel DropKind = iota + 1
+	// DropQueue is a tail drop: the serialization queue exceeded its limit.
+	DropQueue
+)
+
+// String implements fmt.Stringer.
+func (k DropKind) String() string {
+	switch k {
+	case DropChannel:
+		return "channel"
+	case DropQueue:
+		return "queue"
+	default:
+		return fmt.Sprintf("DropKind(%d)", int(k))
+	}
+}
+
+// LinkStats counts the fate of packets offered to a link.
+type LinkStats struct {
+	Offered      int // packets handed to Send
+	Delivered    int // packets whose deliver callback fired
+	ChannelDrops int // random channel losses
+	QueueDrops   int // serialization-queue tail drops
+}
+
+// LossRate returns the fraction of offered packets that were dropped for any
+// reason, or 0 if nothing was offered.
+func (s LinkStats) LossRate() float64 {
+	if s.Offered == 0 {
+		return 0
+	}
+	return float64(s.Offered-s.Delivered) / float64(s.Offered)
+}
+
+// LinkConfig describes one unidirectional link.
+type LinkConfig struct {
+	// Rate is the line rate in bits per second; 0 means infinitely fast
+	// (no serialization delay, no queue).
+	Rate float64
+	// MaxQueue bounds the serialization backlog in packets; packets arriving
+	// with MaxQueue packets already waiting are tail-dropped. Ignored when
+	// Rate is 0. A zero MaxQueue means an unbounded queue.
+	MaxQueue int
+	// Delay samples per-packet propagation delay. Required.
+	Delay DelayModel
+	// Loss decides random channel drops. Defaults to NoLoss.
+	Loss LossModel
+}
+
+// Link is a unidirectional, loss- and delay-emulating packet pipe driven by
+// a Simulator. Deliveries never reorder: a packet's delivery time is clamped
+// to be at least the previous packet's delivery time, modeling the in-order
+// radio bearer of cellular networks (the paper's traces show no transport-
+// visible reordering; TCP's dup-ACK machinery would otherwise conflate
+// reordering with loss).
+type Link struct {
+	simulator *sim.Simulator
+	cfg       LinkConfig
+	stats     LinkStats
+
+	nextFree     time.Duration // when the serializer becomes idle
+	lastDelivery time.Duration // monotone delivery horizon (no reordering)
+}
+
+// NewLink builds a link on top of the given simulator.
+func NewLink(simulator *sim.Simulator, cfg LinkConfig) *Link {
+	if simulator == nil {
+		panic("netem: NewLink with nil simulator")
+	}
+	if cfg.Delay == nil {
+		panic("netem: LinkConfig.Delay is required")
+	}
+	if cfg.Rate < 0 {
+		panic(fmt.Sprintf("netem: negative link rate %v", cfg.Rate))
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = NoLoss{}
+	}
+	return &Link{simulator: simulator, cfg: cfg}
+}
+
+// Stats returns a copy of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// QueueDepth returns the current serialization backlog in seconds of
+// transmission time (0 when the line is idle or infinitely fast).
+func (l *Link) QueueDepth() time.Duration {
+	now := l.simulator.Now()
+	if l.nextFree <= now {
+		return 0
+	}
+	return l.nextFree - now
+}
+
+// Send offers a packet of size bytes to the link. If the packet survives the
+// queue and the channel, deliver is scheduled at the emulated arrival time
+// and Send returns (delivered-eventually=true, 0). Otherwise deliver is
+// never called and Send reports the drop cause. The caller observes drops
+// synchronously, which the trace recorder uses to log ground-truth losses.
+func (l *Link) Send(size int, deliver func()) (bool, DropKind) {
+	if size <= 0 {
+		panic(fmt.Sprintf("netem: Send with non-positive size %d", size))
+	}
+	if deliver == nil {
+		panic("netem: Send with nil deliver callback")
+	}
+	l.stats.Offered++
+	now := l.simulator.Now()
+
+	departure := now
+	if l.cfg.Rate > 0 {
+		txTime := time.Duration(float64(size*8) / l.cfg.Rate * float64(time.Second))
+		if txTime <= 0 {
+			txTime = time.Nanosecond
+		}
+		start := now
+		if l.nextFree > start {
+			start = l.nextFree
+		}
+		if l.cfg.MaxQueue > 0 {
+			// backlog counts packets ahead of this one (including the one in
+			// service); only the waiting ones occupy queue slots.
+			backlog := int((start - now) / txTime)
+			if backlog > l.cfg.MaxQueue {
+				l.stats.QueueDrops++
+				return false, DropQueue
+			}
+		}
+		departure = start + txTime
+		l.nextFree = departure
+	}
+
+	// The arrival epoch (before FIFO clamping) is computed first so the loss
+	// model can expose the packet to the channel conditions of both transit
+	// ends; the model is consulted once per packet so burst-state evolution
+	// stays per-packet.
+	arrival := departure + l.cfg.Delay.Sample(now)
+	if l.cfg.Loss.Drop(now, arrival) {
+		l.stats.ChannelDrops++
+		return false, DropChannel
+	}
+	if arrival < l.lastDelivery {
+		arrival = l.lastDelivery // preserve FIFO delivery
+	}
+	l.lastDelivery = arrival
+	l.simulator.At(arrival, func() {
+		l.stats.Delivered++
+		deliver()
+	})
+	return true, 0
+}
+
+// Sender is the one-way packet interface endpoints transmit into: a Link,
+// or a Chain of stages.
+type Sender interface {
+	// Send offers a packet; deliver fires at the emulated arrival time
+	// unless the packet is dropped, in which case Send reports the cause.
+	// Drops in stages past the first of a Chain are reported as delivered
+	// (the verdict of later stages is not knowable synchronously); such
+	// packets simply never arrive.
+	Send(size int, deliver func()) (bool, DropKind)
+}
+
+var (
+	_ Sender = (*Link)(nil)
+	_ Sender = (*Chain)(nil)
+)
+
+// Chain runs a packet through several stages in order: each stage's
+// emulated arrival feeds the next stage's Send. Use it to separate a shared
+// capacity stage (the cell's air interface serving several subflows) from
+// per-subflow loss and delay.
+type Chain struct {
+	Stages []Sender
+}
+
+// NewChain builds a chain of at least one stage.
+func NewChain(stages ...Sender) *Chain {
+	if len(stages) == 0 {
+		panic("netem: NewChain requires at least one stage")
+	}
+	for _, s := range stages {
+		if s == nil {
+			panic("netem: NewChain with nil stage")
+		}
+	}
+	return &Chain{Stages: stages}
+}
+
+// Send implements Sender. Only the first stage's verdict is synchronous;
+// later stages drop silently (their deliver callback never fires).
+func (c *Chain) Send(size int, deliver func()) (bool, DropKind) {
+	return c.sendFrom(0, size, deliver)
+}
+
+func (c *Chain) sendFrom(stage int, size int, deliver func()) (bool, DropKind) {
+	if stage == len(c.Stages)-1 {
+		return c.Stages[stage].Send(size, deliver)
+	}
+	return c.Stages[stage].Send(size, func() {
+		c.sendFrom(stage+1, size, deliver)
+	})
+}
+
+// Path bundles the two directions of a bidirectional connection: Forward
+// carries data (server -> phone downlink in the paper's setup) and Reverse
+// carries ACKs (uplink).
+type Path struct {
+	Forward Sender
+	Reverse Sender
+}
+
+// NewPath wires two senders into a path.
+func NewPath(forward, reverse Sender) *Path {
+	if forward == nil || reverse == nil {
+		panic("netem: NewPath requires both directions")
+	}
+	return &Path{Forward: forward, Reverse: reverse}
+}

@@ -1,0 +1,175 @@
+// Package netem emulates unidirectional network links at packet granularity:
+// serialization at a finite line rate with a bounded queue, propagation
+// delay with jitter, and pluggable random-loss processes (Bernoulli,
+// Gilbert-Elliott bursts, and time-varying loss driven by the cellular
+// channel model). A pair of links forms a Path, the substrate the TCP
+// endpoints run over.
+package netem
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// LossModel decides whether a packet is dropped by the radio channel. It
+// sees both transit epochs — when the packet entered the link (sent) and
+// when it would arrive (arrival) — because a time-varying channel must be
+// survived at both ends: a packet already in flight when a handoff outage
+// begins is exposed to the outage even though it was sent on a clean
+// channel. Implementations are stateful (burst models) and not safe for
+// concurrent use; the simulation is single-threaded by construction.
+type LossModel interface {
+	Drop(sent, arrival time.Duration) bool
+}
+
+// NoLoss is a LossModel that never drops.
+type NoLoss struct{}
+
+// Drop implements LossModel; it always returns false.
+func (NoLoss) Drop(_, _ time.Duration) bool { return false }
+
+// Bernoulli drops each packet independently with probability P.
+type Bernoulli struct {
+	P   float64
+	rng *rand.Rand
+}
+
+// NewBernoulli returns an independent-loss model with drop probability p.
+// It panics if p is outside [0, 1].
+func NewBernoulli(p float64, rng *rand.Rand) *Bernoulli {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("netem: Bernoulli probability %v outside [0,1]", p))
+	}
+	return &Bernoulli{P: p, rng: rng}
+}
+
+// Drop implements LossModel.
+func (b *Bernoulli) Drop(_, _ time.Duration) bool {
+	return b.P > 0 && b.rng.Float64() < b.P
+}
+
+// GilbertElliott is the classic two-state burst-loss channel. In the Good
+// state packets drop with probability LossGood, in the Bad state with
+// LossBad; the chain moves Good->Bad with PGoodBad and Bad->Good with
+// PBadGood per packet.
+type GilbertElliott struct {
+	PGoodBad float64 // transition probability good -> bad, per packet
+	PBadGood float64 // transition probability bad -> good, per packet
+	LossGood float64 // drop probability while in the good state
+	LossBad  float64 // drop probability while in the bad state
+
+	bad bool
+	rng *rand.Rand
+}
+
+// NewGilbertElliott builds a two-state burst-loss model starting in the Good
+// state. All probabilities must lie in [0, 1].
+func NewGilbertElliott(pGoodBad, pBadGood, lossGood, lossBad float64, rng *rand.Rand) *GilbertElliott {
+	for _, p := range []float64{pGoodBad, pBadGood, lossGood, lossBad} {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("netem: GilbertElliott probability %v outside [0,1]", p))
+		}
+	}
+	return &GilbertElliott{
+		PGoodBad: pGoodBad,
+		PBadGood: pBadGood,
+		LossGood: lossGood,
+		LossBad:  lossBad,
+		rng:      rng,
+	}
+}
+
+// Drop implements LossModel: advance the state chain, then draw a loss from
+// the current state's loss probability.
+func (g *GilbertElliott) Drop(_, _ time.Duration) bool {
+	if g.bad {
+		if g.rng.Float64() < g.PBadGood {
+			g.bad = false
+		}
+	} else {
+		if g.rng.Float64() < g.PGoodBad {
+			g.bad = true
+		}
+	}
+	p := g.LossGood
+	if g.bad {
+		p = g.LossBad
+	}
+	return p > 0 && g.rng.Float64() < p
+}
+
+// InBadState reports whether the chain is currently in the Bad state.
+func (g *GilbertElliott) InBadState() bool { return g.bad }
+
+// LossFunc adapts a time-indexed loss probability function to a LossModel.
+// The cellular channel exposes its handoff outages and speed-dependent
+// residual loss this way.
+type LossFunc struct {
+	Prob func(now time.Duration) float64
+	rng  *rand.Rand
+}
+
+// NewLossFunc wraps prob (which must return values in [0, 1]) as a LossModel.
+func NewLossFunc(prob func(time.Duration) float64, rng *rand.Rand) *LossFunc {
+	if prob == nil {
+		panic("netem: NewLossFunc with nil probability function")
+	}
+	return &LossFunc{Prob: prob, rng: rng}
+}
+
+// Drop implements LossModel: the packet faces the worse of the channel
+// conditions at its two transit epochs.
+func (f *LossFunc) Drop(sent, arrival time.Duration) bool {
+	p := f.Prob(sent)
+	if pa := f.Prob(arrival); pa > p {
+		p = pa
+	}
+	return p > 0 && f.rng.Float64() < p
+}
+
+// TransitLossFunc adapts a loss probability function of both transit epochs
+// to a LossModel. The cellular channel uses it to distinguish packets sent
+// while the radio bearer is down (retransmission probes, ACKs from a
+// detached phone) from packets that merely arrive into an outage.
+type TransitLossFunc struct {
+	Prob func(sent, arrival time.Duration) float64
+	rng  *rand.Rand
+}
+
+// NewTransitLossFunc wraps prob (values in [0, 1]) as a LossModel.
+func NewTransitLossFunc(prob func(sent, arrival time.Duration) float64, rng *rand.Rand) *TransitLossFunc {
+	if prob == nil {
+		panic("netem: NewTransitLossFunc with nil probability function")
+	}
+	return &TransitLossFunc{Prob: prob, rng: rng}
+}
+
+// Drop implements LossModel.
+func (f *TransitLossFunc) Drop(sent, arrival time.Duration) bool {
+	p := f.Prob(sent, arrival)
+	return p > 0 && f.rng.Float64() < p
+}
+
+// AnyLoss combines loss models: a packet is dropped if any component model
+// drops it. Every component sees every packet, so burst-model state advances
+// consistently regardless of the other components' decisions.
+type AnyLoss struct {
+	Models []LossModel
+}
+
+// NewAnyLoss combines the given models.
+func NewAnyLoss(models ...LossModel) *AnyLoss {
+	return &AnyLoss{Models: models}
+}
+
+// Drop implements LossModel.
+func (a *AnyLoss) Drop(sent, arrival time.Duration) bool {
+	dropped := false
+	for _, m := range a.Models {
+		if m.Drop(sent, arrival) {
+			dropped = true
+		}
+	}
+	return dropped
+}

@@ -1,0 +1,166 @@
+// Package railway models the physical substrate of the paper's measurement
+// campaign: the Beijing-Tianjin Intercity Railway (BTR) line geometry and a
+// trapezoidal train speed profile. A Trip maps virtual time to track
+// position and instantaneous speed; the cellular layer turns positions into
+// serving cells and speeds into channel quality.
+package railway
+
+import (
+	"fmt"
+	"time"
+)
+
+// Track describes a rail line as a straight segment of the given length.
+// Cell towers in internal/cellular are indexed by track kilometre, so a 1-D
+// abstraction is sufficient.
+type Track struct {
+	Name     string
+	LengthKm float64
+}
+
+// BeijingTianjin is the line the paper measured on: ~120 km, one-way trip of
+// about 33 minutes at a steady peak speed of 300 km/h.
+var BeijingTianjin = Track{Name: "Beijing-Tianjin Intercity Railway", LengthKm: 120}
+
+// SpeedProfile is a symmetric trapezoidal velocity profile: constant
+// acceleration up to the cruise speed, cruise, constant deceleration to a
+// stop at the far end.
+type SpeedProfile struct {
+	CruiseKmh float64 // steady cruise speed, km/h
+	AccelMS2  float64 // acceleration and deceleration magnitude, m/s^2
+}
+
+// DefaultProfile reproduces the paper's BTR service: 300 km/h cruise with a
+// gentle 0.35 m/s^2 ramp, giving a one-way time of roughly half an hour.
+var DefaultProfile = SpeedProfile{CruiseKmh: 300, AccelMS2: 0.35}
+
+// StationaryProfile models the baseline scenario (phone not moving); used by
+// the stationary measurement campaign.
+var StationaryProfile = SpeedProfile{CruiseKmh: 0, AccelMS2: 0}
+
+// Trip is one run over a track with a speed profile.
+type Trip struct {
+	Track   Track
+	Profile SpeedProfile
+}
+
+// NewTrip validates the configuration and returns a Trip.
+func NewTrip(track Track, profile SpeedProfile) (Trip, error) {
+	if track.LengthKm <= 0 {
+		return Trip{}, fmt.Errorf("railway: track length %v km must be positive", track.LengthKm)
+	}
+	if profile.CruiseKmh < 0 || profile.AccelMS2 < 0 {
+		return Trip{}, fmt.Errorf("railway: negative speed profile %+v", profile)
+	}
+	if profile.CruiseKmh > 0 && profile.AccelMS2 == 0 {
+		return Trip{}, fmt.Errorf("railway: cruise speed %v km/h with zero acceleration is unreachable", profile.CruiseKmh)
+	}
+	if profile.CruiseKmh > 0 {
+		// The trapezoid degenerates to a triangle if the track is too short
+		// to reach cruise speed; we reject that rather than silently
+		// changing the profile because the paper's line cruises for most of
+		// the trip.
+		v := profile.CruiseKmh / 3.6 // m/s
+		rampM := v * v / (2 * profile.AccelMS2)
+		if 2*rampM >= track.LengthKm*1000 {
+			return Trip{}, fmt.Errorf("railway: track %v km too short to reach %v km/h at %v m/s^2",
+				track.LengthKm, profile.CruiseKmh, profile.AccelMS2)
+		}
+	}
+	return Trip{Track: track, Profile: profile}, nil
+}
+
+// cruiseMS returns the cruise speed in metres per second.
+func (t Trip) cruiseMS() float64 { return t.Profile.CruiseKmh / 3.6 }
+
+// rampTime returns the duration of the acceleration (= deceleration) ramp.
+func (t Trip) rampTime() time.Duration {
+	if t.Profile.CruiseKmh == 0 {
+		return 0
+	}
+	sec := t.cruiseMS() / t.Profile.AccelMS2
+	return time.Duration(sec * float64(time.Second))
+}
+
+// rampDistM returns the distance covered by one ramp, in metres.
+func (t Trip) rampDistM() float64 {
+	v := t.cruiseMS()
+	if v == 0 {
+		return 0
+	}
+	return v * v / (2 * t.Profile.AccelMS2)
+}
+
+// Duration returns the one-way travel time. A stationary trip has infinite
+// duration conceptually; we return 0 and Position stays at the origin.
+func (t Trip) Duration() time.Duration {
+	if t.Profile.CruiseKmh == 0 {
+		return 0
+	}
+	cruiseDistM := t.Track.LengthKm*1000 - 2*t.rampDistM()
+	cruiseSec := cruiseDistM / t.cruiseMS()
+	return 2*t.rampTime() + time.Duration(cruiseSec*float64(time.Second))
+}
+
+// PositionKm returns the train's track position (km from the origin
+// station) at the given time into the trip. Times past the arrival clamp to
+// the track end; a stationary trip is always at km 0.
+func (t Trip) PositionKm(at time.Duration) float64 {
+	if t.Profile.CruiseKmh == 0 || at <= 0 {
+		return 0
+	}
+	total := t.Duration()
+	if at >= total {
+		return t.Track.LengthKm
+	}
+	ramp := t.rampTime()
+	v := t.cruiseMS()
+	a := t.Profile.AccelMS2
+	sec := at.Seconds()
+	switch {
+	case at < ramp:
+		return 0.5 * a * sec * sec / 1000
+	case at < total-ramp:
+		cruiseSec := sec - ramp.Seconds()
+		return (t.rampDistM() + v*cruiseSec) / 1000
+	default:
+		// Decelerating: symmetric to the acceleration ramp from the far end.
+		remain := (total - at).Seconds()
+		return t.Track.LengthKm - 0.5*a*remain*remain/1000
+	}
+}
+
+// SpeedKmh returns the instantaneous speed at the given time into the trip.
+func (t Trip) SpeedKmh(at time.Duration) float64 {
+	if t.Profile.CruiseKmh == 0 || at <= 0 {
+		return 0
+	}
+	total := t.Duration()
+	if at >= total {
+		return 0
+	}
+	ramp := t.rampTime()
+	a := t.Profile.AccelMS2
+	switch {
+	case at < ramp:
+		return a * at.Seconds() * 3.6
+	case at < total-ramp:
+		return t.Profile.CruiseKmh
+	default:
+		return a * (total - at).Seconds() * 3.6
+	}
+}
+
+// CruiseWindow returns the time interval [start, end) during which the train
+// is at full cruise speed. Experiments that need "constant speed around
+// 300 km/h" (e.g. the paper's Fig 1 flow) sample flows inside this window.
+func (t Trip) CruiseWindow() (start, end time.Duration) {
+	if t.Profile.CruiseKmh == 0 {
+		return 0, 0
+	}
+	ramp := t.rampTime()
+	return ramp, t.Duration() - ramp
+}
+
+// Stationary reports whether this trip never moves.
+func (t Trip) Stationary() bool { return t.Profile.CruiseKmh == 0 }

@@ -1,0 +1,180 @@
+package railway
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustTrip(t *testing.T, track Track, p SpeedProfile) Trip {
+	t.Helper()
+	trip, err := NewTrip(track, p)
+	if err != nil {
+		t.Fatalf("NewTrip: %v", err)
+	}
+	return trip
+}
+
+func TestNewTripValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		track   Track
+		profile SpeedProfile
+		wantErr bool
+	}{
+		{"default BTR", BeijingTianjin, DefaultProfile, false},
+		{"stationary", BeijingTianjin, StationaryProfile, false},
+		{"zero length", Track{LengthKm: 0}, DefaultProfile, true},
+		{"negative speed", BeijingTianjin, SpeedProfile{CruiseKmh: -1, AccelMS2: 1}, true},
+		{"unreachable cruise", BeijingTianjin, SpeedProfile{CruiseKmh: 300, AccelMS2: 0}, true},
+		{"track too short", Track{LengthKm: 1}, SpeedProfile{CruiseKmh: 300, AccelMS2: 0.35}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewTrip(tt.track, tt.profile)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewTrip err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestBTRTripDuration(t *testing.T) {
+	trip := mustTrip(t, BeijingTianjin, DefaultProfile)
+	d := trip.Duration()
+	// The paper reports ~33 minutes for the one-way trip; our trapezoid with
+	// a 0.35 m/s^2 ramp should land in the same ballpark (25-40 min).
+	if d < 25*time.Minute || d > 40*time.Minute {
+		t.Errorf("BTR trip duration = %v, want 25-40 min", d)
+	}
+}
+
+func TestPositionEndpoints(t *testing.T) {
+	trip := mustTrip(t, BeijingTianjin, DefaultProfile)
+	if got := trip.PositionKm(0); got != 0 {
+		t.Errorf("PositionKm(0) = %v, want 0", got)
+	}
+	if got := trip.PositionKm(trip.Duration()); got != BeijingTianjin.LengthKm {
+		t.Errorf("PositionKm(end) = %v, want %v", got, BeijingTianjin.LengthKm)
+	}
+	if got := trip.PositionKm(trip.Duration() + time.Hour); got != BeijingTianjin.LengthKm {
+		t.Errorf("PositionKm(past end) = %v, want clamp to %v", got, BeijingTianjin.LengthKm)
+	}
+	if got := trip.PositionKm(-time.Second); got != 0 {
+		t.Errorf("PositionKm(negative) = %v, want 0", got)
+	}
+}
+
+func TestSpeedProfileShape(t *testing.T) {
+	trip := mustTrip(t, BeijingTianjin, DefaultProfile)
+	start, end := trip.CruiseWindow()
+	if start <= 0 || end <= start || end >= trip.Duration() {
+		t.Fatalf("CruiseWindow = (%v, %v) out of order for duration %v", start, end, trip.Duration())
+	}
+	if got := trip.SpeedKmh(0); got != 0 {
+		t.Errorf("speed at departure = %v, want 0", got)
+	}
+	mid := (start + end) / 2
+	if got := trip.SpeedKmh(mid); got != 300 {
+		t.Errorf("cruise speed = %v, want 300", got)
+	}
+	if got := trip.SpeedKmh(trip.Duration()); got != 0 {
+		t.Errorf("speed at arrival = %v, want 0", got)
+	}
+	// Half-ramp speed should be half of cruise (constant acceleration).
+	if got := trip.SpeedKmh(start / 2); math.Abs(got-150) > 1 {
+		t.Errorf("half-ramp speed = %v, want ~150", got)
+	}
+}
+
+func TestPositionMonotone(t *testing.T) {
+	trip := mustTrip(t, BeijingTianjin, DefaultProfile)
+	prev := -1.0
+	for at := time.Duration(0); at <= trip.Duration(); at += 10 * time.Second {
+		pos := trip.PositionKm(at)
+		if pos < prev {
+			t.Fatalf("position decreased at %v: %v -> %v", at, prev, pos)
+		}
+		if pos < 0 || pos > BeijingTianjin.LengthKm {
+			t.Fatalf("position %v outside track at %v", pos, at)
+		}
+		prev = pos
+	}
+}
+
+func TestPositionContinuousAtPhaseBoundaries(t *testing.T) {
+	trip := mustTrip(t, BeijingTianjin, DefaultProfile)
+	start, end := trip.CruiseWindow()
+	for _, boundary := range []time.Duration{start, end} {
+		before := trip.PositionKm(boundary - time.Millisecond)
+		after := trip.PositionKm(boundary + time.Millisecond)
+		if math.Abs(after-before) > 0.001 { // < 1 m jump across 2 ms
+			t.Errorf("position discontinuity at %v: %v -> %v", boundary, before, after)
+		}
+	}
+}
+
+func TestStationaryTrip(t *testing.T) {
+	trip := mustTrip(t, BeijingTianjin, StationaryProfile)
+	if !trip.Stationary() {
+		t.Error("stationary trip not reported as stationary")
+	}
+	if trip.Duration() != 0 {
+		t.Errorf("stationary Duration = %v, want 0", trip.Duration())
+	}
+	if got := trip.PositionKm(time.Hour); got != 0 {
+		t.Errorf("stationary PositionKm = %v, want 0", got)
+	}
+	if got := trip.SpeedKmh(time.Hour); got != 0 {
+		t.Errorf("stationary SpeedKmh = %v, want 0", got)
+	}
+	s, e := trip.CruiseWindow()
+	if s != 0 || e != 0 {
+		t.Errorf("stationary CruiseWindow = (%v, %v), want (0, 0)", s, e)
+	}
+}
+
+// Property: for random valid profiles, position is within the track, speed
+// is within [0, cruise], and the end of the trip reaches the far station.
+func TestTripProperties(t *testing.T) {
+	f := func(lenSeed, speedSeed, accelSeed uint16, frac float64) bool {
+		lengthKm := 50 + float64(lenSeed%400)       // 50-450 km
+		cruise := 100 + float64(speedSeed%300)      // 100-400 km/h
+		accel := 0.2 + float64(accelSeed%100)/100.0 // 0.2-1.2 m/s^2
+		trip, err := NewTrip(Track{Name: "t", LengthKm: lengthKm}, SpeedProfile{CruiseKmh: cruise, AccelMS2: accel})
+		if err != nil {
+			return true // rejected configurations are fine
+		}
+		fr := math.Abs(frac) - math.Floor(math.Abs(frac))
+		at := time.Duration(fr * float64(trip.Duration()))
+		pos := trip.PositionKm(at)
+		speed := trip.SpeedKmh(at)
+		return pos >= 0 && pos <= lengthKm && speed >= 0 && speed <= cruise+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPositionMatchesIntegralOfSpeed(t *testing.T) {
+	trip := mustTrip(t, BeijingTianjin, DefaultProfile)
+	// Numerically integrate speed and compare with PositionKm.
+	const dt = 100 * time.Millisecond
+	var integral float64 // km
+	for at := time.Duration(0); at < trip.Duration(); at += dt {
+		integral += trip.SpeedKmh(at) * dt.Hours()
+	}
+	want := BeijingTianjin.LengthKm
+	if math.Abs(integral-want) > 0.5 {
+		t.Errorf("integral of speed = %v km, want ~%v km", integral, want)
+	}
+	half := trip.Duration() / 2
+	var halfIntegral float64
+	for at := time.Duration(0); at < half; at += dt {
+		halfIntegral += trip.SpeedKmh(at) * dt.Hours()
+	}
+	if math.Abs(halfIntegral-trip.PositionKm(half)) > 0.5 {
+		t.Errorf("integral to half = %v, PositionKm = %v", halfIntegral, trip.PositionKm(half))
+	}
+}

@@ -1,0 +1,27 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ExampleSimulator shows the discrete-event kernel: schedule, cancel, run.
+func ExampleSimulator() {
+	s := sim.New()
+	s.Schedule(10*time.Millisecond, func() {
+		fmt.Println("first event at", s.Now())
+		s.Schedule(5*time.Millisecond, func() {
+			fmt.Println("nested event at", s.Now())
+		})
+	})
+	cancelled := s.Schedule(20*time.Millisecond, func() {
+		fmt.Println("never printed")
+	})
+	cancelled.Stop()
+	s.Run()
+	// Output:
+	// first event at 10ms
+	// nested event at 15ms
+}

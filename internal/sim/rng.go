@@ -1,0 +1,35 @@
+package sim
+
+import "math/rand"
+
+// Stream identifies an independent random-number stream within one
+// experiment. Separate streams keep stochastic processes decoupled: adding
+// draws to one (say, the data-path loss process) does not perturb another
+// (the ACK-path loss process), which keeps A/B comparisons paired.
+type Stream uint64
+
+// Well-known streams used across the repository. Experiments may define
+// additional streams above StreamUser.
+const (
+	StreamDataLoss Stream = iota + 1
+	StreamAckLoss
+	StreamDelay
+	StreamHandoff
+	StreamWorkload
+	StreamUser Stream = 1000
+)
+
+// NewRand derives a deterministic *rand.Rand for (seed, stream) using
+// SplitMix64 over the combined key, so nearby seeds still yield well-mixed,
+// independent sequences.
+func NewRand(seed int64, stream Stream) *rand.Rand {
+	return rand.New(rand.NewSource(int64(splitmix64(uint64(seed)*0x9e3779b97f4a7c15 + uint64(stream)))))
+}
+
+// splitmix64 is the SplitMix64 finalizer, a high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,180 @@
+// Package sim implements a deterministic discrete-event simulation kernel:
+// a virtual clock, an event heap with stable FIFO ordering for simultaneous
+// events, cancellable timers, and seeded random-number streams.
+//
+// Every other substrate (link emulation, TCP endpoints, mobility) is driven
+// by a Simulator so that a whole experiment is a single-threaded,
+// reproducible computation: the same seed always produces the same packet
+// trace.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Simulator owns the virtual clock and the pending event queue. The zero
+// value is not usable; create one with New.
+type Simulator struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+}
+
+// New returns a Simulator with the clock at zero and no pending events.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Pending returns the number of scheduled, not-yet-fired, not-cancelled
+// events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule runs fn after delay of virtual time. A zero delay fires the event
+// at the current time but strictly after all previously scheduled events for
+// that time (stable FIFO order). Schedule panics on a negative delay: the
+// simulation has a single arrow of time and scheduling into the past is
+// always a programming error.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Schedule with negative delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t (which must not be in the past).
+func (s *Simulator) At(t time.Duration, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: At(%v) is before current time %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	ev := &Timer{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was executed (false means the
+// queue is empty).
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*Timer)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to exactly deadline. Events scheduled after the deadline remain
+// queued.
+func (s *Simulator) RunUntil(deadline time.Duration) {
+	for {
+		ev := s.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// peek returns the earliest live event without removing it, or nil.
+func (s *Simulator) peek() *Timer {
+	for len(s.events) > 0 {
+		if !s.events[0].cancelled {
+			return s.events[0]
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}
+
+// Timer is a handle to a scheduled event. It can be cancelled before firing.
+type Timer struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int // heap index, maintained by eventHeap
+	cancelled bool
+	fired     bool
+}
+
+// At returns the virtual time the timer is (or was) scheduled to fire.
+func (t *Timer) At() time.Duration { return t.at }
+
+// Stop cancels the timer. It reports whether the cancellation prevented the
+// timer from firing (false if it already fired or was already stopped).
+func (t *Timer) Stop() bool {
+	if t.fired || t.cancelled {
+		return false
+	}
+	t.cancelled = true
+	t.fn = nil // release references for GC
+	return true
+}
+
+// Active reports whether the timer is still scheduled to fire.
+func (t *Timer) Active() bool { return !t.fired && !t.cancelled }
+
+// eventHeap orders timers by (at, seq) so simultaneous events fire in
+// scheduling order.
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Timer)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

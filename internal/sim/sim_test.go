@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("simultaneous events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestZeroDelayFiresAfterEarlierSameTimeEvents(t *testing.T) {
+	s := New()
+	var order []string
+	s.Schedule(0, func() {
+		order = append(order, "first")
+		s.Schedule(0, func() { order = append(order, "nested") })
+	})
+	s.Schedule(0, func() { order = append(order, "second") })
+	s.Run()
+	want := []string{"first", "second", "nested"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Schedule with negative delay did not panic")
+		}
+	}()
+	New().Schedule(-time.Millisecond, func() {})
+}
+
+func TestAtPastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("At in the past did not panic")
+		}
+	}()
+	s.At(500*time.Millisecond, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("At with nil callback did not panic")
+		}
+	}()
+	New().Schedule(time.Second, nil)
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.Schedule(time.Second, func() { fired = true })
+	if !tm.Active() {
+		t.Error("timer should be active before firing")
+	}
+	if !tm.Stop() {
+		t.Error("Stop on active timer should return true")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should return false")
+	}
+	if tm.Active() {
+		t.Error("stopped timer should not be active")
+	}
+	s.Run()
+	if fired {
+		t.Error("stopped timer fired anyway")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := New()
+	tm := s.Schedule(time.Millisecond, func() {})
+	s.Run()
+	if tm.Stop() {
+		t.Error("Stop after firing should return false")
+	}
+	if tm.Active() {
+		t.Error("fired timer should not be active")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		d := d
+		s.Schedule(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", s.Pending())
+	}
+	// RunUntil past a gap advances the clock to the deadline even with no
+	// events there.
+	s.RunUntil(10 * time.Second)
+	if s.Now() != 10*time.Second || len(fired) != 3 {
+		t.Errorf("Now = %v fired = %v", s.Now(), fired)
+	}
+}
+
+func TestRunUntilDoesNotFireLaterEvents(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(5*time.Second, func() { fired = true })
+	s.RunUntil(4 * time.Second)
+	if fired {
+		t.Error("event after the deadline fired")
+	}
+}
+
+func TestPendingSkipsCancelled(t *testing.T) {
+	s := New()
+	tm := s.Schedule(time.Second, func() {})
+	s.Schedule(2*time.Second, func() {})
+	tm.Stop()
+	if got := s.Pending(); got != 1 {
+		t.Errorf("Pending = %d, want 1", got)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty simulator returned true")
+	}
+	tm := s.Schedule(time.Second, func() {})
+	tm.Stop()
+	if s.Step() {
+		t.Error("Step with only cancelled events returned true")
+	}
+}
+
+func TestEventsCanScheduleMoreEvents(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			s.Schedule(time.Millisecond, tick)
+		}
+	}
+	s.Schedule(time.Millisecond, tick)
+	s.Run()
+	if count != 100 {
+		t.Errorf("count = %d, want 100", count)
+	}
+	if s.Now() != 100*time.Millisecond {
+		t.Errorf("Now = %v, want 100ms", s.Now())
+	}
+}
+
+// Property: whatever the (non-negative) delays, events fire in nondecreasing
+// time order and the clock never runs backwards.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		s := New()
+		var fireTimes []time.Duration
+		for _, d := range raw {
+			delay := time.Duration(d%1_000_000) * time.Microsecond
+			s.Schedule(delay, func() { fireTimes = append(fireTimes, s.Now()) })
+		}
+		s.Run()
+		if len(fireTimes) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fireTimes, func(i, j int) bool { return fireTimes[i] < fireTimes[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a := NewRand(42, StreamDataLoss)
+	b := NewRand(42, StreamDataLoss)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed, stream) produced different sequences")
+		}
+	}
+}
+
+func TestNewRandStreamsIndependent(t *testing.T) {
+	a := NewRand(42, StreamDataLoss)
+	b := NewRand(42, StreamAckLoss)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams collided on %d of 64 draws", same)
+	}
+}
+
+func TestNewRandSeedsDiffer(t *testing.T) {
+	a := NewRand(1, StreamDelay)
+	b := NewRand(2, StreamDelay)
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Error("adjacent seeds produced identical draws")
+	}
+}
+
+func TestNewRandUniformity(t *testing.T) {
+	// Crude uniformity check: mean of many Float64 draws near 0.5.
+	r := NewRand(7, StreamWorkload)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.48 || mean > 0.52 {
+		t.Errorf("mean of uniform draws = %v, want ~0.5", mean)
+	}
+}

@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Pearson returns the Pearson product-moment correlation coefficient of the
+// paired samples (xs[i], ys[i]). It returns NaN when the slices differ in
+// length, have fewer than two pairs, or either sample has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns Spearman's rank correlation coefficient: the Pearson
+// correlation of the ranks, with ties assigned their average rank.
+func Spearman(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks returns the average-rank transform of xs (ranks start at 1).
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// Regression holds the result of a simple least-squares linear fit
+// y = Slope*x + Intercept.
+type Regression struct {
+	Slope     float64
+	Intercept float64
+	R2        float64 // coefficient of determination
+}
+
+// LinearFit fits y = a*x + b by ordinary least squares. It returns a zero
+// Regression with NaN fields when the fit is undefined (mismatched lengths,
+// fewer than two points, or zero variance in x).
+func LinearFit(xs, ys []float64) Regression {
+	nan := Regression{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return nan
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return nan
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := math.NaN()
+	if syy > 0 {
+		r := sxy / math.Sqrt(sxx*syy)
+		r2 = r * r
+	}
+	return Regression{Slope: slope, Intercept: intercept, R2: r2}
+}

@@ -1,0 +1,26 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleCDF builds an empirical distribution and queries it.
+func ExampleCDF() {
+	c := stats.NewCDF([]float64{1, 2, 3, 4})
+	fmt.Printf("P(X <= 2.5) = %.2f\n", c.At(2.5))
+	fmt.Printf("median = %.1f\n", c.Quantile(0.5))
+	// Output:
+	// P(X <= 2.5) = 0.50
+	// median = 2.5
+}
+
+// ExamplePearson correlates two paired samples.
+func ExamplePearson() {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	fmt.Printf("r = %.0f\n", stats.Pearson(x, y))
+	// Output:
+	// r = 1
+}

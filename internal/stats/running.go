@@ -1,0 +1,75 @@
+package stats
+
+import "math"
+
+// Running accumulates streaming statistics with Welford's online algorithm.
+// The zero value is an empty accumulator ready for use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add folds x into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.sum += x
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of samples added.
+func (r *Running) N() int { return r.n }
+
+// Sum returns the running sum.
+func (r *Running) Sum() float64 { return r.sum }
+
+// Mean returns the running mean, or NaN if empty.
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the unbiased sample variance, or NaN with fewer than two
+// samples.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest sample, or NaN if empty.
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.min
+}
+
+// Max returns the largest sample, or NaN if empty.
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.max
+}

@@ -1,0 +1,89 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdaptiveDelAckRampsUpOnCleanPath(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DelayedAckB = 8
+	cfg.AdaptiveDelAck = true
+	h := newHarness(t, cfg)
+	st := h.run(t, 10*time.Second)
+	// After thousands of clean arrivals the window should sit at the
+	// configured maximum, so the overall ACK ratio approaches 1/8 (it
+	// starts at 1/1, hence "well below 1/4" rather than exactly 1/8).
+	ratio := float64(st.AcksSent) / float64(st.UniqueDelivered)
+	if ratio > 0.25 {
+		t.Errorf("adaptive ACK ratio = %.3f, want well below 0.25 after ramp-up", ratio)
+	}
+	if h.conn.rcv.curB != 8 {
+		t.Errorf("effective b = %d, want ramped to 8", h.conn.rcv.curB)
+	}
+	if st.Timeouts != 0 {
+		t.Errorf("clean path had %d timeouts", st.Timeouts)
+	}
+}
+
+func TestAdaptiveDelAckCollapsesOnDisturbance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DelayedAckB = 8
+	cfg.AdaptiveDelAck = true
+	h := newHarness(t, cfg)
+	if err := h.conn.Start(time.Minute); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Let it ramp up cleanly...
+	h.sim.RunUntil(5 * time.Second)
+	if h.conn.rcv.curB <= 1 {
+		t.Fatalf("window did not ramp before disturbance: b = %d", h.conn.rcv.curB)
+	}
+	// ...then lose one data packet: the resulting out-of-order arrival must
+	// collapse the window to immediate ACKs.
+	h.dropDataNth[h.dataCount+5] = true
+	// Check shortly after the disturbance: the window collapsed to 1 and
+	// has had time for at most a few +1 regrowth steps (one per 32 clean
+	// arrivals), so it must still be below the maximum.
+	h.sim.RunUntil(5*time.Second + 300*time.Millisecond)
+	if h.conn.rcv.curB >= 8 {
+		t.Errorf("effective b = %d after disturbance, want collapsed below max", h.conn.rcv.curB)
+	}
+	h.sim.RunUntil(6 * time.Second)
+}
+
+func TestAdaptiveDisabledKeepsStaticWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DelayedAckB = 4
+	h := newHarness(t, cfg)
+	st := h.run(t, 3*time.Second)
+	if h.conn.rcv.curB != 4 {
+		t.Errorf("static receiver changed its window: %d", h.conn.rcv.curB)
+	}
+	ratio := float64(st.AcksSent) / float64(st.UniqueDelivered)
+	if ratio < 0.2 || ratio > 0.35 {
+		t.Errorf("static b=4 ACK ratio = %.3f, want ~0.25", ratio)
+	}
+}
+
+func TestAdaptiveBeatsStaticOnHSRLikeChannel(t *testing.T) {
+	// On a disturbed channel (periodic data outages), the adaptive receiver
+	// should deliver at least as much as an aggressive static b=8 receiver:
+	// it falls back to immediate ACKs whenever retransmissions appear.
+	run := func(adaptive bool) Stats {
+		cfg := DefaultConfig()
+		cfg.DelayedAckB = 8
+		cfg.AdaptiveDelAck = adaptive
+		h := newHarness(t, cfg)
+		for at := 2 * time.Second; at < 20*time.Second; at += 4 * time.Second {
+			h.dataOutages = append(h.dataOutages, window{from: at, to: at + time.Second})
+			h.ackOutages = append(h.ackOutages, window{from: at, to: at + 1200*time.Millisecond})
+		}
+		return h.run(t, 20*time.Second)
+	}
+	static := run(false)
+	adaptive := run(true)
+	if adaptive.UniqueDelivered < static.UniqueDelivered {
+		t.Errorf("adaptive delivered %d < static %d", adaptive.UniqueDelivered, static.UniqueDelivered)
+	}
+}

@@ -1,0 +1,638 @@
+package tcp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Stats aggregates endpoint counters for one connection. The analyzer works
+// from the packet trace; Stats exists for quick summaries and invariant
+// checks in tests.
+type Stats struct {
+	Start time.Duration
+	End   time.Duration
+
+	DataSent        int64 // data transmissions, including retransmissions
+	Retransmissions int64
+	Timeouts        int64
+	FastRetransmits int64
+	// SpuriousRecoveries counts timeout recoveries the Eifel response
+	// (Config.SpuriousRTORecovery) classified as spurious and undid.
+	SpuriousRecoveries int64
+	DataDropped        int64 // ground truth channel/queue drops, data direction
+	UniqueDelivered    int64 // distinct segments that reached the receiver
+	DupDelivered       int64 // duplicate segment arrivals at the receiver
+	AcksSent           int64
+	AcksReceived       int64
+	AcksDropped        int64 // ground truth drops, ACK direction
+}
+
+// Duration returns the observed flow duration.
+func (s Stats) Duration() time.Duration { return s.End - s.Start }
+
+// ThroughputPps returns delivered unique segments per second.
+func (s Stats) ThroughputPps() float64 {
+	d := s.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.UniqueDelivered) / d
+}
+
+// Conn is one simulated TCP Reno connection: a bulk-data sender, a receiver,
+// and the path between them. Create with New, call Start, then run the
+// simulator; the connection stops offering new data at its deadline.
+type Conn struct {
+	simulator *sim.Simulator
+	path      *netem.Path
+	cfg       Config
+	rec       trace.Recorder
+
+	start       time.Duration
+	deadline    time.Duration
+	started     bool
+	segLimit    int64 // 0 = unlimited (duration-bounded bulk flow)
+	completed   bool
+	completedAt time.Duration
+
+	snd sender
+	rcv receiver
+}
+
+// New builds a connection over path. Events are reported to rec (use
+// trace.Nop{} to discard them).
+func New(simulator *sim.Simulator, path *netem.Path, cfg Config, rec trace.Recorder) (*Conn, error) {
+	if simulator == nil || path == nil {
+		return nil, fmt.Errorf("tcp: New requires a simulator and a path")
+	}
+	if rec == nil {
+		rec = trace.Nop{}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Conn{simulator: simulator, path: path, cfg: cfg, rec: rec}
+	c.snd = sender{
+		c:        c,
+		cwnd:     cfg.InitialCwnd,
+		ssthresh: cfg.InitialSSThresh,
+		rto:      newRTOEstimator(cfg.MinRTO, cfg.MaxRTO),
+		sent:     make(map[int64]sendInfo),
+	}
+	c.rcv = receiver{c: c, ooo: make(map[int64]bool), curB: cfg.DelayedAckB}
+	if cfg.AdaptiveDelAck {
+		c.rcv.curB = 1
+	}
+	return c, nil
+}
+
+// Start begins bulk transmission now and stops offering new data after d of
+// virtual time. It may be called once.
+func (c *Conn) Start(d time.Duration) error {
+	return c.startFlow(0, d)
+}
+
+// StartSized begins transmission of exactly segments data segments; the
+// flow completes when all of them are acknowledged (or after maxDur of
+// virtual time, whichever comes first). This is the paper's fixed-size flow
+// shape used in the MPTCP comparison of Fig 12.
+func (c *Conn) StartSized(segments int64, maxDur time.Duration) error {
+	if segments <= 0 {
+		return fmt.Errorf("tcp: segment count %d must be positive", segments)
+	}
+	return c.startFlow(segments, maxDur)
+}
+
+func (c *Conn) startFlow(segments int64, d time.Duration) error {
+	if c.started {
+		return fmt.Errorf("tcp: connection already started")
+	}
+	if d <= 0 {
+		return fmt.Errorf("tcp: flow duration %v must be positive", d)
+	}
+	c.started = true
+	c.segLimit = segments
+	c.start = c.simulator.Now()
+	c.deadline = c.start + d
+	c.snd.trySend()
+	return nil
+}
+
+// Completed reports whether a sized flow has delivered and acknowledged all
+// of its segments, and at what virtual time.
+func (c *Conn) Completed() (time.Duration, bool) {
+	return c.completedAt, c.completed
+}
+
+// Deadline returns the time after which the sender offers no new data.
+func (c *Conn) Deadline() time.Duration { return c.deadline }
+
+// Stats returns a snapshot of the endpoint counters. End is the current
+// simulation time (or the deadline, if the simulation ran past it).
+func (c *Conn) Stats() Stats {
+	st := c.snd.stats
+	st.UniqueDelivered = c.rcv.unique
+	st.DupDelivered = c.rcv.dups
+	st.AcksSent = c.rcv.acksSent
+	st.AcksDropped = c.rcv.acksDropped
+	st.Start = c.start
+	st.End = c.simulator.Now()
+	if st.End > c.deadline {
+		st.End = c.deadline
+	}
+	if c.completed && c.completedAt < st.End {
+		st.End = c.completedAt
+	}
+	return st
+}
+
+// Cwnd returns the sender's current congestion window in packets.
+func (c *Conn) Cwnd() float64 { return c.snd.cwnd }
+
+// SRTT returns the sender's smoothed RTT estimate.
+func (c *Conn) SRTT() time.Duration { return c.snd.rto.SRTT() }
+
+// InTimeoutRecovery reports whether the sender is currently inside a
+// timeout recovery phase (between an RTO and the ACK that recovers it).
+func (c *Conn) InTimeoutRecovery() bool { return c.snd.inTimeoutRecovery }
+
+// SetRetransmitHook registers fn to be invoked for every RTO retransmission
+// with the retransmitted segment number. The MPTCP backup mode uses it to
+// duplicate the segment over an alternate subflow (Section V-B of the
+// paper).
+func (c *Conn) SetRetransmitHook(fn func(seq int64)) { c.snd.retxHook = fn }
+
+// SetAckSendHook registers fn to be invoked whenever the receiver emits a
+// cumulative ACK; the MPTCP backup mode mirrors the ACK over the alternate
+// subflow's return path.
+func (c *Conn) SetAckSendHook(fn func(ackNo int64)) { c.rcv.ackHook = fn }
+
+// DeliverData injects a data-segment arrival at the receiver, as if it had
+// arrived over another subflow. txNo identifies the transmission (>= 1).
+func (c *Conn) DeliverData(seq int64, txNo int) { c.rcv.onData(seq, txNo) }
+
+// InjectAck delivers data-level acknowledgement obtained out of band (over
+// another subflow). It only acts when it advances the sender's window, so
+// duplicate copies are harmless.
+func (c *Conn) InjectAck(ackNo int64) {
+	if ackNo > c.snd.sndUna {
+		c.snd.onNewAck(ackNo)
+	}
+}
+
+// LastTransmitNo returns how many times segment seq has been transmitted so
+// far (0 if never or already acknowledged).
+func (c *Conn) LastTransmitNo(seq int64) int { return c.snd.sent[seq].txNo }
+
+// sendInfo tracks the latest transmission of one segment.
+type sendInfo struct {
+	at   time.Duration // time of the most recent transmission
+	txNo int           // transmission count: 1 = original
+}
+
+// sender is the data-sending half of the connection.
+type sender struct {
+	c *Conn
+
+	sndUna int64 // oldest unacknowledged segment
+	sndNxt int64 // next segment to transmit (rewound to sndUna after an RTO: go-back-N)
+	sndMax int64 // highest segment ever transmitted + 1
+
+	cwnd     float64
+	ssthresh float64
+
+	dupAcks           int
+	fastRecovery      bool
+	recoverPoint      int64
+	inTimeoutRecovery bool
+	backoff           int
+
+	rto      *rtoEstimator
+	rtoTimer *sim.Timer
+
+	sent map[int64]sendInfo
+
+	// spuriousSignal marks that the ACK currently being processed proves an
+	// original transmission arrived (duplicate payload or an original-
+	// transmission echo); preTO is the congestion state saved at the first
+	// timeout of the current sequence for the Eifel response
+	// (Config.SpuriousRTORecovery).
+	spuriousSignal bool
+	preTO          preTimeoutState
+
+	// retxHook, when set, is invoked for every RTO retransmission; the
+	// MPTCP backup mode uses it to duplicate the retransmitted segment on
+	// an alternate subflow.
+	retxHook func(seq int64)
+
+	stats Stats
+}
+
+func (s *sender) now() time.Duration { return s.c.simulator.Now() }
+
+// inflight returns the number of window-occupying segments: everything
+// between the oldest unacknowledged segment and the send pointer.
+func (s *sender) inflight() int64 { return s.sndNxt - s.sndUna }
+
+// effWindow returns min(cwnd, W_m) in packets.
+func (s *sender) effWindow() float64 {
+	w := s.cwnd
+	if wm := float64(s.c.cfg.WindowLimit); w > wm {
+		w = wm
+	}
+	return w
+}
+
+// trySend transmits segments while the effective window allows. Segments
+// below sndMax are go-back-N retransmissions and are always allowed; new
+// data is only offered before the flow deadline.
+func (s *sender) trySend() {
+	for float64(s.inflight()) < s.effWindow() {
+		if s.sndNxt == s.sndMax {
+			if s.now() >= s.c.deadline {
+				break
+			}
+			if s.c.segLimit > 0 && s.sndMax >= s.c.segLimit {
+				break
+			}
+		}
+		s.transmit(s.sndNxt)
+		s.sndNxt++
+		if s.sndNxt > s.sndMax {
+			s.sndMax = s.sndNxt
+		}
+	}
+}
+
+// transmit puts one segment on the forward link and arms the RTO timer if it
+// is not running.
+func (s *sender) transmit(seq int64) {
+	txNo := s.sent[seq].txNo + 1
+	s.sent[seq] = sendInfo{at: s.now(), txNo: txNo}
+	s.stats.DataSent++
+	if txNo > 1 {
+		s.stats.Retransmissions++
+	}
+	s.c.rec.Record(trace.Event{
+		At: s.now(), Type: trace.EvDataSend,
+		Seq: seq, Ack: -1, TransmitNo: txNo, Cwnd: s.cwnd,
+	})
+	size := s.c.cfg.MSS + s.c.cfg.HeaderBytes
+	ok, _ := s.c.path.Forward.Send(size, func() { s.c.rcv.onData(seq, txNo) })
+	if !ok {
+		s.stats.DataDropped++
+		s.c.rec.Record(trace.Event{
+			At: s.now(), Type: trace.EvDataDrop,
+			Seq: seq, Ack: -1, TransmitNo: txNo,
+		})
+	}
+	if s.rtoTimer == nil {
+		s.armTimer()
+	}
+}
+
+// armTimer (re)schedules the retransmission timer if data is outstanding.
+func (s *sender) armTimer() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Stop()
+		s.rtoTimer = nil
+	}
+	if s.inflight() <= 0 {
+		return
+	}
+	d := s.rto.BackedOff(s.backoff, s.c.cfg.MaxBackoff)
+	s.rtoTimer = s.c.simulator.Schedule(d, s.onRTO)
+}
+
+// onAck processes one cumulative acknowledgement (ackNo = next expected
+// segment at the receiver). trigTxNo echoes the transmission number of the
+// data segment that triggered the ACK (the moral equivalent of the Eifel
+// timestamp echo, RFC 3522), and dsack reports that the triggering segment
+// was a duplicate the receiver already had. Either signal on the ACK that
+// ends a timeout recovery proves the timeout was spurious: the original
+// transmission reached the receiver.
+func (s *sender) onAck(ackNo int64, trigTxNo int, dsack bool) {
+	s.stats.AcksReceived++
+	s.c.rec.Record(trace.Event{
+		At: s.now(), Type: trace.EvAckRecv, Seq: -1, Ack: ackNo, Cwnd: s.cwnd,
+	})
+	if dsack || trigTxNo == 1 {
+		s.spuriousSignal = true
+	}
+	switch {
+	case ackNo > s.sndUna:
+		s.onNewAck(ackNo)
+	case ackNo == s.sndUna && s.inflight() > 0:
+		s.onDupAck()
+	}
+	s.spuriousSignal = false
+	// ACKs below sndUna are stale and ignored.
+}
+
+func (s *sender) onNewAck(ackNo int64) {
+	acked := ackNo - s.sndUna
+	// RTT sampling per Karn's rule: only from segments acked on their first
+	// transmission. Use the newest acked segment, the one that most likely
+	// triggered this ACK.
+	if info, ok := s.sent[ackNo-1]; ok && info.txNo == 1 {
+		s.rto.Sample(s.now() - info.at)
+	}
+	for seq := s.sndUna; seq < ackNo; seq++ {
+		delete(s.sent, seq)
+	}
+	s.sndUna = ackNo
+	if s.sndNxt < s.sndUna {
+		s.sndNxt = s.sndUna
+	}
+	s.dupAcks = 0
+	s.backoff = 0
+	if s.c.segLimit > 0 && !s.c.completed && s.sndUna >= s.c.segLimit {
+		s.c.completed = true
+		s.c.completedAt = s.now()
+	}
+
+	if s.inTimeoutRecovery {
+		// Leaving the timeout recovery phase: the paper's "recovered"
+		// boundary, after which the sender slow-starts.
+		s.inTimeoutRecovery = false
+		s.c.rec.Record(trace.Event{
+			At: s.now(), Type: trace.EvRecovered, Seq: -1, Ack: ackNo, Cwnd: s.cwnd,
+		})
+		if s.c.cfg.SpuriousRTORecovery && s.spuriousSignal && s.preTO.valid {
+			// Eifel response: the recovery-ending ACK carries the duplicate
+			// signal, so the timeout was spurious — the original data had
+			// arrived and the window reduction was unwarranted. Restore the
+			// pre-timeout congestion state and cancel the go-back-N resend.
+			s.stats.SpuriousRecoveries++
+			// Conservative variant (RFC 4015 spirit): restore ssthresh and
+			// resume congestion avoidance at half the pre-timeout window
+			// rather than the full one — the channel that delayed the ACKs
+			// may not be fully healthy yet.
+			s.ssthresh = s.preTO.ssthresh
+			s.cwnd = s.preTO.cwnd / 2
+			if s.cwnd < 2 {
+				s.cwnd = 2
+			}
+			if wm := float64(s.c.cfg.WindowLimit); s.cwnd > wm {
+				s.cwnd = wm
+			}
+			// The send pointer is intentionally NOT restored: the go-back-N
+			// resend still runs (at the restored window's pace) because
+			// packets that straddled the outage may genuinely be missing,
+			// and Reno without SACK recovers multiple holes poorly.
+			s.preTO.valid = false
+			s.armTimer()
+			s.trySend()
+			return
+		}
+	}
+	s.preTO.valid = false
+
+	if s.fastRecovery {
+		if s.c.cfg.Variant == VariantNewReno && ackNo < s.recoverPoint {
+			// NewReno partial ACK (RFC 6582): the ACK uncovered the next
+			// hole — retransmit it immediately, deflate the window by the
+			// amount acknowledged, and stay in fast recovery.
+			s.cwnd -= float64(acked) - 1
+			if s.cwnd < 1 {
+				s.cwnd = 1
+			}
+			s.transmit(s.sndUna)
+			s.armTimer()
+			s.trySend()
+			return
+		}
+		// Classic Reno (and NewReno at full ACK): terminate fast recovery
+		// and deflate the window to ssthresh.
+		s.fastRecovery = false
+		s.cwnd = s.ssthresh
+	} else {
+		// Per-ACK window growth (RFC 5681 without byte counting): +1 in
+		// slow start, +1/cwnd in congestion avoidance. With delayed ACKs
+		// every b segments this yields the 1-packet-per-b-rounds CA growth
+		// the paper's model assumes.
+		if s.cwnd < s.ssthresh {
+			s.cwnd++
+			if s.cwnd > s.ssthresh {
+				s.cwnd = s.ssthresh
+			}
+		} else {
+			s.cwnd += 1 / s.cwnd
+		}
+		if wm := float64(s.c.cfg.WindowLimit); s.cwnd > wm {
+			s.cwnd = wm
+		}
+	}
+
+	s.armTimer()
+	s.trySend()
+}
+
+func (s *sender) onDupAck() {
+	s.dupAcks++
+	switch {
+	case s.fastRecovery:
+		// Window inflation: each further dup ACK signals one segment left
+		// the network.
+		s.cwnd++
+		s.trySend()
+	case s.dupAcks == 3:
+		s.stats.FastRetransmits++
+		s.c.rec.Record(trace.Event{
+			At: s.now(), Type: trace.EvFastRetx,
+			Seq: s.sndUna, Ack: -1, Cwnd: s.cwnd,
+		})
+		s.ssthresh = halfInflight(s.inflight())
+		s.recoverPoint = s.sndMax
+		s.fastRecovery = true
+		s.transmit(s.sndUna)
+		s.cwnd = s.ssthresh + 3
+	}
+}
+
+// onRTO handles a retransmission-timer expiry: cautious single-segment
+// retransmission with exponential backoff (the paper's timeout sequence).
+func (s *sender) onRTO() {
+	s.rtoTimer = nil
+	if s.inflight() <= 0 {
+		return
+	}
+	s.stats.Timeouts++
+	s.c.rec.Record(trace.Event{
+		At: s.now(), Type: trace.EvTimeout,
+		Seq: s.sndUna, Ack: -1, Cwnd: s.cwnd, Backoff: s.backoff,
+	})
+	if !s.inTimeoutRecovery {
+		// Remember the congestion state the timeout destroys, so an
+		// Eifel-style response can restore it if the timeout turns out to
+		// have been spurious.
+		s.preTO = preTimeoutState{
+			cwnd: s.cwnd, ssthresh: s.ssthresh, sndNxt: s.sndNxt, valid: true,
+		}
+	}
+	s.inTimeoutRecovery = true
+	s.fastRecovery = false
+	s.dupAcks = 0
+	s.ssthresh = halfInflight(s.inflight())
+	s.cwnd = 1
+	// Go-back-N: rewind the send pointer so slow start resends everything
+	// unacknowledged; with cwnd = 1 only the oldest segment goes out now
+	// (the paper's "only one packet is retransmitted after a timeout").
+	s.sndNxt = s.sndUna
+	s.trySend()
+	if s.retxHook != nil {
+		s.retxHook(s.sndUna)
+	}
+	if s.backoff < s.c.cfg.MaxBackoff {
+		s.backoff++
+	}
+	s.armTimer()
+}
+
+// preTimeoutState is the congestion state saved when a timeout sequence
+// begins, restorable by the Eifel response.
+type preTimeoutState struct {
+	cwnd     float64
+	ssthresh float64
+	sndNxt   int64
+	valid    bool
+}
+
+// halfInflight is the standard ssthresh update max(inflight/2, 2).
+func halfInflight(inflight int64) float64 {
+	h := float64(inflight) / 2
+	if h < 2 {
+		h = 2
+	}
+	return h
+}
+
+// receiver is the ACK-generating half of the connection.
+type receiver struct {
+	c *Conn
+
+	rcvNxt  int64
+	ooo     map[int64]bool
+	pending int // in-order segments not yet acknowledged (delayed ACK)
+	delack  *sim.Timer
+	ackHook func(ackNo int64)
+
+	// Adaptive delayed-ACK state (Config.AdaptiveDelAck): curB is the
+	// effective window, streak counts clean in-order arrivals since the
+	// last disturbance.
+	curB   int
+	streak int
+
+	// trigTxNo remembers the transmission number of the latest data
+	// arrival; it is echoed on the next ACK (the Eifel timestamp stand-in).
+	trigTxNo int
+
+	unique      int64
+	dups        int64
+	acksSent    int64
+	acksDropped int64
+}
+
+func (r *receiver) now() time.Duration { return r.c.simulator.Now() }
+
+// onData processes one arriving data segment.
+func (r *receiver) onData(seq int64, txNo int) {
+	r.c.rec.Record(trace.Event{
+		At: r.now(), Type: trace.EvDataRecv,
+		Seq: seq, Ack: -1, TransmitNo: txNo,
+	})
+	r.trigTxNo = txNo
+	switch {
+	case seq < r.rcvNxt || r.ooo[seq]:
+		// Duplicate payload (e.g. a spurious retransmission after ACK burst
+		// loss): acknowledge immediately so the sender resynchronizes.
+		r.dups++
+		r.disturbed()
+		r.sendAckNow(true)
+	case seq == r.rcvNxt:
+		r.unique++
+		r.rcvNxt++
+		for r.ooo[r.rcvNxt] {
+			delete(r.ooo, r.rcvNxt)
+			r.rcvNxt++
+		}
+		r.adapt()
+		r.pending++
+		if r.pending >= r.curB {
+			r.sendAckNow(false)
+		} else if r.delack == nil {
+			r.delack = r.c.simulator.Schedule(r.c.cfg.DelAckTimeout, r.onDelAckTimeout)
+		}
+	default: // out of order: immediate duplicate ACK
+		r.unique++
+		r.ooo[seq] = true
+		r.disturbed()
+		r.sendAckNow(false)
+	}
+}
+
+// adaptStreak is how many consecutive clean in-order arrivals the adaptive
+// receiver waits for before widening its delayed-ACK window by one.
+const adaptStreak = 32
+
+// adapt grows the adaptive delayed-ACK window after a clean streak.
+func (r *receiver) adapt() {
+	if !r.c.cfg.AdaptiveDelAck {
+		return
+	}
+	r.streak++
+	if r.streak >= adaptStreak && r.curB < r.c.cfg.DelayedAckB {
+		r.curB++
+		r.streak = 0
+	}
+}
+
+// disturbed collapses the adaptive window to immediate ACKs: duplicates and
+// reordering signal loss or spurious retransmissions, exactly when every
+// ACK matters.
+func (r *receiver) disturbed() {
+	if !r.c.cfg.AdaptiveDelAck {
+		return
+	}
+	r.curB = 1
+	r.streak = 0
+}
+
+func (r *receiver) onDelAckTimeout() {
+	r.delack = nil
+	if r.pending > 0 {
+		r.sendAckNow(false)
+	}
+}
+
+// sendAckNow emits a cumulative ACK for rcvNxt and clears delayed-ACK
+// state. dup marks ACKs triggered by duplicate payload (the DSACK-like
+// signal); the triggering transmission number rides along as the Eifel
+// timestamp stand-in.
+func (r *receiver) sendAckNow(dup bool) {
+	r.pending = 0
+	if r.delack != nil {
+		r.delack.Stop()
+		r.delack = nil
+	}
+	ackNo := r.rcvNxt
+	r.acksSent++
+	r.c.rec.Record(trace.Event{
+		At: r.now(), Type: trace.EvAckSend, Seq: -1, Ack: ackNo,
+	})
+	trig := r.trigTxNo
+	ok, _ := r.c.path.Reverse.Send(r.c.cfg.HeaderBytes, func() { r.c.snd.onAck(ackNo, trig, dup) })
+	if !ok {
+		r.acksDropped++
+		r.c.rec.Record(trace.Event{
+			At: r.now(), Type: trace.EvAckDrop, Seq: -1, Ack: ackNo,
+		})
+	}
+	if r.ackHook != nil {
+		r.ackHook(ackNo)
+	}
+}

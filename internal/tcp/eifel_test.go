@@ -1,0 +1,83 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+// eifelScenario builds an ACK-blackout harness: data flows, ACKs die for a
+// while — the canonical spurious-timeout situation.
+func eifelScenario(t *testing.T, enable bool) (*testHarness, Stats) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.SpuriousRTORecovery = enable
+	h := newHarness(t, cfg)
+	for at := 2 * time.Second; at < 20*time.Second; at += 5 * time.Second {
+		h.ackOutages = append(h.ackOutages, window{from: at, to: at + 1500*time.Millisecond})
+	}
+	st := h.run(t, 20*time.Second)
+	return h, st
+}
+
+func TestEifelDetectsSpuriousTimeouts(t *testing.T) {
+	_, st := eifelScenario(t, true)
+	if st.Timeouts == 0 {
+		t.Fatal("scenario produced no timeouts")
+	}
+	if st.SpuriousRecoveries == 0 {
+		t.Fatal("Eifel response never triggered despite pure-ACK-loss timeouts")
+	}
+	if st.SpuriousRecoveries > st.Timeouts {
+		t.Errorf("spurious recoveries %d exceed timeouts %d", st.SpuriousRecoveries, st.Timeouts)
+	}
+}
+
+func TestEifelDisabledByDefault(t *testing.T) {
+	_, st := eifelScenario(t, false)
+	if st.SpuriousRecoveries != 0 {
+		t.Errorf("SpuriousRecoveries = %d with the response disabled", st.SpuriousRecoveries)
+	}
+}
+
+func TestEifelImprovesThroughputUnderSpuriousRTOs(t *testing.T) {
+	_, plain := eifelScenario(t, false)
+	_, eifel := eifelScenario(t, true)
+	if eifel.UniqueDelivered <= plain.UniqueDelivered {
+		t.Errorf("Eifel delivered %d, plain %d — expected a gain from undoing spurious timeouts",
+			eifel.UniqueDelivered, plain.UniqueDelivered)
+	}
+	// After a pure ACK blackout the recovery-ending cumulative ACK covers
+	// everything, so both variants retransmit only the RTO probes; Eifel
+	// must never retransmit more.
+	if eifel.Retransmissions > plain.Retransmissions {
+		t.Errorf("Eifel retransmitted %d, plain %d — expected no extra duplicates",
+			eifel.Retransmissions, plain.Retransmissions)
+	}
+}
+
+func TestEifelDoesNotTriggerOnGenuineLoss(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpuriousRTORecovery = true
+	h := newHarness(t, cfg)
+	// Pure data blackout: the timed-out segments really are lost, the
+	// recovery-ending ACK acknowledges fresh (retransmitted) data, not a
+	// duplicate — no Eifel response.
+	h.dataOutages = []window{{from: 2 * time.Second, to: 4 * time.Second}}
+	st := h.run(t, 8*time.Second)
+	if st.Timeouts == 0 {
+		t.Fatal("no timeouts in genuine-loss scenario")
+	}
+	if st.SpuriousRecoveries != 0 {
+		t.Errorf("Eifel fired %d times on genuine loss", st.SpuriousRecoveries)
+	}
+}
+
+func TestEifelHarmlessOnCleanPath(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SpuriousRTORecovery = true
+	h := newHarness(t, cfg)
+	st := h.run(t, 5*time.Second)
+	if st.Timeouts != 0 || st.SpuriousRecoveries != 0 {
+		t.Errorf("clean path: timeouts=%d spurious=%d", st.Timeouts, st.SpuriousRecoveries)
+	}
+}

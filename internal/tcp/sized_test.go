@@ -1,0 +1,107 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSizedFlowCompletes(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	if err := h.conn.StartSized(100, time.Minute); err != nil {
+		t.Fatalf("StartSized: %v", err)
+	}
+	h.sim.RunUntil(time.Minute)
+	at, ok := h.conn.Completed()
+	if !ok {
+		t.Fatal("sized flow did not complete on a clean path")
+	}
+	if at <= 0 || at > 10*time.Second {
+		t.Errorf("completion time = %v, want quick completion", at)
+	}
+	st := h.conn.Stats()
+	if st.UniqueDelivered != 100 {
+		t.Errorf("delivered %d, want exactly 100", st.UniqueDelivered)
+	}
+	if st.End != at {
+		t.Errorf("Stats.End = %v, want completion time %v", st.End, at)
+	}
+	if st.DataSent != 100 {
+		t.Errorf("sent %d, want exactly 100 on a lossless path", st.DataSent)
+	}
+}
+
+func TestSizedFlowSurvivesLoss(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	h.dropDataNth[10] = true
+	h.dropDataNth[50] = true
+	if err := h.conn.StartSized(200, time.Minute); err != nil {
+		t.Fatalf("StartSized: %v", err)
+	}
+	h.sim.RunUntil(time.Minute)
+	if _, ok := h.conn.Completed(); !ok {
+		t.Fatal("sized flow with recoverable losses did not complete")
+	}
+	st := h.conn.Stats()
+	if st.UniqueDelivered != 200 {
+		t.Errorf("delivered %d, want 200", st.UniqueDelivered)
+	}
+	if st.Retransmissions < 2 {
+		t.Errorf("retransmissions = %d, want >= 2", st.Retransmissions)
+	}
+}
+
+func TestSizedFlowHorizonCutoff(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	// Permanent blackout: the flow can never finish.
+	h.dataOutages = []window{{from: 100 * time.Millisecond, to: time.Hour}}
+	if err := h.conn.StartSized(1000, 5*time.Second); err != nil {
+		t.Fatalf("StartSized: %v", err)
+	}
+	h.sim.RunUntil(5 * time.Second)
+	if _, ok := h.conn.Completed(); ok {
+		t.Error("blacked-out flow reported completion")
+	}
+	st := h.conn.Stats()
+	if st.UniqueDelivered >= 1000 {
+		t.Error("blacked-out flow delivered everything")
+	}
+}
+
+func TestSizedFlowDoesNotOversend(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	if err := h.conn.StartSized(50, time.Minute); err != nil {
+		t.Fatalf("StartSized: %v", err)
+	}
+	h.sim.RunUntil(time.Minute)
+	// No segment index at or beyond the limit may ever be transmitted.
+	for _, ev := range h.ft.Events {
+		if ev.Seq >= 50 {
+			t.Fatalf("segment %d transmitted beyond the 50-segment limit", ev.Seq)
+		}
+	}
+}
+
+func TestStartSizedValidation(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	if err := h.conn.StartSized(0, time.Minute); err == nil {
+		t.Error("zero segments accepted")
+	}
+	if err := h.conn.StartSized(10, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if err := h.conn.StartSized(10, time.Minute); err != nil {
+		t.Fatalf("StartSized: %v", err)
+	}
+	if err := h.conn.Start(time.Minute); err == nil {
+		t.Error("Start after StartSized accepted")
+	}
+	h.sim.RunUntil(time.Minute)
+}
+
+func TestUnsizedFlowNeverCompletes(t *testing.T) {
+	h := newHarness(t, DefaultConfig())
+	h.run(t, 2*time.Second)
+	if _, ok := h.conn.Completed(); ok {
+		t.Error("duration-bounded flow reported completion")
+	}
+}

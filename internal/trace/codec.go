@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// The binary format:
+//
+//	magic "HSRT" | uint16 version | uint32 metaLen | meta JSON |
+//	uint32 eventCount | eventCount * fixed 50-byte records
+//
+// Each event record is little-endian:
+//
+//	int64 at | uint8 type | int64 seq | int64 ack | int32 txno |
+//	float64 cwnd | int32 backoff
+const (
+	binaryMagic   = "HSRT"
+	binaryVersion = 1
+	eventSize     = 8 + 1 + 8 + 8 + 4 + 8 + 4
+)
+
+// ErrBadFormat reports a corrupt or foreign input to a trace reader.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// WriteBinary serializes the trace in the compact binary format.
+func WriteBinary(w io.Writer, f *FlowTrace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("trace: write magic: %w", err)
+	}
+	meta, err := json.Marshal(f.Meta)
+	if err != nil {
+		return fmt.Errorf("trace: marshal meta: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(binaryVersion)); err != nil {
+		return fmt.Errorf("trace: write version: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(meta))); err != nil {
+		return fmt.Errorf("trace: write meta length: %w", err)
+	}
+	if _, err := bw.Write(meta); err != nil {
+		return fmt.Errorf("trace: write meta: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(f.Events))); err != nil {
+		return fmt.Errorf("trace: write event count: %w", err)
+	}
+	var buf [eventSize]byte
+	for _, ev := range f.Events {
+		encodeEvent(&buf, ev)
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("trace: write event: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeEvent(buf *[eventSize]byte, ev Event) {
+	le := binary.LittleEndian
+	le.PutUint64(buf[0:], uint64(ev.At))
+	buf[8] = byte(ev.Type)
+	le.PutUint64(buf[9:], uint64(ev.Seq))
+	le.PutUint64(buf[17:], uint64(ev.Ack))
+	le.PutUint32(buf[25:], uint32(ev.TransmitNo))
+	le.PutUint64(buf[29:], math.Float64bits(ev.Cwnd))
+	le.PutUint32(buf[37:], uint32(ev.Backoff))
+}
+
+func decodeEvent(buf *[eventSize]byte) Event {
+	le := binary.LittleEndian
+	return Event{
+		At:         time.Duration(int64(le.Uint64(buf[0:]))),
+		Type:       EventType(buf[8]),
+		Seq:        int64(le.Uint64(buf[9:])),
+		Ack:        int64(le.Uint64(buf[17:])),
+		TransmitNo: int(int32(le.Uint32(buf[25:]))),
+		Cwnd:       math.Float64frombits(le.Uint64(buf[29:])),
+		Backoff:    int(int32(le.Uint32(buf[37:]))),
+	}
+}
+
+// ReadBinary parses a trace in the compact binary format.
+func ReadBinary(r io.Reader) (*FlowTrace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("trace: read version: %w", err)
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+	var metaLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &metaLen); err != nil {
+		return nil, fmt.Errorf("trace: read meta length: %w", err)
+	}
+	if metaLen > 1<<20 {
+		return nil, fmt.Errorf("%w: meta length %d too large", ErrBadFormat, metaLen)
+	}
+	metaBuf := make([]byte, metaLen)
+	if _, err := io.ReadFull(br, metaBuf); err != nil {
+		return nil, fmt.Errorf("trace: read meta: %w", err)
+	}
+	out := &FlowTrace{}
+	if err := json.Unmarshal(metaBuf, &out.Meta); err != nil {
+		return nil, fmt.Errorf("%w: meta: %v", ErrBadFormat, err)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trace: read event count: %w", err)
+	}
+	out.Events = make([]Event, 0, count)
+	var buf [eventSize]byte
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: read event %d: %w", i, err)
+		}
+		out.Events = append(out.Events, decodeEvent(&buf))
+	}
+	return out, nil
+}
+
+// WriteJSONL writes the trace as JSON Lines: one meta object on the first
+// line, then one event object per line.
+func WriteJSONL(w io.Writer, f *FlowTrace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	header := struct {
+		Meta FlowMeta `json:"meta"`
+	}{Meta: f.Meta}
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("trace: encode meta: %w", err)
+	}
+	for i, ev := range f.Events {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("trace: encode event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace in the JSON Lines format.
+func ReadJSONL(r io.Reader) (*FlowTrace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var header struct {
+		Meta FlowMeta `json:"meta"`
+	}
+	if err := dec.Decode(&header); err != nil {
+		return nil, fmt.Errorf("%w: meta line: %v", ErrBadFormat, err)
+	}
+	out := &FlowTrace{Meta: header.Meta}
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("%w: event %d: %v", ErrBadFormat, len(out.Events), err)
+		}
+		out.Events = append(out.Events, ev)
+	}
+	return out, nil
+}

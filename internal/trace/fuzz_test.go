@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// seedCorpus returns serialized traces used as fuzz seeds.
+func seedCorpus(t testing.TB) (bin, jsonl []byte) {
+	t.Helper()
+	ft := sampleTrace()
+	var b, j bytes.Buffer
+	if err := WriteBinary(&b, ft); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&j, ft); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes(), j.Bytes()
+}
+
+// FuzzReadBinary checks the binary decoder never panics and that whatever
+// it accepts round-trips through the encoder byte-identically at the
+// event level.
+func FuzzReadBinary(f *testing.F) {
+	bin, _ := seedCorpus(f)
+	f.Add(bin)
+	f.Add([]byte("HSRT"))
+	f.Add([]byte{})
+	f.Add([]byte("garbage input that is not a trace"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, ft); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		back, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(back.Meta, ft.Meta) || len(back.Events) != len(ft.Events) {
+			t.Fatal("binary round-trip mismatch")
+		}
+	})
+}
+
+// FuzzReadJSONL checks the JSONL decoder never panics on arbitrary input.
+func FuzzReadJSONL(f *testing.F) {
+	_, jsonl := seedCorpus(f)
+	f.Add(jsonl)
+	f.Add([]byte(`{"meta":{}}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"meta":{"id":"x"}}` + "\n" + `{"at":1,"type":1,"seq":0,"ack":-1,"txno":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ft, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteJSONL(&out, ft); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		if _, err := ReadJSONL(&out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+package repro_test
+
+// The front-door test: one end-to-end pass through the whole reproduction
+// pipeline asserting the paper's thesis — on a high-speed-rail channel,
+// timeout recoveries are long and often spurious, and the enhanced
+// throughput model (Eq. 21) predicts the measured throughput better than
+// the Padhye baseline.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cellular"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/railway"
+	"repro/internal/stats"
+	"repro/internal/tcp"
+)
+
+func TestPaperThesisEndToEnd(t *testing.T) {
+	trip, err := railway.NewTrip(railway.BeijingTianjin, railway.DefaultProfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, _ := trip.CruiseWindow()
+
+	var padDs, enhDs []float64
+	var spurious, sequences int
+	var recovery time.Duration
+	var recoveries int
+	for seed := int64(1); seed <= 10; seed++ {
+		sc := dataset.Scenario{
+			ID:           "smoke",
+			Operator:     cellular.ChinaMobileLTE,
+			Trip:         trip,
+			TripOffset:   start + time.Duration(seed)*29*time.Second,
+			FlowDuration: 60 * time.Second,
+			Seed:         seed,
+			TCP:          tcp.DefaultConfig(),
+			Scenario:     "hsr",
+		}
+		ft, _, err := dataset.RunFlow(sc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m, err := analysis.Analyze(ft)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prm := core.ParamsFromMetrics(m)
+		pad, err := core.Padhye(prm)
+		if err != nil {
+			t.Fatalf("seed %d padhye: %v", seed, err)
+		}
+		enh, err := core.Enhanced(prm)
+		if err != nil {
+			t.Fatalf("seed %d enhanced: %v", seed, err)
+		}
+		padDs = append(padDs, core.Deviation(pad, m.ThroughputPps))
+		enhDs = append(enhDs, core.Deviation(enh, m.ThroughputPps))
+		spurious += m.SpuriousTimeouts
+		sequences += m.TimeoutSequences
+		if len(m.Recoveries) > 0 {
+			recovery += m.MeanRecoveryDuration
+			recoveries++
+		}
+	}
+
+	// Finding 1: timeout recovery on the train takes seconds, not the
+	// sub-second recoveries of a stationary network.
+	if recoveries == 0 {
+		t.Fatal("no timeout recoveries on the HSR channel")
+	}
+	if mean := recovery / time.Duration(recoveries); mean < 2*time.Second {
+		t.Errorf("mean recovery = %v, want multi-second (paper: 5.05 s)", mean)
+	}
+
+	// Finding 2: a large share of the timeouts are spurious — the data had
+	// arrived, the ACKs had not.
+	if sequences == 0 || float64(spurious)/float64(sequences) < 0.3 {
+		t.Errorf("spurious fraction = %d/%d, want substantial (paper: 49.24%%)", spurious, sequences)
+	}
+
+	// The headline: the enhanced model beats the Padhye baseline.
+	meanPad, meanEnh := stats.Mean(padDs), stats.Mean(enhDs)
+	if meanEnh >= meanPad {
+		t.Errorf("enhanced mean D (%.1f%%) should beat Padhye (%.1f%%)", meanEnh*100, meanPad*100)
+	}
+}
