@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	hsrbench [-quick] [-seed N] [-duration 120s] [-flows N] [-run name,...]
+//	hsrbench [-quick] [-seed N] [-duration 120s] [-flows N] [-jobs N] [-run name,...]
 //
 // Experiment names: table1, fig1, fig2, fig3, fig4, fig6, fig10, fig12,
 // window, scalars, delack, ablation, backupq, eifel, sensitivity, variants,
 // speed, validation, all (default).
+//
+// Experiments run on a dependency-aware parallel scheduler: -jobs N runs up
+// to N independent experiments concurrently (default 1; 0 means GOMAXPROCS).
+// Output ordering is deterministic — the rendered sections are printed in
+// the canonical order above regardless of parallelism, so -jobs N produces
+// output identical to a sequential run.
 package main
 
 import (
@@ -35,6 +41,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "base seed for all campaigns")
 	duration := fs.Duration("duration", 0, "override flow duration")
 	flows := fs.Int("flows", 0, "override flows per Table I row (0 = paper counts)")
+	jobs := fs.Int("jobs", 1, "concurrent experiments (0 = GOMAXPROCS); output order is deterministic")
 	runList := fs.String("run", "all", "comma-separated experiments to run")
 	csvDir := fs.String("csv", "", "also write figure series as CSV files into this directory")
 	reportPath := fs.String("report", "", "write a markdown reproduction report to this file (runs the full suite)")
@@ -63,21 +70,9 @@ func run(args []string) error {
 
 	needCtx := all || *reportPath != "" || want["table1"] || want["fig3"] || want["fig4"] ||
 		want["fig6"] || want["fig10"] || want["scalars"] || want["ablation"]
+	needFig1 := sel("fig1") || sel("fig2") || sel("window")
 
-	var ctx *experiments.Context
-	if needCtx {
-		fmt.Fprintf(os.Stderr, "running campaigns (seed=%d, duration=%v, flowsPerRow=%d)...\n",
-			cfg.Seed, cfg.FlowDuration, cfg.FlowsPerRow)
-		start := time.Now()
-		var err error
-		ctx, err = experiments.NewContext(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "campaigns done in %v\n\n", time.Since(start).Round(time.Millisecond))
-	}
-
-	section := func(s string) { fmt.Println(strings.Repeat("=", 90)); fmt.Println(s); fmt.Println() }
+	section := func(s string) string { return strings.Repeat("=", 90) + "\n" + s + "\n\n" }
 	writeCSV := func(name string, t *export.Table) error {
 		if *csvDir == "" {
 			return nil
@@ -89,164 +84,229 @@ func run(args []string) error {
 		return nil
 	}
 
-	if sel("table1") {
-		section("TABLE I")
-		fmt.Println(experiments.Table1(ctx).Render())
+	// The experiment DAG. Shared state (the campaign Context, the exemplar
+	// Figure-1 flow) is produced by dedicated tasks; the scheduler guarantees
+	// each task's dependencies ran before it, for any -jobs value.
+	var (
+		ctx   *experiments.Context
+		fig1  *experiments.Figure1Result
+		tasks []experiments.Task
+	)
+	add := func(name string, deps []string, run func() (string, error)) {
+		tasks = append(tasks, experiments.Task{Name: name, Deps: deps, Run: run})
 	}
-	var fig1 *experiments.Figure1Result
-	if sel("fig1") || sel("fig2") || sel("window") {
-		var err error
-		fig1, err = experiments.Figure1(cfg)
-		if err != nil {
-			return err
-		}
+
+	var ctxDep, fig1Dep []string
+	if needCtx {
+		ctxDep = []string{"campaigns"}
+		add("campaigns", nil, func() (string, error) {
+			fmt.Fprintf(os.Stderr, "running campaigns (seed=%d, duration=%v, flowsPerRow=%d)...\n",
+				cfg.Seed, cfg.FlowDuration, cfg.FlowsPerRow)
+			start := time.Now()
+			var err error
+			ctx, err = experiments.NewContext(cfg)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(os.Stderr, "campaigns done in %v\n", time.Since(start).Round(time.Millisecond))
+			return "", nil
+		})
+	}
+	if needFig1 {
+		fig1Dep = []string{"exemplar-flow"}
+		add("exemplar-flow", nil, func() (string, error) {
+			var err error
+			fig1, err = experiments.Figure1(cfg)
+			return "", err
+		})
+	}
+
+	if sel("table1") {
+		add("table1", ctxDep, func() (string, error) {
+			return section("TABLE I") + experiments.Table1(ctx).Render() + "\n", nil
+		})
 	}
 	if sel("fig1") {
-		section("FIGURE 1")
-		fmt.Println(fig1.Render())
-		if err := writeCSV("fig1_delivery", fig1.CSVTable()); err != nil {
-			return err
-		}
+		add("fig1", fig1Dep, func() (string, error) {
+			if err := writeCSV("fig1_delivery", fig1.CSVTable()); err != nil {
+				return "", err
+			}
+			return section("FIGURE 1") + fig1.Render() + "\n", nil
+		})
 	}
 	if sel("fig2") {
-		section("FIGURE 2")
-		f2, err := experiments.Figure2(fig1)
-		if err != nil {
-			return err
-		}
-		fmt.Println(f2.Render())
+		add("fig2", fig1Dep, func() (string, error) {
+			f2, err := experiments.Figure2(fig1)
+			if err != nil {
+				return "", err
+			}
+			return section("FIGURE 2") + f2.Render() + "\n", nil
+		})
 	}
 	if sel("window") {
-		section("WINDOW EVOLUTION (the live Figs 7-9)")
-		w, err := experiments.WindowTrace(fig1)
-		if err != nil {
-			return err
-		}
-		fmt.Println(w.Render())
+		add("window", fig1Dep, func() (string, error) {
+			w, err := experiments.WindowTrace(fig1)
+			if err != nil {
+				return "", err
+			}
+			return section("WINDOW EVOLUTION (the live Figs 7-9)") + w.Render() + "\n", nil
+		})
 	}
 	if sel("fig3") {
-		section("FIGURE 3")
-		f3 := experiments.Figure3(ctx)
-		fmt.Println(f3.Render())
-		if err := writeCSV("fig3_loss_rates", f3.CSVTable()); err != nil {
-			return err
-		}
+		add("fig3", ctxDep, func() (string, error) {
+			f3 := experiments.Figure3(ctx)
+			if err := writeCSV("fig3_loss_rates", f3.CSVTable()); err != nil {
+				return "", err
+			}
+			return section("FIGURE 3") + f3.Render() + "\n", nil
+		})
 	}
 	if sel("fig4") {
-		section("FIGURE 4")
-		f4 := experiments.Figure4(ctx)
-		fmt.Println(f4.Render())
-		if err := writeCSV("fig4_ack_vs_timeouts", f4.CSVTable()); err != nil {
-			return err
-		}
+		add("fig4", ctxDep, func() (string, error) {
+			f4 := experiments.Figure4(ctx)
+			if err := writeCSV("fig4_ack_vs_timeouts", f4.CSVTable()); err != nil {
+				return "", err
+			}
+			return section("FIGURE 4") + f4.Render() + "\n", nil
+		})
 	}
 	if sel("fig6") {
-		section("FIGURE 6")
-		f6 := experiments.Figure6(ctx)
-		fmt.Println(f6.Render())
-		if err := writeCSV("fig6_ack_loss", f6.CSVTable()); err != nil {
-			return err
-		}
+		add("fig6", ctxDep, func() (string, error) {
+			f6 := experiments.Figure6(ctx)
+			if err := writeCSV("fig6_ack_loss", f6.CSVTable()); err != nil {
+				return "", err
+			}
+			return section("FIGURE 6") + f6.Render() + "\n", nil
+		})
 	}
 	if sel("fig10") {
-		section("FIGURE 10")
-		f10, err := experiments.Figure10(ctx)
-		if err != nil {
-			return err
-		}
-		fmt.Println(f10.Render())
-		if err := writeCSV("fig10_model_fits", f10.CSVTable()); err != nil {
-			return err
-		}
+		add("fig10", ctxDep, func() (string, error) {
+			f10, err := experiments.Figure10(ctx)
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("fig10_model_fits", f10.CSVTable()); err != nil {
+				return "", err
+			}
+			return section("FIGURE 10") + f10.Render() + "\n", nil
+		})
 	}
 	if sel("fig12") {
-		section("FIGURE 12")
-		f12, err := experiments.Figure12(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(f12.Render())
-		if err := writeCSV("fig12_mptcp", f12.CSVTable()); err != nil {
-			return err
-		}
+		add("fig12", nil, func() (string, error) {
+			f12, err := experiments.Figure12(cfg)
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("fig12_mptcp", f12.CSVTable()); err != nil {
+				return "", err
+			}
+			return section("FIGURE 12") + f12.Render() + "\n", nil
+		})
 	}
 	if sel("scalars") {
-		section("HEADLINE CLAIMS")
-		fmt.Println(experiments.Scalars(ctx).Render())
+		add("scalars", ctxDep, func() (string, error) {
+			return section("HEADLINE CLAIMS") + experiments.Scalars(ctx).Render() + "\n", nil
+		})
 	}
 	if sel("delack") {
-		section("DELAYED-ACK SWEEP (Section V-A)")
-		d, err := experiments.DelayedAck(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(d.Render())
+		add("delack", nil, func() (string, error) {
+			d, err := experiments.DelayedAck(cfg)
+			if err != nil {
+				return "", err
+			}
+			return section("DELAYED-ACK SWEEP (Section V-A)") + d.Render() + "\n", nil
+		})
 	}
 	if sel("ablation") {
-		section("MODEL ABLATION")
-		a, err := experiments.ModelAblation(ctx)
-		if err != nil {
-			return err
-		}
-		fmt.Println(a.Render())
+		add("ablation", ctxDep, func() (string, error) {
+			a, err := experiments.ModelAblation(ctx)
+			if err != nil {
+				return "", err
+			}
+			return section("MODEL ABLATION") + a.Render() + "\n", nil
+		})
 	}
 	if sel("backupq") {
-		section("MPTCP BACKUP MODE (Section V-B)")
-		bq, err := experiments.BackupQ(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(bq.Render())
+		add("backupq", nil, func() (string, error) {
+			bq, err := experiments.BackupQ(cfg)
+			if err != nil {
+				return "", err
+			}
+			return section("MPTCP BACKUP MODE (Section V-B)") + bq.Render() + "\n", nil
+		})
 	}
 	if sel("eifel") {
-		section("EIFEL-STYLE SPURIOUS-RTO RESPONSE")
-		e, err := experiments.Eifel(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(e.Render())
+		add("eifel", nil, func() (string, error) {
+			e, err := experiments.Eifel(cfg)
+			if err != nil {
+				return "", err
+			}
+			return section("EIFEL-STYLE SPURIOUS-RTO RESPONSE") + e.Render() + "\n", nil
+		})
 	}
 	if sel("sensitivity") {
-		section("CHANNEL ABLATION — HANDOFF DURATION SWEEP")
-		s, err := experiments.ChannelSensitivity(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(s.Render())
+		add("sensitivity", nil, func() (string, error) {
+			s, err := experiments.ChannelSensitivity(cfg)
+			if err != nil {
+				return "", err
+			}
+			return section("CHANNEL ABLATION — HANDOFF DURATION SWEEP") + s.Render() + "\n", nil
+		})
 	}
 	if sel("variants") {
-		section("VARIANT COMPARISON — RENO VS NEWRENO")
-		v, err := experiments.Variants(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(v.Render())
+		add("variants", nil, func() (string, error) {
+			v, err := experiments.Variants(cfg)
+			if err != nil {
+				return "", err
+			}
+			return section("VARIANT COMPARISON — RENO VS NEWRENO") + v.Render() + "\n", nil
+		})
 	}
 	if sel("speed") {
-		section("SPEED SWEEP — 0 TO 300 KM/H")
-		sp, err := experiments.SpeedSweep(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(sp.Render())
+		add("speed", nil, func() (string, error) {
+			sp, err := experiments.SpeedSweep(cfg)
+			if err != nil {
+				return "", err
+			}
+			return section("SPEED SWEEP — 0 TO 300 KM/H") + sp.Render() + "\n", nil
+		})
 	}
 	if sel("validation") {
-		section("PIPELINE VALIDATION — STATIC BERNOULLI CHANNEL")
-		v, err := experiments.ModelValidation(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(v.Render())
+		add("validation", nil, func() (string, error) {
+			v, err := experiments.ModelValidation(cfg)
+			if err != nil {
+				return "", err
+			}
+			return section("PIPELINE VALIDATION — STATIC BERNOULLI CHANNEL") + v.Render() + "\n", nil
+		})
 	}
 	if *reportPath != "" {
-		md, err := experiments.BuildReport(ctx)
-		if err != nil {
-			return err
+		add("report", ctxDep, func() (string, error) {
+			md, err := experiments.BuildReport(ctx)
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(*reportPath, []byte(md), 0o644); err != nil {
+				return "", fmt.Errorf("write report: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *reportPath)
+			return "", nil
+		})
+	}
+
+	results, err := experiments.RunDAG(tasks, *jobs)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Output != "" {
+			fmt.Print(r.Output)
 		}
-		if err := os.WriteFile(*reportPath, []byte(md), 0o644); err != nil {
-			return fmt.Errorf("write report: %w", err)
+	}
+	for _, r := range results {
+		if r.Err != nil && !r.Skipped {
+			return fmt.Errorf("%s: %w", r.Name, r.Err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *reportPath)
 	}
 	return nil
 }

@@ -115,23 +115,33 @@ func Analyze(ft *trace.FlowTrace) (*FlowMetrics, error) {
 	}
 	m := &FlowMetrics{Meta: ft.Meta, Duration: ft.Meta.Duration}
 
-	recvAt := map[txKey]time.Duration{}    // arrival time per transmission
-	firstRecv := map[int64]time.Duration{} // earliest arrival per segment
+	recvAt := map[txKey]time.Duration{}   // arrival time per transmission
+	firstRecv := make([]time.Duration, 0) // earliest arrival per segment, -1 = never
 	for _, ev := range ft.Events {
 		if ev.Type == trace.EvDataRecv {
 			recvAt[txKey{ev.Seq, ev.TransmitNo}] = ev.At
-			if t, ok := firstRecv[ev.Seq]; !ok || ev.At < t {
+			firstRecv = growNeg(firstRecv, ev.Seq)
+			if t := firstRecv[ev.Seq]; t < 0 || ev.At < t {
 				firstRecv[ev.Seq] = ev.At
 			}
 		}
 	}
 
+	// pend is the unacked-first-transmission queue. First transmissions
+	// carry strictly increasing sequence numbers, and cumulative ACKs evict
+	// from the front, so a slice with a head index replaces the former
+	// map — the per-ACK eviction scan over the whole map dominated Analyze.
+	type sendRec struct {
+		seq     int64
+		at      time.Duration
+		tainted bool // segment was retransmitted (Karn: no RTT sample)
+	}
 	var (
 		cwndSum      float64
 		rttSum       time.Duration
-		pendingSend  = map[int64]time.Duration{} // unacked first transmissions
-		tainted      = map[int64]bool{}          // segments ever retransmitted (Karn)
-		uniqueSeqs   = map[int64]bool{}
+		pend         []sendRec
+		pendHead     int
+		delivered    []bool // dense unique-delivery tracker, indexed by seq
 		curPhase     *RecoveryPhase
 		lastActivity time.Duration // last data send or ACK arrival before a timeout
 		prevTOAt     time.Duration
@@ -139,16 +149,32 @@ func Analyze(ft *trace.FlowTrace) (*FlowMetrics, error) {
 		rtoSum       time.Duration
 		rtoN         int
 	)
+	// findPend binary-searches the live queue for seq, returning its index
+	// or -1 (already evicted or never sent on first transmission).
+	findPend := func(seq int64) int {
+		lo, hi := pendHead, len(pend)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if pend[mid].seq < seq {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(pend) && pend[lo].seq == seq {
+			return lo
+		}
+		return -1
+	}
 	for _, ev := range ft.Events {
 		switch ev.Type {
 		case trace.EvDataSend:
 			m.DataSent++
 			cwndSum += ev.Cwnd
 			if ev.TransmitNo == 1 {
-				pendingSend[ev.Seq] = ev.At
-			} else {
-				tainted[ev.Seq] = true
-				delete(pendingSend, ev.Seq)
+				pend = append(pend, sendRec{seq: ev.Seq, at: ev.At})
+			} else if i := findPend(ev.Seq); i >= 0 {
+				pend[i].tainted = true
 			}
 			if curPhase != nil {
 				curPhase.Retransmissions++
@@ -163,8 +189,9 @@ func Analyze(ft *trace.FlowTrace) (*FlowMetrics, error) {
 			m.DataLost++
 
 		case trace.EvDataRecv:
-			if !uniqueSeqs[ev.Seq] {
-				uniqueSeqs[ev.Seq] = true
+			delivered = growBool(delivered, ev.Seq)
+			if !delivered[ev.Seq] {
+				delivered[ev.Seq] = true
 				m.UniqueDelivered++
 			}
 
@@ -175,14 +202,13 @@ func Analyze(ft *trace.FlowTrace) (*FlowMetrics, error) {
 			m.AcksLost++
 
 		case trace.EvAckRecv:
-			if at, ok := pendingSend[ev.Ack-1]; ok && !tainted[ev.Ack-1] {
-				rttSum += ev.At - at
+			if i := findPend(ev.Ack - 1); i >= 0 && !pend[i].tainted {
+				rttSum += ev.At - pend[i].at
 				m.RTTSamples++
 			}
-			for seq := range pendingSend {
-				if seq < ev.Ack {
-					delete(pendingSend, seq)
-				}
+			for pendHead < len(pend) && pend[pendHead].seq < ev.Ack {
+				pend[pendHead] = sendRec{}
+				pendHead++
 			}
 			if curPhase == nil {
 				lastActivity = ev.At
@@ -197,7 +223,7 @@ func Analyze(ft *trace.FlowTrace) (*FlowMetrics, error) {
 				}
 				// Spurious iff the timed-out segment had already arrived
 				// (the receiver will see the same payload twice).
-				if arrivedAt, ok := firstRecv[ev.Seq]; ok && arrivedAt <= ev.At {
+				if int(ev.Seq) < len(firstRecv) && firstRecv[ev.Seq] >= 0 && firstRecv[ev.Seq] <= ev.At {
 					curPhase.Spurious = true
 				}
 			} else {
@@ -328,6 +354,23 @@ func Summarize(ms []*FlowMetrics) Summary {
 	}
 	if s.TotalTimeoutSeqs > 0 {
 		s.SpuriousFraction = float64(s.TotalSpurious) / float64(s.TotalTimeoutSeqs)
+	}
+	return s
+}
+
+// growNeg extends s so index i is valid, filling new slots with -1
+// ("never seen"). Sequence numbers are dense, so a slice beats a map here.
+func growNeg(s []time.Duration, i int64) []time.Duration {
+	for int64(len(s)) <= i {
+		s = append(s, -1)
+	}
+	return s
+}
+
+// growBool extends s so index i is valid.
+func growBool(s []bool, i int64) []bool {
+	for int64(len(s)) <= i {
+		s = append(s, false)
 	}
 	return s
 }

@@ -192,10 +192,27 @@ func (c *Channel) InHandoff(t time.Duration) bool { return inSpans(c.handoffs, t
 // InGap reports whether flow time t falls inside a coverage gap.
 func (c *Channel) InGap(t time.Duration) bool { return inSpans(c.gaps, t) }
 
+// spanBefore returns the index of the last span starting at or before t, or
+// -1. It is an open-coded binary search: the per-packet loss and delay
+// lookups call it several times per packet, and sort.Search's func argument
+// would put a closure construction on that hot path.
+func spanBefore(spans []span, t time.Duration) int {
+	lo, hi := 0, len(spans)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if spans[mid].start > t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo - 1
+}
+
 // inSpans reports whether t falls inside any of the disjoint, sorted spans.
 func inSpans(spans []span, t time.Duration) bool {
-	i := sort.Search(len(spans), func(i int) bool { return spans[i].start > t })
-	return i > 0 && spans[i-1].contains(t)
+	i := spanBefore(spans, t)
+	return i >= 0 && spans[i].contains(t)
 }
 
 // HandoffCount returns the number of handoffs within the precomputed horizon.
@@ -263,9 +280,8 @@ func (c *Channel) ExtraDelay(t time.Duration) time.Duration {
 // handoffRemaining returns how much of the surrounding handoff outage is
 // left at flow time t, or 0 when t is outside any outage.
 func (c *Channel) handoffRemaining(t time.Duration) time.Duration {
-	i := sort.Search(len(c.handoffs), func(i int) bool { return c.handoffs[i].start > t })
-	if i > 0 && c.handoffs[i-1].contains(t) {
-		return c.handoffs[i-1].end - t
+	if i := spanBefore(c.handoffs, t); i >= 0 && c.handoffs[i].contains(t) {
+		return c.handoffs[i].end - t
 	}
 	return 0
 }

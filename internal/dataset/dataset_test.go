@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -244,5 +245,35 @@ func TestBuildPathRejectsInvalidOperator(t *testing.T) {
 	sc.Operator.DownlinkRate = 0
 	if _, _, err := RunFlow(sc); err == nil {
 		t.Error("invalid operator accepted by RunFlow")
+	}
+}
+
+func TestRunCampaignParallelismDeterministic(t *testing.T) {
+	// Every flow is its own sealed simulation, so the worker count must not
+	// change anything: a Parallelism: 8 campaign has to reproduce the
+	// sequential campaign exactly, FlowResult by FlowResult, in order.
+	seq, err := RunCampaign(CampaignConfig{
+		Seed: 7, FlowDuration: 15 * time.Second, FlowsPerRow: 2, Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatalf("sequential campaign: %v", err)
+	}
+	par, err := RunCampaign(CampaignConfig{
+		Seed: 7, FlowDuration: 15 * time.Second, FlowsPerRow: 2, Parallelism: 8,
+	})
+	if err != nil {
+		t.Fatalf("parallel campaign: %v", err)
+	}
+	if len(par.Results) != len(seq.Results) {
+		t.Fatalf("parallel results = %d, sequential = %d", len(par.Results), len(seq.Results))
+	}
+	for i := range seq.Results {
+		if par.Results[i].Row != seq.Results[i].Row {
+			t.Errorf("result %d row = %+v, want %+v", i, par.Results[i].Row, seq.Results[i].Row)
+		}
+		if !reflect.DeepEqual(par.Results[i].Metrics, seq.Results[i].Metrics) {
+			t.Errorf("result %d metrics differ between Parallelism 8 and 1 (flow %s)",
+				i, seq.Results[i].Metrics.Meta.ID)
+		}
 	}
 }

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunDAGResultsInInputOrder(t *testing.T) {
+	// Task durations are inverted relative to input order (the first task is
+	// the slowest), so completion order differs from input order under
+	// parallelism; the results must come back in input order anyway.
+	var tasks []Task
+	for i := 0; i < 8; i++ {
+		i := i
+		tasks = append(tasks, Task{
+			Name: fmt.Sprintf("t%d", i),
+			Run: func() (string, error) {
+				for spin := 0; spin < (8-i)*1000; spin++ {
+					_ = spin * spin
+				}
+				return fmt.Sprintf("out%d", i), nil
+			},
+		})
+	}
+	res, err := RunDAG(tasks, 4)
+	if err != nil {
+		t.Fatalf("RunDAG: %v", err)
+	}
+	for i, r := range res {
+		if r.Name != tasks[i].Name || r.Output != fmt.Sprintf("out%d", i) {
+			t.Errorf("result %d = {%s %q}, want {%s out%d}", i, r.Name, r.Output, tasks[i].Name, i)
+		}
+	}
+}
+
+func TestRunDAGDependencyHappensBefore(t *testing.T) {
+	// A linear chain threaded through shared state: each link appends its
+	// letter only if its dependency already appended. Any ordering violation
+	// corrupts the string.
+	var mu sync.Mutex
+	var order string
+	link := func(name, prev string) Task {
+		deps := []string(nil)
+		if prev != "" {
+			deps = []string{prev}
+		}
+		return Task{Name: name, Deps: deps, Run: func() (string, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			order += name
+			return "", nil
+		}}
+	}
+	tasks := []Task{
+		link("c", "b"), link("a", ""), link("b", "a"), link("d", "c"),
+	}
+	if _, err := RunDAG(tasks, 8); err != nil {
+		t.Fatalf("RunDAG: %v", err)
+	}
+	if order != "abcd" {
+		t.Errorf("execution order = %q, want abcd", order)
+	}
+}
+
+func TestRunDAGParallelMatchesSequential(t *testing.T) {
+	// The hsrbench invariant: for one task set, -jobs N renders byte-identical
+	// output to the sequential run. Tasks form a diamond sharing state
+	// through their dependency.
+	build := func() []Task {
+		shared := 0
+		return []Task{
+			{Name: "base", Run: func() (string, error) { shared = 42; return "base\n", nil }},
+			{Name: "left", Deps: []string{"base"}, Run: func() (string, error) {
+				return fmt.Sprintf("left %d\n", shared), nil
+			}},
+			{Name: "right", Deps: []string{"base"}, Run: func() (string, error) {
+				return fmt.Sprintf("right %d\n", shared*2), nil
+			}},
+			{Name: "join", Deps: []string{"left", "right"}, Run: func() (string, error) {
+				return "join\n", nil
+			}},
+			{Name: "solo", Run: func() (string, error) { return "solo\n", nil }},
+		}
+	}
+	seq, err := RunDAG(build(), 1)
+	if err != nil {
+		t.Fatalf("sequential RunDAG: %v", err)
+	}
+	for _, jobs := range []int{2, 8, 0} {
+		par, err := RunDAG(build(), jobs)
+		if err != nil {
+			t.Fatalf("RunDAG(jobs=%d): %v", jobs, err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Errorf("jobs=%d results = %+v, want sequential %+v", jobs, par, seq)
+		}
+	}
+}
+
+func TestRunDAGSkipsDependentsOfFailedTask(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	tasks := []Task{
+		{Name: "bad", Run: func() (string, error) { return "", boom }},
+		{Name: "child", Deps: []string{"bad"}, Run: func() (string, error) {
+			ran.Add(1)
+			return "", nil
+		}},
+		{Name: "grandchild", Deps: []string{"child"}, Run: func() (string, error) {
+			ran.Add(1)
+			return "", nil
+		}},
+		{Name: "bystander", Run: func() (string, error) { return "ok", nil }},
+	}
+	res, err := RunDAG(tasks, 4)
+	if err != nil {
+		t.Fatalf("RunDAG: %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d dependents of the failed task ran, want 0", ran.Load())
+	}
+	if !errors.Is(res[0].Err, boom) || res[0].Skipped {
+		t.Errorf("bad result = %+v, want Err=boom, not skipped", res[0])
+	}
+	for _, i := range []int{1, 2} {
+		if !res[i].Skipped || res[i].Err == nil {
+			t.Errorf("%s result = %+v, want skipped with error", res[i].Name, res[i])
+		}
+	}
+	if res[3].Err != nil || res[3].Skipped || res[3].Output != "ok" {
+		t.Errorf("bystander result = %+v, want clean success", res[3])
+	}
+}
+
+func TestRunDAGRejectsMalformedGraphs(t *testing.T) {
+	noop := func() (string, error) { return "", nil }
+	cases := []struct {
+		name  string
+		tasks []Task
+		want  string
+	}{
+		{"empty name", []Task{{Name: "", Run: noop}}, "empty name"},
+		{"nil run", []Task{{Name: "a"}}, "nil Run"},
+		{"duplicate", []Task{{Name: "a", Run: noop}, {Name: "a", Run: noop}}, "duplicate"},
+		{"unknown dep", []Task{{Name: "a", Deps: []string{"ghost"}, Run: noop}}, "unknown"},
+		{"self dep", []Task{{Name: "a", Deps: []string{"a"}, Run: noop}}, "itself"},
+		{"cycle", []Task{
+			{Name: "a", Deps: []string{"b"}, Run: noop},
+			{Name: "b", Deps: []string{"a"}, Run: noop},
+		}, "cycle"},
+	}
+	for _, tc := range cases {
+		if _, err := RunDAG(tc.tasks, 1); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: RunDAG error = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestRunDAGEmpty(t *testing.T) {
+	res, err := RunDAG(nil, 4)
+	if err != nil {
+		t.Fatalf("RunDAG(nil): %v", err)
+	}
+	if len(res) != 0 {
+		t.Errorf("RunDAG(nil) = %d results, want 0", len(res))
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/dataset"
+	"repro/internal/netem"
 	"repro/internal/sim"
 	"repro/internal/tcp"
 	"repro/internal/trace"
@@ -151,10 +152,10 @@ func RunBackup(base dataset.Scenario) (*BackupResult, error) {
 			txNo = 1
 		}
 		res.BackupRetransmits++
-		backup.Forward.Send(segSize, func() {
+		backup.Forward.Send(segSize, netem.HandlerFunc(func() {
 			res.BackupDelivered++
 			conn.DeliverData(seq, txNo)
-		})
+		}))
 	})
 	conn.SetAckSendHook(func(ackNo int64) {
 		// Mirror ACKs only while the sender is stuck in timeout recovery:
@@ -163,10 +164,10 @@ func RunBackup(base dataset.Scenario) (*BackupResult, error) {
 		if !conn.InTimeoutRecovery() {
 			return
 		}
-		backup.Reverse.Send(base.TCP.HeaderBytes, func() {
+		backup.Reverse.Send(base.TCP.HeaderBytes, netem.HandlerFunc(func() {
 			res.BackupAcksDelivered++
 			conn.InjectAck(ackNo)
-		})
+		}))
 	})
 	if err := conn.Start(base.FlowDuration); err != nil {
 		return nil, err

@@ -13,7 +13,7 @@ func TestChainDeliversThroughStages(t *testing.T) {
 	b := NewLink(s, LinkConfig{Delay: FixedDelay(15 * time.Millisecond)})
 	c := NewChain(a, b)
 	var at time.Duration
-	ok, _ := c.Send(1000, func() { at = s.Now() })
+	ok, _ := c.Send(1000, HandlerFunc(func() { at = s.Now() }))
 	if !ok {
 		t.Fatal("chain send rejected")
 	}
@@ -33,8 +33,8 @@ func TestChainSharedCapacityStage(t *testing.T) {
 	f1 := NewChain(NewLink(s, LinkConfig{Delay: FixedDelay(0)}), shared)
 	f2 := NewChain(NewLink(s, LinkConfig{Delay: FixedDelay(0)}), shared)
 	var times []time.Duration
-	f1.Send(1000, func() { times = append(times, s.Now()) })
-	f2.Send(1000, func() { times = append(times, s.Now()) })
+	f1.Send(1000, HandlerFunc(func() { times = append(times, s.Now()) }))
+	f2.Send(1000, HandlerFunc(func() { times = append(times, s.Now()) }))
 	s.Run()
 	if len(times) != 2 {
 		t.Fatalf("delivered %d, want 2", len(times))
@@ -50,7 +50,7 @@ func TestChainFirstStageDropIsSynchronous(t *testing.T) {
 	lossy := NewLink(s, LinkConfig{Delay: FixedDelay(0), Loss: NewBernoulli(1, rng)})
 	clean := NewLink(s, LinkConfig{Delay: FixedDelay(0)})
 	c := NewChain(lossy, clean)
-	ok, kind := c.Send(100, func() { t.Error("dropped packet delivered") })
+	ok, kind := c.Send(100, HandlerFunc(func() { t.Error("dropped packet delivered") }))
 	if ok || kind != DropChannel {
 		t.Errorf("Send = (%v, %v), want synchronous channel drop", ok, kind)
 	}
@@ -64,7 +64,7 @@ func TestChainLaterStageDropIsSilent(t *testing.T) {
 	lossy := NewLink(s, LinkConfig{Delay: FixedDelay(0), Loss: NewBernoulli(1, rng)})
 	c := NewChain(clean, lossy)
 	delivered := false
-	ok, _ := c.Send(100, func() { delivered = true })
+	ok, _ := c.Send(100, HandlerFunc(func() { delivered = true }))
 	if !ok {
 		t.Error("first-stage verdict should be accept")
 	}
@@ -82,7 +82,7 @@ func TestChainSingleStage(t *testing.T) {
 	l := NewLink(s, LinkConfig{Delay: FixedDelay(5 * time.Millisecond)})
 	c := NewChain(l)
 	done := false
-	c.Send(10, func() { done = true })
+	c.Send(10, HandlerFunc(func() { done = true }))
 	s.Run()
 	if !done {
 		t.Error("single-stage chain did not deliver")
@@ -168,7 +168,7 @@ func TestLinkDecidesLossAtArrivalEpoch(t *testing.T) {
 		Loss:  NewLossFunc(outage, rng),
 	})
 	s.Schedule(900*time.Millisecond, func() {
-		ok, kind := l.Send(100, func() { t.Error("straddling packet delivered") })
+		ok, kind := l.Send(100, HandlerFunc(func() { t.Error("straddling packet delivered") }))
 		if ok || kind != DropChannel {
 			t.Errorf("straddling packet not dropped: (%v, %v)", ok, kind)
 		}

@@ -62,6 +62,20 @@ type LinkConfig struct {
 	Loss LossModel
 }
 
+// Handler is the delivery callback interface of the emulated links; it is
+// sim.Handler re-exported so netem callers need not import sim. Hot paths
+// implement it on pooled structs; cold paths and tests can wrap a closure
+// with HandlerFunc.
+type Handler = sim.Handler
+
+// HandlerFunc adapts a plain func to a Handler. The conversion allocates
+// once per wrapped closure, so it is for cold paths and tests; per-packet
+// paths should pool handler structs instead.
+type HandlerFunc func()
+
+// Fire implements Handler.
+func (f HandlerFunc) Fire() { f() }
+
 // Link is a unidirectional, loss- and delay-emulating packet pipe driven by
 // a Simulator. Deliveries never reorder: a packet's delivery time is clamped
 // to be at least the previous packet's delivery time, modeling the in-order
@@ -75,6 +89,26 @@ type Link struct {
 
 	nextFree     time.Duration // when the serializer becomes idle
 	lastDelivery time.Duration // monotone delivery horizon (no reordering)
+	free         *linkEvent    // pooled in-flight delivery events
+}
+
+// linkEvent is the pooled in-flight state of one packet: it bumps the
+// delivered counter and hands off to the caller's handler when the emulated
+// arrival time comes.
+type linkEvent struct {
+	l       *Link
+	deliver Handler
+	next    *linkEvent
+}
+
+// Fire implements sim.Handler.
+func (e *linkEvent) Fire() {
+	l, deliver := e.l, e.deliver
+	e.deliver = nil
+	e.next = l.free
+	l.free = e
+	l.stats.Delivered++
+	deliver.Fire()
 }
 
 // NewLink builds a link on top of the given simulator.
@@ -112,7 +146,7 @@ func (l *Link) QueueDepth() time.Duration {
 // and Send returns (delivered-eventually=true, 0). Otherwise deliver is
 // never called and Send reports the drop cause. The caller observes drops
 // synchronously, which the trace recorder uses to log ground-truth losses.
-func (l *Link) Send(size int, deliver func()) (bool, DropKind) {
+func (l *Link) Send(size int, deliver Handler) (bool, DropKind) {
 	if size <= 0 {
 		panic(fmt.Sprintf("netem: Send with non-positive size %d", size))
 	}
@@ -158,10 +192,15 @@ func (l *Link) Send(size int, deliver func()) (bool, DropKind) {
 		arrival = l.lastDelivery // preserve FIFO delivery
 	}
 	l.lastDelivery = arrival
-	l.simulator.At(arrival, func() {
-		l.stats.Delivered++
-		deliver()
-	})
+	ev := l.free
+	if ev == nil {
+		ev = &linkEvent{l: l}
+	} else {
+		l.free = ev.next
+		ev.next = nil
+	}
+	ev.deliver = deliver
+	l.simulator.AtFire(arrival, ev)
 	return true, 0
 }
 
@@ -169,11 +208,12 @@ func (l *Link) Send(size int, deliver func()) (bool, DropKind) {
 // or a Chain of stages.
 type Sender interface {
 	// Send offers a packet; deliver fires at the emulated arrival time
-	// unless the packet is dropped, in which case Send reports the cause.
+	// unless the packet is dropped, in which case Send reports the cause
+	// and deliver never fires (the caller may recycle it immediately).
 	// Drops in stages past the first of a Chain are reported as delivered
 	// (the verdict of later stages is not knowable synchronously); such
 	// packets simply never arrive.
-	Send(size int, deliver func()) (bool, DropKind)
+	Send(size int, deliver Handler) (bool, DropKind)
 }
 
 var (
@@ -187,6 +227,28 @@ var (
 // per-subflow loss and delay.
 type Chain struct {
 	Stages []Sender
+
+	free *chainEvent // pooled stage-handoff events
+}
+
+// chainEvent carries a packet from one chain stage's delivery into the next
+// stage's Send; pooled on the Chain so multi-stage paths stay allocation-
+// free per packet.
+type chainEvent struct {
+	c       *Chain
+	stage   int
+	size    int
+	deliver Handler
+	next    *chainEvent
+}
+
+// Fire implements Handler.
+func (e *chainEvent) Fire() {
+	c, stage, size, deliver := e.c, e.stage, e.size, e.deliver
+	e.deliver = nil
+	e.next = c.free
+	c.free = e
+	c.sendFrom(stage, size, deliver)
 }
 
 // NewChain builds a chain of at least one stage.
@@ -204,17 +266,29 @@ func NewChain(stages ...Sender) *Chain {
 
 // Send implements Sender. Only the first stage's verdict is synchronous;
 // later stages drop silently (their deliver callback never fires).
-func (c *Chain) Send(size int, deliver func()) (bool, DropKind) {
+func (c *Chain) Send(size int, deliver Handler) (bool, DropKind) {
 	return c.sendFrom(0, size, deliver)
 }
 
-func (c *Chain) sendFrom(stage int, size int, deliver func()) (bool, DropKind) {
+func (c *Chain) sendFrom(stage int, size int, deliver Handler) (bool, DropKind) {
 	if stage == len(c.Stages)-1 {
 		return c.Stages[stage].Send(size, deliver)
 	}
-	return c.Stages[stage].Send(size, func() {
-		c.sendFrom(stage+1, size, deliver)
-	})
+	ev := c.free
+	if ev == nil {
+		ev = &chainEvent{c: c}
+	} else {
+		c.free = ev.next
+		ev.next = nil
+	}
+	ev.stage, ev.size, ev.deliver = stage+1, size, deliver
+	ok, kind := c.Stages[stage].Send(size, ev)
+	if !ok {
+		ev.deliver = nil
+		ev.next = c.free
+		c.free = ev
+	}
+	return ok, kind
 }
 
 // Path bundles the two directions of a bidirectional connection: Forward

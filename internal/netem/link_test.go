@@ -19,7 +19,7 @@ func newTestLink(t *testing.T, cfg LinkConfig) (*sim.Simulator, *Link) {
 func TestLinkDeliversWithDelay(t *testing.T) {
 	s, l := newTestLink(t, LinkConfig{Delay: FixedDelay(25 * time.Millisecond)})
 	var deliveredAt time.Duration
-	ok, _ := l.Send(1000, func() { deliveredAt = s.Now() })
+	ok, _ := l.Send(1000, HandlerFunc(func() { deliveredAt = s.Now() }))
 	if !ok {
 		t.Fatal("Send reported drop on lossless link")
 	}
@@ -37,7 +37,7 @@ func TestLinkSerializationDelay(t *testing.T) {
 	s, l := newTestLink(t, LinkConfig{Rate: 8000, Delay: FixedDelay(0)})
 	var times []time.Duration
 	for i := 0; i < 3; i++ {
-		l.Send(1000, func() { times = append(times, s.Now()) })
+		l.Send(1000, HandlerFunc(func() { times = append(times, s.Now()) }))
 	}
 	s.Run()
 	want := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
@@ -57,7 +57,7 @@ func TestLinkQueueTailDrop(t *testing.T) {
 	queueDrops := 0
 	// First packet enters service immediately; next two queue; the rest tail-drop.
 	for i := 0; i < 6; i++ {
-		ok, kind := l.Send(1000, func() {})
+		ok, kind := l.Send(1000, HandlerFunc(func() {}))
 		if ok {
 			accepted++
 		} else if kind == DropQueue {
@@ -78,17 +78,17 @@ func TestLinkQueueTailDrop(t *testing.T) {
 
 func TestLinkQueueDrainsOverTime(t *testing.T) {
 	s, l := newTestLink(t, LinkConfig{Rate: 8000, MaxQueue: 1, Delay: FixedDelay(0)})
-	if ok, _ := l.Send(1000, func() {}); !ok {
+	if ok, _ := l.Send(1000, HandlerFunc(func() {})); !ok {
 		t.Fatal("first packet rejected")
 	}
-	if ok, _ := l.Send(1000, func() {}); !ok {
+	if ok, _ := l.Send(1000, HandlerFunc(func() {})); !ok {
 		t.Fatal("second packet should queue")
 	}
-	if ok, kind := l.Send(1000, func() {}); ok || kind != DropQueue {
+	if ok, kind := l.Send(1000, HandlerFunc(func() {})); ok || kind != DropQueue {
 		t.Fatal("third packet should tail-drop")
 	}
 	s.RunUntil(2500 * time.Millisecond) // both packets done by 2s
-	if ok, _ := l.Send(1000, func() {}); !ok {
+	if ok, _ := l.Send(1000, HandlerFunc(func() {})); !ok {
 		t.Error("packet after drain should be accepted")
 	}
 	s.Run()
@@ -101,7 +101,7 @@ func TestLinkChannelDrop(t *testing.T) {
 		Loss:  NewBernoulli(1, rng),
 	})
 	called := false
-	ok, kind := l.Send(100, func() { called = true })
+	ok, kind := l.Send(100, HandlerFunc(func() { called = true }))
 	if ok || kind != DropChannel {
 		t.Fatalf("Send = (%v, %v), want (false, channel)", ok, kind)
 	}
@@ -127,7 +127,7 @@ func TestLinkNoReordering(t *testing.T) {
 	var order []int
 	for i := 0; i < 200; i++ {
 		i := i
-		l.Send(100, func() { order = append(order, i) })
+		l.Send(100, HandlerFunc(func() { order = append(order, i) }))
 		s.RunUntil(s.Now() + 100*time.Microsecond)
 	}
 	s.Run()
@@ -156,7 +156,7 @@ func TestLinkPanics(t *testing.T) {
 	assertPanics("nil delay", func() { NewLink(s, LinkConfig{}) })
 	assertPanics("negative rate", func() { NewLink(s, LinkConfig{Rate: -1, Delay: FixedDelay(0)}) })
 	l := NewLink(s, LinkConfig{Delay: FixedDelay(0)})
-	assertPanics("zero size", func() { l.Send(0, func() {}) })
+	assertPanics("zero size", func() { l.Send(0, HandlerFunc(func() {})) })
 	assertPanics("nil deliver", func() { l.Send(10, nil) })
 }
 
@@ -172,7 +172,7 @@ func TestQueueDepth(t *testing.T) {
 	if l.QueueDepth() != 0 {
 		t.Error("idle link should have zero queue depth")
 	}
-	l.Send(1000, func() {}) // 1s of service time
+	l.Send(1000, HandlerFunc(func() {})) // 1s of service time
 	if got := l.QueueDepth(); got != time.Second {
 		t.Errorf("QueueDepth = %v, want 1s", got)
 	}

@@ -6,6 +6,17 @@
 // by a Simulator so that a whole experiment is a single-threaded,
 // reproducible computation: the same seed always produces the same packet
 // trace.
+//
+// The kernel is allocation-conscious. Fire-and-forget events scheduled
+// through ScheduleFire/AtFire draw their event objects from a per-simulator
+// free list and return them after firing, so the per-packet hot path
+// (link deliveries) allocates nothing in steady state. Cancelled timers are
+// removed lazily: Stop only marks the entry dead, and the heap is compacted
+// once dead entries outnumber live ones, so cancel-heavy workloads (RTO
+// timers that almost never fire) stay O(live) rather than accumulating
+// garbage until the dead entries' deadlines pass. Long-lived timers avoid
+// the Stop+Schedule churn entirely via Timer.Reschedule, which moves the
+// existing heap entry in place.
 package sim
 
 import (
@@ -14,12 +25,26 @@ import (
 	"time"
 )
 
+// Handler is the callback interface of pooled fire-and-forget events
+// (ScheduleFire/AtFire). Using a small struct that implements Handler —
+// instead of a closure — lets callers pool their callback state and makes
+// the schedule/fire path allocation-free.
+type Handler interface {
+	Fire()
+}
+
+// compactMinHeap is the heap size below which lazy-deletion compaction is
+// not worth the bookkeeping.
+const compactMinHeap = 64
+
 // Simulator owns the virtual clock and the pending event queue. The zero
 // value is not usable; create one with New.
 type Simulator struct {
 	now    time.Duration
 	events eventHeap
 	seq    uint64
+	live   int    // non-cancelled entries currently in the heap
+	free   *Timer // free list of recycled fire-and-forget events
 }
 
 // New returns a Simulator with the clock at zero and no pending events.
@@ -31,16 +56,12 @@ func New() *Simulator {
 func (s *Simulator) Now() time.Duration { return s.now }
 
 // Pending returns the number of scheduled, not-yet-fired, not-cancelled
-// events.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, ev := range s.events {
-		if !ev.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// events. It is O(1): the kernel maintains a live-event counter.
+func (s *Simulator) Pending() int { return s.live }
+
+// heapLen returns the raw heap size including lazily-deleted entries
+// (diagnostics and tests).
+func (s *Simulator) heapLen() int { return len(s.events) }
 
 // Schedule runs fn after delay of virtual time. A zero delay fires the event
 // at the current time but strictly after all previously scheduled events for
@@ -62,10 +83,60 @@ func (s *Simulator) At(t time.Duration, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
-	ev := &Timer{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, ev)
+	ev := &Timer{s: s, at: t, fn: fn}
+	s.push(ev)
 	return ev
+}
+
+// ScheduleFire schedules h.Fire after delay of virtual time as a
+// fire-and-forget event: no handle is returned, the event cannot be
+// cancelled, and the kernel's event object is recycled after firing, so the
+// call is allocation-free in steady state. Ordering rules match Schedule.
+func (s *Simulator) ScheduleFire(delay time.Duration, h Handler) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: ScheduleFire with negative delay %v", delay))
+	}
+	s.AtFire(s.now+delay, h)
+}
+
+// AtFire schedules h.Fire at absolute virtual time t as a fire-and-forget
+// event (see ScheduleFire).
+func (s *Simulator) AtFire(t time.Duration, h Handler) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: AtFire(%v) is before current time %v", t, s.now))
+	}
+	if h == nil {
+		panic("sim: AtFire with nil handler")
+	}
+	ev := s.free
+	if ev == nil {
+		ev = &Timer{s: s}
+	} else {
+		s.free = ev.freeNext
+		ev.freeNext = nil
+	}
+	ev.at = t
+	ev.h = h
+	ev.fired = false
+	ev.cancelled = false
+	s.push(ev)
+}
+
+// push inserts an event, stamping the FIFO tiebreaker.
+func (s *Simulator) push(ev *Timer) {
+	ev.seq = s.seq
+	s.seq++
+	s.live++
+	heap.Push(&s.events, ev)
+}
+
+// recycle returns a pooled fire-and-forget event to the free list.
+func (s *Simulator) recycle(ev *Timer) {
+	ev.h = nil
+	ev.fn = nil
+	ev.index = -1
+	ev.freeNext = s.free
+	s.free = ev
 }
 
 // Step executes the single earliest pending event, advancing the clock to
@@ -74,12 +145,22 @@ func (s *Simulator) At(t time.Duration, fn func()) *Timer {
 func (s *Simulator) Step() bool {
 	for len(s.events) > 0 {
 		ev := heap.Pop(&s.events).(*Timer)
+		ev.index = -1
 		if ev.cancelled {
+			// Lazily-deleted entry: it was uncounted at Stop time; drain it.
 			continue
 		}
 		s.now = ev.at
+		s.live--
 		ev.fired = true
-		ev.fn()
+		if h := ev.h; h != nil {
+			// Fire-and-forget event: recycle before invoking so the handler
+			// can immediately reuse the slot for follow-up events.
+			s.recycle(ev)
+			h.Fire()
+		} else {
+			ev.fn()
+		}
 		return true
 	}
 	return false
@@ -113,19 +194,50 @@ func (s *Simulator) peek() *Timer {
 		if !s.events[0].cancelled {
 			return s.events[0]
 		}
-		heap.Pop(&s.events)
+		ev := heap.Pop(&s.events).(*Timer)
+		ev.index = -1
 	}
 	return nil
 }
 
-// Timer is a handle to a scheduled event. It can be cancelled before firing.
+// maybeCompact rebuilds the heap without its lazily-deleted entries once
+// they outnumber the live ones. Amortized O(1) per Stop: each compaction is
+// O(n) but halves the heap, and at least n/2 Stops separate compactions.
+func (s *Simulator) maybeCompact() {
+	if len(s.events) < compactMinHeap || len(s.events)-s.live <= s.live {
+		return
+	}
+	kept := s.events[:0]
+	for _, ev := range s.events {
+		if ev.cancelled {
+			ev.index = -1
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	for i := len(kept); i < len(s.events); i++ {
+		s.events[i] = nil
+	}
+	s.events = kept
+	for i, ev := range s.events {
+		ev.index = i
+	}
+	heap.Init(&s.events)
+}
+
+// Timer is a handle to a scheduled event. It can be cancelled before firing
+// with Stop and moved to a new deadline — before or after firing — with
+// Reschedule.
 type Timer struct {
+	s         *Simulator
 	at        time.Duration
 	seq       uint64
 	fn        func()
-	index     int // heap index, maintained by eventHeap
+	h         Handler
+	index     int // heap index, maintained by eventHeap; -1 when not queued
 	cancelled bool
 	fired     bool
+	freeNext  *Timer // free-list link (pooled fire-and-forget events only)
 }
 
 // At returns the virtual time the timer is (or was) scheduled to fire.
@@ -133,17 +245,56 @@ func (t *Timer) At() time.Duration { return t.at }
 
 // Stop cancels the timer. It reports whether the cancellation prevented the
 // timer from firing (false if it already fired or was already stopped).
+// The heap entry is deleted lazily; the callback is retained so the timer
+// can be revived with Reschedule.
 func (t *Timer) Stop() bool {
 	if t.fired || t.cancelled {
 		return false
 	}
 	t.cancelled = true
-	t.fn = nil // release references for GC
+	t.s.live--
+	t.s.maybeCompact()
 	return true
 }
 
 // Active reports whether the timer is still scheduled to fire.
 func (t *Timer) Active() bool { return !t.fired && !t.cancelled }
+
+// Reschedule moves the timer to fire at now+delay, reusing its callback
+// and, when possible, its existing heap entry. It works on active timers
+// (the entry is moved in place), on stopped ones, and on fired ones (both
+// are revived), so periodic timers avoid the Stop+Schedule allocate-per-arm
+// churn entirely. Reschedule panics on a negative delay.
+func (t *Timer) Reschedule(delay time.Duration) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: Reschedule with negative delay %v", delay))
+	}
+	if t.fn == nil && t.h == nil {
+		panic("sim: Reschedule on a timer without a callback")
+	}
+	s := t.s
+	t.at = s.now + delay
+	t.seq = s.seq
+	s.seq++
+	switch {
+	case t.index >= 0 && !t.cancelled:
+		// Active and queued: move the existing entry.
+		heap.Fix(&s.events, t.index)
+	case t.index >= 0:
+		// Stopped but its lazily-deleted entry still occupies a heap slot:
+		// revive it in place.
+		t.cancelled = false
+		s.live++
+		heap.Fix(&s.events, t.index)
+	default:
+		// Fired, or stopped and already compacted away: reinsert.
+		t.cancelled = false
+		t.fired = false
+		s.live++
+		heap.Push(&s.events, t)
+	}
+	t.fired = false
+}
 
 // eventHeap orders timers by (at, seq) so simultaneous events fire in
 // scheduling order.

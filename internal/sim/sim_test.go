@@ -222,6 +222,237 @@ func TestEventOrderProperty(t *testing.T) {
 	}
 }
 
+// fireCounter is a Handler that counts its firings.
+type fireCounter struct{ n int }
+
+func (h *fireCounter) Fire() { h.n++ }
+
+func TestPendingCounter(t *testing.T) {
+	s := New()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending on empty simulator = %d", s.Pending())
+	}
+	var tms []*Timer
+	for i := 1; i <= 10; i++ {
+		tms = append(tms, s.Schedule(time.Duration(i)*time.Millisecond, func() {}))
+	}
+	h := &fireCounter{}
+	s.ScheduleFire(time.Millisecond, h)
+	if got := s.Pending(); got != 11 {
+		t.Fatalf("Pending = %d, want 11", got)
+	}
+	tms[3].Stop()
+	tms[4].Stop()
+	if got := s.Pending(); got != 9 {
+		t.Fatalf("Pending after 2 stops = %d, want 9", got)
+	}
+	s.Step() // fires one of the t=1ms events
+	s.Step()
+	if got := s.Pending(); got != 7 {
+		t.Fatalf("Pending after 2 steps = %d, want 7", got)
+	}
+	tms[4].Reschedule(time.Second) // revive a stopped timer
+	if got := s.Pending(); got != 8 {
+		t.Fatalf("Pending after revival = %d, want 8", got)
+	}
+	s.Run()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", got)
+	}
+	if h.n != 1 {
+		t.Errorf("handler fired %d times, want 1", h.n)
+	}
+}
+
+func TestCancelledEventsDoNotAccumulate(t *testing.T) {
+	// The cancelled-event leak regression test: stopping far-future timers
+	// over and over must not grow the heap — lazy deletion compacts once
+	// dead entries outnumber live ones.
+	s := New()
+	keep := s.Schedule(time.Hour, func() {})
+	const churn = 100_000
+	for i := 0; i < churn; i++ {
+		s.Schedule(time.Hour, func() {}).Stop()
+	}
+	if got := s.heapLen(); got > 2*compactMinHeap {
+		t.Fatalf("heap holds %d entries after %d cancels, want <= %d", got, churn, 2*compactMinHeap)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	if !keep.Active() {
+		t.Fatal("surviving timer lost by compaction")
+	}
+}
+
+func TestCompactionPreservesOrder(t *testing.T) {
+	s := New()
+	var order []int
+	var cancel []*Timer
+	for i := 0; i < 500; i++ {
+		i := i
+		s.Schedule(time.Duration(i)*time.Millisecond, func() { order = append(order, i) })
+		// Interleave doomed timers to force compactions mid-build.
+		cancel = append(cancel, s.Schedule(time.Duration(i)*time.Millisecond, func() { t.Error("cancelled timer fired") }))
+	}
+	for _, tm := range cancel {
+		tm.Stop()
+	}
+	s.Run()
+	if len(order) != 500 {
+		t.Fatalf("fired %d events, want 500", len(order))
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("order[%d] = %d after compaction", i, order[i])
+		}
+	}
+}
+
+func TestRescheduleActiveTimer(t *testing.T) {
+	s := New()
+	var at time.Duration
+	tm := s.Schedule(10*time.Millisecond, func() { at = s.Now() })
+	tm.Reschedule(30 * time.Millisecond)
+	s.Schedule(20*time.Millisecond, func() {})
+	s.Run()
+	if at != 30*time.Millisecond {
+		t.Errorf("rescheduled timer fired at %v, want 30ms", at)
+	}
+}
+
+func TestRescheduleFiredTimer(t *testing.T) {
+	s := New()
+	n := 0
+	tm := s.Schedule(time.Millisecond, func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("fired %d times, want 1", n)
+	}
+	if tm.Active() {
+		t.Fatal("fired timer still active")
+	}
+	tm.Reschedule(time.Millisecond)
+	if !tm.Active() {
+		t.Fatal("rescheduled fired timer not active")
+	}
+	s.Run()
+	if n != 2 {
+		t.Errorf("fired %d times after revival, want 2", n)
+	}
+}
+
+func TestRescheduleStoppedTimer(t *testing.T) {
+	s := New()
+	n := 0
+	tm := s.Schedule(time.Millisecond, func() { n++ })
+	tm.Stop()
+	tm.Reschedule(5 * time.Millisecond)
+	s.Run()
+	if n != 1 {
+		t.Errorf("revived stopped timer fired %d times, want 1", n)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Errorf("Now = %v, want 5ms", s.Now())
+	}
+}
+
+func TestRescheduleStoppedTimerAfterCompaction(t *testing.T) {
+	// Stop a timer, force a compaction that evicts its heap entry, then
+	// revive it: Reschedule must reinsert rather than heap.Fix a stale index.
+	s := New()
+	n := 0
+	tm := s.Schedule(time.Millisecond, func() { n++ })
+	tm.Stop()
+	for i := 0; i < 4*compactMinHeap; i++ {
+		s.Schedule(time.Hour, func() {}).Stop()
+	}
+	tm.Reschedule(2 * time.Millisecond)
+	s.RunUntil(3 * time.Millisecond)
+	if n != 1 {
+		t.Errorf("revived timer fired %d times, want 1", n)
+	}
+}
+
+func TestRescheduleIsFIFOStamped(t *testing.T) {
+	// A rescheduled timer landing on an occupied timestamp fires after the
+	// events already scheduled there, like a fresh Schedule would.
+	s := New()
+	var order []string
+	tm := s.Schedule(time.Millisecond, func() { order = append(order, "moved") })
+	s.Schedule(5*time.Millisecond, func() { order = append(order, "existing") })
+	tm.Reschedule(5 * time.Millisecond)
+	s.Run()
+	if len(order) != 2 || order[0] != "existing" || order[1] != "moved" {
+		t.Errorf("order = %v, want [existing moved]", order)
+	}
+}
+
+func TestRescheduleNegativeDelayPanics(t *testing.T) {
+	s := New()
+	tm := s.Schedule(time.Second, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("Reschedule with negative delay did not panic")
+		}
+	}()
+	tm.Reschedule(-time.Millisecond)
+}
+
+func TestScheduleFirePooledEventsAreRecycled(t *testing.T) {
+	s := New()
+	h := &fireCounter{}
+	const rounds = 1000
+	for i := 0; i < rounds; i++ {
+		s.ScheduleFire(time.Microsecond, h)
+		if !s.Step() {
+			t.Fatal("Step found no event")
+		}
+	}
+	if h.n != rounds {
+		t.Fatalf("fired %d, want %d", h.n, rounds)
+	}
+	// Steady state keeps exactly one pooled event on the free list.
+	free := 0
+	for ev := s.free; ev != nil; ev = ev.freeNext {
+		free++
+	}
+	if free != 1 {
+		t.Errorf("free list holds %d events, want 1", free)
+	}
+}
+
+func TestScheduleFireOrderingMatchesSchedule(t *testing.T) {
+	s := New()
+	var order []int
+	record := func(i int) Handler { return &orderHandler{order: &order, i: i} }
+	s.ScheduleFire(time.Millisecond, record(1))
+	s.Schedule(time.Millisecond, func() { order = append(order, 2) })
+	s.ScheduleFire(time.Millisecond, record(3))
+	s.Run()
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order = %v, want [1 2 3]", order)
+		}
+	}
+}
+
+type orderHandler struct {
+	order *[]int
+	i     int
+}
+
+func (h *orderHandler) Fire() { *h.order = append(*h.order, h.i) }
+
+func TestScheduleFireNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ScheduleFire with nil handler did not panic")
+		}
+	}()
+	New().ScheduleFire(time.Second, nil)
+}
+
 func TestNewRandDeterministic(t *testing.T) {
 	a := NewRand(42, StreamDataLoss)
 	b := NewRand(42, StreamDataLoss)

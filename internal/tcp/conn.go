@@ -61,6 +61,80 @@ type Conn struct {
 
 	snd sender
 	rcv receiver
+
+	// Free lists of the pooled per-packet callback events. One event object
+	// per in-flight packet direction is live at a time; fired (and
+	// synchronously dropped) events return here, so steady-state transmission
+	// allocates nothing per packet. Single-threaded by construction: the
+	// whole connection runs inside one Simulator.
+	dataFree *dataEvent
+	ackFree  *ackEvent
+}
+
+// dataEvent is a pooled data-segment delivery callback (the closure
+// replacement for "deliver seq/txNo to the receiver").
+type dataEvent struct {
+	c    *Conn
+	seq  int64
+	txNo int
+	next *dataEvent
+}
+
+// Fire implements netem.Handler.
+func (e *dataEvent) Fire() {
+	c, seq, txNo := e.c, e.seq, e.txNo
+	c.putDataEvent(e)
+	c.rcv.onData(seq, txNo)
+}
+
+func (c *Conn) getDataEvent(seq int64, txNo int) *dataEvent {
+	e := c.dataFree
+	if e == nil {
+		e = &dataEvent{c: c}
+	} else {
+		c.dataFree = e.next
+		e.next = nil
+	}
+	e.seq, e.txNo = seq, txNo
+	return e
+}
+
+func (c *Conn) putDataEvent(e *dataEvent) {
+	e.next = c.dataFree
+	c.dataFree = e
+}
+
+// ackEvent is a pooled ACK delivery callback.
+type ackEvent struct {
+	c     *Conn
+	ackNo int64
+	trig  int
+	dup   bool
+	next  *ackEvent
+}
+
+// Fire implements netem.Handler.
+func (e *ackEvent) Fire() {
+	c, ackNo, trig, dup := e.c, e.ackNo, e.trig, e.dup
+	c.putAckEvent(e)
+	c.snd.onAck(ackNo, trig, dup)
+}
+
+func (c *Conn) getAckEvent(ackNo int64, trig int, dup bool) *ackEvent {
+	e := c.ackFree
+	if e == nil {
+		e = &ackEvent{c: c}
+	} else {
+		c.ackFree = e.next
+		e.next = nil
+	}
+	e.ackNo, e.trig, e.dup = ackNo, trig, dup
+	return e
+}
+
+func (c *Conn) putAckEvent(e *ackEvent) {
+	e.next = c.ackFree
+	c.ackFree = e
 }
 
 // New builds a connection over path. Events are reported to rec (use
@@ -282,30 +356,37 @@ func (s *sender) transmit(seq int64) {
 		Seq: seq, Ack: -1, TransmitNo: txNo, Cwnd: s.cwnd,
 	})
 	size := s.c.cfg.MSS + s.c.cfg.HeaderBytes
-	ok, _ := s.c.path.Forward.Send(size, func() { s.c.rcv.onData(seq, txNo) })
+	ev := s.c.getDataEvent(seq, txNo)
+	ok, _ := s.c.path.Forward.Send(size, ev)
 	if !ok {
+		s.c.putDataEvent(ev)
 		s.stats.DataDropped++
 		s.c.rec.Record(trace.Event{
 			At: s.now(), Type: trace.EvDataDrop,
 			Seq: seq, Ack: -1, TransmitNo: txNo,
 		})
 	}
-	if s.rtoTimer == nil {
+	if s.rtoTimer == nil || !s.rtoTimer.Active() {
 		s.armTimer()
 	}
 }
 
 // armTimer (re)schedules the retransmission timer if data is outstanding.
+// The timer object is created once per connection and then rescheduled in
+// place, so per-ACK rearming does not allocate.
 func (s *sender) armTimer() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Stop()
-		s.rtoTimer = nil
-	}
 	if s.inflight() <= 0 {
+		if s.rtoTimer != nil {
+			s.rtoTimer.Stop()
+		}
 		return
 	}
 	d := s.rto.BackedOff(s.backoff, s.c.cfg.MaxBackoff)
-	s.rtoTimer = s.c.simulator.Schedule(d, s.onRTO)
+	if s.rtoTimer == nil {
+		s.rtoTimer = s.c.simulator.Schedule(d, s.onRTO)
+	} else {
+		s.rtoTimer.Reschedule(d)
+	}
 }
 
 // onAck processes one cumulative acknowledgement (ackNo = next expected
@@ -457,7 +538,6 @@ func (s *sender) onDupAck() {
 // onRTO handles a retransmission-timer expiry: cautious single-segment
 // retransmission with exponential backoff (the paper's timeout sequence).
 func (s *sender) onRTO() {
-	s.rtoTimer = nil
 	if s.inflight() <= 0 {
 		return
 	}
@@ -566,6 +646,8 @@ func (r *receiver) onData(seq int64, txNo int) {
 			r.sendAckNow(false)
 		} else if r.delack == nil {
 			r.delack = r.c.simulator.Schedule(r.c.cfg.DelAckTimeout, r.onDelAckTimeout)
+		} else if !r.delack.Active() {
+			r.delack.Reschedule(r.c.cfg.DelAckTimeout)
 		}
 	default: // out of order: immediate duplicate ACK
 		r.unique++
@@ -603,7 +685,6 @@ func (r *receiver) disturbed() {
 }
 
 func (r *receiver) onDelAckTimeout() {
-	r.delack = nil
 	if r.pending > 0 {
 		r.sendAckNow(false)
 	}
@@ -617,16 +698,16 @@ func (r *receiver) sendAckNow(dup bool) {
 	r.pending = 0
 	if r.delack != nil {
 		r.delack.Stop()
-		r.delack = nil
 	}
 	ackNo := r.rcvNxt
 	r.acksSent++
 	r.c.rec.Record(trace.Event{
 		At: r.now(), Type: trace.EvAckSend, Seq: -1, Ack: ackNo,
 	})
-	trig := r.trigTxNo
-	ok, _ := r.c.path.Reverse.Send(r.c.cfg.HeaderBytes, func() { r.c.snd.onAck(ackNo, trig, dup) })
+	ev := r.c.getAckEvent(ackNo, r.trigTxNo, dup)
+	ok, _ := r.c.path.Reverse.Send(r.c.cfg.HeaderBytes, ev)
 	if !ok {
+		r.c.putAckEvent(ev)
 		r.acksDropped++
 		r.c.rec.Record(trace.Event{
 			At: r.now(), Type: trace.EvAckDrop, Seq: -1, Ack: ackNo,
