@@ -4,20 +4,30 @@
 //
 // Usage:
 //
-//	hsrbench [-quick] [-seed N] [-duration 120s] [-flows N] [-jobs N] [-run name,...]
+//	hsrbench [-quick] [-seed N] [-duration 120s] [-flows N] [-jobs N]
+//	         [-timeout D] [-run name,...]
 //
 // Experiment names: table1, fig1, fig2, fig3, fig4, fig6, fig10, fig12,
 // window, scalars, delack, ablation, backupq, eifel, sensitivity, variants,
-// speed, validation, all (default).
+// speed, validation, faults, all (default).
 //
 // Experiments run on a dependency-aware parallel scheduler: -jobs N runs up
 // to N independent experiments concurrently (default 1; 0 means GOMAXPROCS).
 // Output ordering is deterministic — the rendered sections are printed in
 // the canonical order above regardless of parallelism, so -jobs N produces
 // output identical to a sequential run.
+//
+// Failures are isolated: an experiment that errors (or panics) only skips
+// its dependents; every other section still renders, the failures are
+// listed on stderr, and the exit code is nonzero. -timeout D cancels a
+// running campaign cleanly after D of wall time, printing whatever
+// completed. The hidden "panic" experiment deliberately panics (with a
+// dependent that must be skipped) to exercise that isolation end to end.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +52,7 @@ func run(args []string) error {
 	duration := fs.Duration("duration", 0, "override flow duration")
 	flows := fs.Int("flows", 0, "override flows per Table I row (0 = paper counts)")
 	jobs := fs.Int("jobs", 1, "concurrent experiments (0 = GOMAXPROCS); output order is deterministic")
+	timeout := fs.Duration("timeout", 0, "cancel the campaign after this much wall time (0 = no deadline)")
 	runList := fs.String("run", "all", "comma-separated experiments to run")
 	csvDir := fs.String("csv", "", "also write figure series as CSV files into this directory")
 	reportPath := fs.String("report", "", "write a markdown reproduction report to this file (runs the full suite)")
@@ -59,6 +70,13 @@ func run(args []string) error {
 	}
 	if *flows > 0 {
 		cfg.FlowsPerRow = *flows
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	want := map[string]bool{}
@@ -88,7 +106,7 @@ func run(args []string) error {
 	// Figure-1 flow) is produced by dedicated tasks; the scheduler guarantees
 	// each task's dependencies ran before it, for any -jobs value.
 	var (
-		ctx   *experiments.Context
+		ectx  *experiments.Context
 		fig1  *experiments.Figure1Result
 		tasks []experiments.Task
 	)
@@ -104,7 +122,7 @@ func run(args []string) error {
 				cfg.Seed, cfg.FlowDuration, cfg.FlowsPerRow)
 			start := time.Now()
 			var err error
-			ctx, err = experiments.NewContext(cfg)
+			ectx, err = experiments.NewContextWith(ctx, cfg)
 			if err != nil {
 				return "", err
 			}
@@ -123,7 +141,7 @@ func run(args []string) error {
 
 	if sel("table1") {
 		add("table1", ctxDep, func() (string, error) {
-			return section("TABLE I") + experiments.Table1(ctx).Render() + "\n", nil
+			return section("TABLE I") + experiments.Table1(ectx).Render() + "\n", nil
 		})
 	}
 	if sel("fig1") {
@@ -154,7 +172,7 @@ func run(args []string) error {
 	}
 	if sel("fig3") {
 		add("fig3", ctxDep, func() (string, error) {
-			f3 := experiments.Figure3(ctx)
+			f3 := experiments.Figure3(ectx)
 			if err := writeCSV("fig3_loss_rates", f3.CSVTable()); err != nil {
 				return "", err
 			}
@@ -163,7 +181,7 @@ func run(args []string) error {
 	}
 	if sel("fig4") {
 		add("fig4", ctxDep, func() (string, error) {
-			f4 := experiments.Figure4(ctx)
+			f4 := experiments.Figure4(ectx)
 			if err := writeCSV("fig4_ack_vs_timeouts", f4.CSVTable()); err != nil {
 				return "", err
 			}
@@ -172,7 +190,7 @@ func run(args []string) error {
 	}
 	if sel("fig6") {
 		add("fig6", ctxDep, func() (string, error) {
-			f6 := experiments.Figure6(ctx)
+			f6 := experiments.Figure6(ectx)
 			if err := writeCSV("fig6_ack_loss", f6.CSVTable()); err != nil {
 				return "", err
 			}
@@ -181,7 +199,7 @@ func run(args []string) error {
 	}
 	if sel("fig10") {
 		add("fig10", ctxDep, func() (string, error) {
-			f10, err := experiments.Figure10(ctx)
+			f10, err := experiments.Figure10(ectx)
 			if err != nil {
 				return "", err
 			}
@@ -205,7 +223,7 @@ func run(args []string) error {
 	}
 	if sel("scalars") {
 		add("scalars", ctxDep, func() (string, error) {
-			return section("HEADLINE CLAIMS") + experiments.Scalars(ctx).Render() + "\n", nil
+			return section("HEADLINE CLAIMS") + experiments.Scalars(ectx).Render() + "\n", nil
 		})
 	}
 	if sel("delack") {
@@ -219,7 +237,7 @@ func run(args []string) error {
 	}
 	if sel("ablation") {
 		add("ablation", ctxDep, func() (string, error) {
-			a, err := experiments.ModelAblation(ctx)
+			a, err := experiments.ModelAblation(ectx)
 			if err != nil {
 				return "", err
 			}
@@ -280,9 +298,32 @@ func run(args []string) error {
 			return section("PIPELINE VALIDATION — STATIC BERNOULLI CHANNEL") + v.Render() + "\n", nil
 		})
 	}
+	if sel("faults") {
+		add("faults", nil, func() (string, error) {
+			f, err := experiments.FaultSweep(cfg)
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("fault_sweep", f.CSVTable()); err != nil {
+				return "", err
+			}
+			return section("FAULT-INJECTION SEVERITY SWEEP") + f.Render() + "\n", nil
+		})
+	}
+	if want["panic"] {
+		// Hidden self-test (never part of "all"): a task that panics plus a
+		// dependent that must be skipped, proving a crashing experiment
+		// cannot take the campaign down.
+		add("panic", nil, func() (string, error) {
+			panic("deliberate self-test panic")
+		})
+		add("panic-dependent", []string{"panic"}, func() (string, error) {
+			return "must never render\n", nil
+		})
+	}
 	if *reportPath != "" {
 		add("report", ctxDep, func() (string, error) {
-			md, err := experiments.BuildReport(ctx)
+			md, err := experiments.BuildReport(ectx)
 			if err != nil {
 				return "", err
 			}
@@ -294,19 +335,38 @@ func run(args []string) error {
 		})
 	}
 
-	results, err := experiments.RunDAG(tasks, *jobs)
+	results, err := experiments.RunDAGContext(ctx, tasks, *jobs)
 	if err != nil {
 		return err
 	}
+	// Partial results first: everything that completed renders in canonical
+	// order even when other branches failed or the deadline hit.
 	for _, r := range results {
 		if r.Output != "" {
 			fmt.Print(r.Output)
 		}
 	}
+	var failed, skipped int
 	for _, r := range results {
-		if r.Err != nil && !r.Skipped {
-			return fmt.Errorf("%s: %w", r.Name, r.Err)
+		switch {
+		case r.Skipped:
+			skipped++
+			fmt.Fprintf(os.Stderr, "hsrbench: skipped %s: %v\n", r.Name, r.Err)
+		case r.Err != nil:
+			failed++
+			var pe *experiments.PanicError
+			if errors.As(r.Err, &pe) {
+				fmt.Fprintf(os.Stderr, "hsrbench: task %s panicked: %v\n%s", r.Name, pe.Value, pe.Stack)
+			} else {
+				fmt.Fprintf(os.Stderr, "hsrbench: task %s failed: %v\n", r.Name, r.Err)
+			}
 		}
+	}
+	if failed > 0 || skipped > 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("campaign cancelled (%v) with %d task(s) failed, %d skipped; partial results above", err, failed, skipped)
+		}
+		return fmt.Errorf("%d task(s) failed, %d skipped; partial results above", failed, skipped)
 	}
 	return nil
 }

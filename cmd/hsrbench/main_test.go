@@ -3,7 +3,9 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunQuickSubset(t *testing.T) {
@@ -48,5 +50,44 @@ func TestRunWritesCSV(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
 			t.Errorf("missing %s: %v", name, err)
 		}
+	}
+}
+
+func TestRunPanicSelfTestIsIsolated(t *testing.T) {
+	// The hidden "panic" experiment deliberately panics; run must survive it
+	// (no crash), report a nonzero-exit error, and still render the
+	// independent fig1 section — with the panicking task's dependent skipped.
+	err := run([]string{"-quick", "-duration", "20s", "-run", "fig1,panic"})
+	if err == nil {
+		t.Fatal("run with a panicking task reported success")
+	}
+	if !strings.Contains(err.Error(), "failed") {
+		t.Errorf("error %q does not summarize the failure", err)
+	}
+}
+
+func TestRunTimeoutCancelsCleanly(t *testing.T) {
+	// A deadline far too short for even the quick campaign: the run must
+	// return an error promptly instead of finishing the full campaign or
+	// hanging.
+	start := time.Now()
+	err := run([]string{"-quick", "-duration", "45s", "-timeout", "1ms",
+		"-run", "table1,scalars"})
+	if err == nil {
+		t.Fatal("run under a 1ms deadline reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Minute {
+		t.Errorf("cancellation took %v; the deadline did not cut the campaign short", elapsed)
+	}
+}
+
+func TestRunFaultSweep(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-quick", "-duration", "15s", "-run", "faults", "-csv", dir})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fault_sweep.csv")); err != nil {
+		t.Errorf("missing fault_sweep.csv: %v", err)
 	}
 }

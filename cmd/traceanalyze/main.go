@@ -21,10 +21,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := runGuarded(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
 		os.Exit(1)
 	}
+}
+
+// runGuarded converts any panic escaping run into a one-line error: a
+// truncated or hostile trace file must produce exit code 1 and a readable
+// message, never a crash stack.
+func runGuarded(args []string) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("internal error: %v", v)
+		}
+	}()
+	return run(args)
 }
 
 func run(args []string) error {

@@ -111,3 +111,64 @@ func TestRunWithGapsAndEvents(t *testing.T) {
 		t.Fatalf("run -gaps -events: %v", err)
 	}
 }
+
+// corruptFile writes raw bytes to a temp file and returns the path.
+func corruptFile(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTruncatedInputsFailGracefully(t *testing.T) {
+	dir := t.TempDir()
+	binPath, jsonlPath := writeTestTrace(t, dir)
+	binData, err := os.ReadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonlData, err := os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"empty.hsrt":      {},
+		"magic-only.hsrt": binData[:4],
+		"mid-header.hsrt": binData[:8],
+		"mid-events.hsrt": binData[:len(binData)-13],
+		// A count field promising ~4 billion events on an otherwise truncated
+		// file: the reader must error out, not allocate 200 GB.
+		"huge-count.hsrt": append(append([]byte{}, binData[:10]...), 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff),
+		"empty.jsonl":     {},
+		"mid-line.jsonl":  jsonlData[:len(jsonlData)-7],
+		"no-meta.jsonl":   []byte("{\"broken\": \n"),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := corruptFile(t, name, data)
+			// runGuarded (the main entry point) must return a plain error —
+			// never panic — for every corruption.
+			if err := runGuarded([]string{path}); err == nil {
+				t.Errorf("corrupt input %s accepted", name)
+			}
+		})
+	}
+}
+
+func TestRunGuardedRecoversPanic(t *testing.T) {
+	// Direct check of the guard itself: a panic from below becomes an error.
+	err := func() (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				t.Fatalf("panic escaped runGuarded: %v", v)
+			}
+		}()
+		return runGuarded([]string{"-events", "-1", "/does/not/exist.hsrt"})
+	}()
+	if err == nil {
+		t.Error("want an error for a missing file")
+	}
+}

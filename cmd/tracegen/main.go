@@ -6,7 +6,11 @@
 //
 //	tracegen -out traces/ [-flows 8] [-duration 60s] [-seed 1]
 //	         [-scenario hsr|stationary] [-operator mobile|unicom|telecom]
-//	         [-format binary|jsonl]
+//	         [-format binary|jsonl] [-faults "blackout@30s+2s; ..."]
+//
+// -faults injects a deterministic fault schedule (blackouts, ACK burst
+// loss, rate collapses, delay spikes, handoff storms) into every generated
+// flow; the DSL is documented in docs/ROBUSTNESS.md.
 package main
 
 import (
@@ -18,16 +22,29 @@ import (
 
 	"repro/internal/cellular"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/railway"
 	"repro/internal/tcp"
 	"repro/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := runGuarded(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
+}
+
+// runGuarded converts any panic escaping run into a one-line error, so bad
+// inputs always yield exit code 1 and a readable message, never a crash
+// stack.
+func runGuarded(args []string) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("internal error: %v", v)
+		}
+	}()
+	return run(args)
 }
 
 func run(args []string) error {
@@ -39,7 +56,13 @@ func run(args []string) error {
 	scenario := fs.String("scenario", "hsr", "hsr or stationary")
 	operator := fs.String("operator", "mobile", "mobile, unicom or telecom")
 	format := fs.String("format", "binary", "binary or jsonl")
+	faultSpec := fs.String("faults", "", "fault schedule DSL injected into every flow (see docs/ROBUSTNESS.md)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sched, err := faults.Parse(*faultSpec)
+	if err != nil {
 		return err
 	}
 
@@ -101,6 +124,7 @@ func run(args []string) error {
 			Seed:         *seed*1009 + int64(i),
 			TCP:          tcp.DefaultConfig(),
 			Scenario:     *scenario,
+			Faults:       sched,
 		}
 		ft, st, err := dataset.RunFlow(sc)
 		if err != nil {

@@ -72,3 +72,24 @@ func TestRunRejectsBadArgs(t *testing.T) {
 		t.Error("unknown format accepted")
 	}
 }
+
+func TestRunWithFaultSchedule(t *testing.T) {
+	dir := t.TempDir()
+	err := runGuarded([]string{"-out", dir, "-flows", "1", "-duration", "15s",
+		"-faults", "blackout@5s+1s; ackburst@8s+1s p=0.9"})
+	if err != nil {
+		t.Fatalf("run with fault schedule: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("generated %d traces (%v), want 1", len(entries), err)
+	}
+}
+
+func TestRunRejectsBadFaultSchedule(t *testing.T) {
+	err := runGuarded([]string{"-out", t.TempDir(), "-flows", "1", "-duration", "10s",
+		"-faults", "meteorstrike@5s+1s"})
+	if err == nil {
+		t.Error("bad fault schedule accepted")
+	}
+}

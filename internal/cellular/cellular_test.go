@@ -365,3 +365,49 @@ func TestInSpans(t *testing.T) {
 		}
 	}
 }
+
+func TestAddOutages(t *testing.T) {
+	trip := stationaryTrip(t)
+	ch, err := NewChannel(ChinaMobileLTE, trip, 0, 120*time.Second, sim.NewRand(9, sim.StreamHandoff))
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	base := ch.HandoffCount()
+
+	probe := 40 * time.Second
+	if ch.InHandoff(probe) {
+		t.Skip("natural outage collides with the injected window; unreachable for this seed")
+	}
+	wasAck := ch.AckLossProb(probe)
+	ch.AddOutages([]Outage{
+		{Start: 39 * time.Second, End: 42 * time.Second},
+		{Start: 41 * time.Second, End: 43 * time.Second}, // overlaps: must merge
+		{Start: 50 * time.Second, End: 50 * time.Second}, // empty: ignored
+		{Start: -5 * time.Second, End: -1 * time.Second}, // negative: ignored
+	})
+
+	if !ch.InHandoff(probe) {
+		t.Fatal("injected outage not visible to InHandoff")
+	}
+	if got := ch.AckLossProb(probe); got <= wasAck {
+		t.Errorf("ACK loss inside injected outage = %v, want > baseline %v", got, wasAck)
+	}
+	if ch.ExtraDelay(probe) < 3*time.Second {
+		// Mid-outage at t=40s the merged window [39s,43s) has 3s remaining.
+		t.Errorf("ExtraDelay inside injected outage = %v, want >= remaining window", ch.ExtraDelay(probe))
+	}
+	if ch.InHandoff(50 * time.Second) {
+		t.Error("empty outage window should have been ignored")
+	}
+	// The two overlapping windows merged into one; the degenerate ones
+	// vanished.
+	if got := ch.HandoffCount(); got != base+1 {
+		t.Errorf("HandoffCount = %d, want %d (+1 merged injected outage)", got, base)
+	}
+
+	// No-op call leaves the channel untouched.
+	ch.AddOutages(nil)
+	if got := ch.HandoffCount(); got != base+1 {
+		t.Errorf("HandoffCount after nil AddOutages = %d, want unchanged", got)
+	}
+}

@@ -186,6 +186,34 @@ func (c *Channel) speedFraction(flowTime time.Duration) float64 {
 	return f * f
 }
 
+// Outage is an externally injected bearer outage window in flow-local time
+// (half-open: [Start, End)). The fault-injection layer uses it to intensify
+// a channel with handoff storms beyond what the operator profile produces.
+type Outage struct {
+	Start, End time.Duration
+}
+
+// AddOutages merges extra bearer outages into the channel's handoff
+// windows. Injected outages carry the full semantics of real handoffs —
+// probe loss for packets sent while the bearer is down, ACK loss, data
+// loss on arrival into the outage, and delay inflation until the outage
+// ends — so fault-injected campaigns stress exactly the mechanisms the
+// paper measures. Windows with End <= Start are ignored. AddOutages must be
+// called before the flow starts consuming the channel; it is not safe to
+// mutate a channel mid-simulation.
+func (c *Channel) AddOutages(outages []Outage) {
+	if len(outages) == 0 {
+		return
+	}
+	spans := append([]span(nil), c.handoffs...)
+	for _, o := range outages {
+		if o.End > o.Start && o.Start >= 0 {
+			spans = append(spans, span{start: o.Start, end: o.End})
+		}
+	}
+	c.handoffs = mergeSpans(spans)
+}
+
 // InHandoff reports whether flow time t falls inside a handoff outage.
 func (c *Channel) InHandoff(t time.Duration) bool { return inSpans(c.handoffs, t) }
 

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cellular"
+	"repro/internal/faults"
 	"repro/internal/railway"
 	"repro/internal/tcp"
 )
@@ -49,6 +51,14 @@ type CampaignConfig struct {
 	TCP *tcp.Config
 	// Parallelism bounds concurrent flow simulations; 0 means GOMAXPROCS.
 	Parallelism int
+	// Faults injects the same fault schedule into every flow of the campaign
+	// (each flow draws its fault randomness from its own seed, so results
+	// stay deterministic at any Parallelism). Nil or empty injects nothing.
+	Faults *faults.Schedule
+	// Ctx, when non-nil, cancels the campaign between flows: flows already
+	// running finish, no new ones start, and RunCampaign returns the context
+	// error. Nil means never cancelled.
+	Ctx context.Context
 }
 
 // FlowResult pairs a flow's metrics with its Table I row.
@@ -130,6 +140,7 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 				Seed:         seed,
 				TCP:          tcpCfg,
 				Scenario:     scenarioName,
+				Faults:       cfg.Faults,
 			}
 			jobs = append(jobs, job{idx: flowIdx, sc: sc, row: row})
 			flowIdx++
@@ -145,6 +156,10 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
 	for _, j := range jobs {
+		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+			errs[j.idx] = fmt.Errorf("flow %s: %w", j.sc.ID, cfg.Ctx.Err())
+			continue
+		}
 		j := j
 		wg.Add(1)
 		sem <- struct{}{}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cellular"
+	"repro/internal/faults"
 	"repro/internal/netem"
 	"repro/internal/railway"
 	"repro/internal/sim"
@@ -33,6 +34,12 @@ type Scenario struct {
 	Seed         int64
 	TCP          tcp.Config
 	Scenario     string // "hsr" or "stationary" (trace metadata)
+	// Faults, when non-empty, injects the schedule's fault episodes into the
+	// flow's path: storms become extra channel outages, blackouts and ACK
+	// bursts layer onto the loss models, rate collapses scale the line rate,
+	// delay spikes inflate latency. All fault randomness derives from Seed
+	// on dedicated streams, so faulted flows stay bit-for-bit reproducible.
+	Faults *faults.Schedule
 }
 
 // Validate checks the scenario.
@@ -46,36 +53,58 @@ func (sc Scenario) Validate() error {
 	if err := sc.Operator.Validate(); err != nil {
 		return err
 	}
+	if err := sc.Faults.Validate(); err != nil {
+		return err
+	}
 	return sc.TCP.Validate()
 }
 
 // BuildPath constructs the emulated path (downlink data + uplink ACK) for a
-// scenario on the given simulator. It is exported so the MPTCP experiments
-// can wire several paths into one simulation.
+// scenario on the given simulator, layering the scenario's fault schedule
+// (if any) over the cellular channel and both links. It is exported so the
+// MPTCP experiments can wire several paths into one simulation.
 func BuildPath(simulator *sim.Simulator, sc Scenario) (*netem.Path, *cellular.Channel, error) {
 	horizon := sc.FlowDuration + time.Minute // slack for in-flight cleanup
 	ch, err := cellular.NewChannel(sc.Operator, sc.Trip, sc.TripOffset, horizon, sim.NewRand(sc.Seed, sim.StreamHandoff))
 	if err != nil {
 		return nil, nil, err
 	}
+	faulted := !sc.Faults.Empty()
+	if faulted {
+		ch.AddOutages(sc.Faults.StormOutages(sc.Seed))
+	}
 	op := sc.Operator
+	dataLoss := netem.LossModel(netem.NewTransitLossFunc(ch.DataTransitProb, sim.NewRand(sc.Seed, sim.StreamDataLoss)))
+	ackLoss := netem.LossModel(netem.NewTransitLossFunc(ch.AckTransitProb, sim.NewRand(sc.Seed, sim.StreamAckLoss)))
+	fwdDelay := netem.DelayModel(netem.NewSumDelay(
+		netem.NewUniformDelay(op.DownDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay)),
+		netem.DelayFunc{Fn: ch.ExtraDelay},
+	))
+	revDelay := netem.DelayModel(netem.NewSumDelay(
+		netem.NewUniformDelay(op.UpDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay+1000)),
+		netem.DelayFunc{Fn: ch.ExtraDelay},
+	))
+	var rateScale func(time.Duration) float64
+	if faulted {
+		dataLoss = sc.Faults.WrapDataLoss(dataLoss, sim.NewRand(sc.Seed, sim.StreamFaultData))
+		ackLoss = sc.Faults.WrapAckLoss(ackLoss, sim.NewRand(sc.Seed, sim.StreamFaultAck))
+		fwdDelay = sc.Faults.WrapDelay(fwdDelay)
+		revDelay = sc.Faults.WrapDelay(revDelay)
+		rateScale = sc.Faults.RateScale
+	}
 	fwd := netem.NewLink(simulator, netem.LinkConfig{
-		Rate:     op.DownlinkRate,
-		MaxQueue: op.QueuePackets,
-		Delay: netem.NewSumDelay(
-			netem.NewUniformDelay(op.DownDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay)),
-			netem.DelayFunc{Fn: ch.ExtraDelay},
-		),
-		Loss: netem.NewTransitLossFunc(ch.DataTransitProb, sim.NewRand(sc.Seed, sim.StreamDataLoss)),
+		Rate:      op.DownlinkRate,
+		RateScale: rateScale,
+		MaxQueue:  op.QueuePackets,
+		Delay:     fwdDelay,
+		Loss:      dataLoss,
 	})
 	rev := netem.NewLink(simulator, netem.LinkConfig{
-		Rate:     op.UplinkRate,
-		MaxQueue: op.QueuePackets,
-		Delay: netem.NewSumDelay(
-			netem.NewUniformDelay(op.UpDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay+1000)),
-			netem.DelayFunc{Fn: ch.ExtraDelay},
-		),
-		Loss: netem.NewTransitLossFunc(ch.AckTransitProb, sim.NewRand(sc.Seed, sim.StreamAckLoss)),
+		Rate:      op.UplinkRate,
+		RateScale: rateScale,
+		MaxQueue:  op.QueuePackets,
+		Delay:     revDelay,
+		Loss:      ackLoss,
 	})
 	return netem.NewPath(fwd, rev), ch, nil
 }
@@ -105,34 +134,52 @@ func BuildSubflowPath(simulator *sim.Simulator, sc Scenario, sharedDown, sharedU
 	if err != nil {
 		return nil, err
 	}
+	faulted := !sc.Faults.Empty()
+	if faulted {
+		ch.AddOutages(sc.Faults.StormOutages(sc.Seed))
+	}
 	op := sc.Operator
-	fwd := netem.NewLink(simulator, netem.LinkConfig{
-		Delay: netem.NewSumDelay(
-			netem.NewUniformDelay(op.DownDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay)),
-			netem.DelayFunc{Fn: ch.ExtraDelay},
-		),
-		Loss: netem.NewTransitLossFunc(ch.DataTransitProb, sim.NewRand(sc.Seed, sim.StreamDataLoss)),
-	})
-	rev := netem.NewLink(simulator, netem.LinkConfig{
-		Delay: netem.NewSumDelay(
-			netem.NewUniformDelay(op.UpDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay+1000)),
-			netem.DelayFunc{Fn: ch.ExtraDelay},
-		),
-		Loss: netem.NewTransitLossFunc(ch.AckTransitProb, sim.NewRand(sc.Seed, sim.StreamAckLoss)),
-	})
+	dataLoss := netem.LossModel(netem.NewTransitLossFunc(ch.DataTransitProb, sim.NewRand(sc.Seed, sim.StreamDataLoss)))
+	ackLoss := netem.LossModel(netem.NewTransitLossFunc(ch.AckTransitProb, sim.NewRand(sc.Seed, sim.StreamAckLoss)))
+	fwdDelay := netem.DelayModel(netem.NewSumDelay(
+		netem.NewUniformDelay(op.DownDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay)),
+		netem.DelayFunc{Fn: ch.ExtraDelay},
+	))
+	revDelay := netem.DelayModel(netem.NewSumDelay(
+		netem.NewUniformDelay(op.UpDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay+1000)),
+		netem.DelayFunc{Fn: ch.ExtraDelay},
+	))
+	if faulted {
+		dataLoss = sc.Faults.WrapDataLoss(dataLoss, sim.NewRand(sc.Seed, sim.StreamFaultData))
+		ackLoss = sc.Faults.WrapAckLoss(ackLoss, sim.NewRand(sc.Seed, sim.StreamFaultAck))
+		fwdDelay = sc.Faults.WrapDelay(fwdDelay)
+		revDelay = sc.Faults.WrapDelay(revDelay)
+	}
+	fwd := netem.NewLink(simulator, netem.LinkConfig{Delay: fwdDelay, Loss: dataLoss})
+	rev := netem.NewLink(simulator, netem.LinkConfig{Delay: revDelay, Loss: ackLoss})
 	return netem.NewPath(
 		netem.NewChain(fwd, sharedDown),
 		netem.NewChain(rev, sharedUp),
 	), nil
 }
 
+// simEventBudgetPerSecond is the kernel event budget granted per simulated
+// second (plus a minute of slack). Real flows execute a few thousand events
+// per simulated second; two million leaves three orders of magnitude of
+// headroom while still catching a pathological schedule that spins at
+// constant virtual time.
+const simEventBudgetPerSecond = 2_000_000
+
 // RunFlow simulates one scenario end to end and returns its packet trace
-// and the endpoint counters.
+// and the endpoint counters. The kernel runs under an event budget so a
+// runaway schedule fails loudly instead of hanging the campaign.
 func RunFlow(sc Scenario) (*trace.FlowTrace, tcp.Stats, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, tcp.Stats{}, err
 	}
 	simulator := sim.New()
+	budget := int64((sc.FlowDuration+time.Minute)/time.Second) * simEventBudgetPerSecond
+	simulator.SetBudget(sim.Budget{MaxEvents: budget})
 	path, _, err := BuildPath(simulator, sc)
 	if err != nil {
 		return nil, tcp.Stats{}, err
@@ -156,6 +203,10 @@ func RunFlow(sc Scenario) (*trace.FlowTrace, tcp.Stats, error) {
 		return nil, tcp.Stats{}, err
 	}
 	simulator.RunUntil(sc.FlowDuration)
+	if simulator.Exhausted() {
+		return nil, tcp.Stats{}, fmt.Errorf("dataset: flow %s exhausted its %d-event kernel budget at t=%v (runaway schedule?)",
+			sc.ID, budget, simulator.Now())
+	}
 	return ft, conn.Stats(), nil
 }
 

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 )
@@ -28,6 +30,29 @@ type TaskResult struct {
 	Skipped bool
 }
 
+// PanicError is a panic recovered from a Task's Run, reported as that
+// task's TaskResult.Err so one crashing experiment cannot abort a whole
+// multi-minute campaign. Error renders a single line; Stack holds the full
+// goroutine stack captured at the panic site for diagnosis.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// runTask invokes t.Run, converting a panic into a *PanicError.
+func runTask(t Task) (out string, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			out = ""
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return t.Run()
+}
+
 // RunDAG executes tasks as a dependency-aware parallel schedule: at most
 // jobs tasks run concurrently (jobs <= 0 means GOMAXPROCS), a task starts
 // only after all of its Deps completed successfully, and tasks whose
@@ -35,10 +60,23 @@ type TaskResult struct {
 // like the input regardless of completion order, so rendered output is
 // deterministic for any parallelism.
 //
+// Per-task failures are isolated: a task that returns an error — or panics;
+// the panic is recovered into a *PanicError — only skips its dependents,
+// and every other branch of the campaign still runs to completion.
+//
 // RunDAG itself returns an error only for malformed graphs (unknown or
 // duplicate names, dependency cycles); per-task failures are reported in
 // the results.
 func RunDAG(tasks []Task, jobs int) ([]TaskResult, error) {
+	return RunDAGContext(context.Background(), tasks, jobs)
+}
+
+// RunDAGContext is RunDAG with cancellation: once ctx is done, no further
+// task starts — tasks already running finish (their results stand), and
+// every task that never started is reported Skipped with the context's
+// error. The results keep input order, so even a cancelled campaign renders
+// its completed prefix deterministically.
+func RunDAGContext(ctx context.Context, tasks []Task, jobs int) ([]TaskResult, error) {
 	n := len(tasks)
 	idx := make(map[string]int, n)
 	for i, t := range tasks {
@@ -100,7 +138,13 @@ func RunDAG(tasks []Task, jobs int) ([]TaskResult, error) {
 					done <- i
 					continue
 				}
-				r.Output, r.Err = tasks[i].Run()
+				if err := ctx.Err(); err != nil {
+					r.Skipped = true
+					r.Err = fmt.Errorf("experiments: not started: %w", err)
+					done <- i
+					continue
+				}
+				r.Output, r.Err = runTask(tasks[i])
 				done <- i
 			}
 		}()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -168,5 +169,99 @@ func TestRunDAGEmpty(t *testing.T) {
 	}
 	if len(res) != 0 {
 		t.Errorf("RunDAG(nil) = %d results, want 0", len(res))
+	}
+}
+
+func TestRunDAGRecoversPanickingTask(t *testing.T) {
+	var cRan, dRan bool
+	tasks := []Task{
+		{Name: "a", Run: func() (string, error) { panic("kaboom") }},
+		{Name: "b", Deps: []string{"a"}, Run: func() (string, error) { return "b-out", nil }},
+		{Name: "c", Run: func() (string, error) { cRan = true; return "c-out", nil }},
+		{Name: "d", Deps: []string{"c"}, Run: func() (string, error) { dRan = true; return "d-out", nil }},
+	}
+	results, err := RunDAG(tasks, 2)
+	if err != nil {
+		t.Fatalf("RunDAG: %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(results[0].Err, &pe) {
+		t.Fatalf("panicking task's Err = %v, want *PanicError", results[0].Err)
+	}
+	if pe.Value != "kaboom" {
+		t.Errorf("PanicError.Value = %v, want the panic value", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Error("PanicError.Stack does not hold a goroutine stack")
+	}
+	if !strings.Contains(pe.Error(), "kaboom") {
+		t.Errorf("PanicError.Error() = %q, want it to name the panic value", pe.Error())
+	}
+	if !results[1].Skipped {
+		t.Error("dependent of the panicking task was not skipped")
+	}
+	if !cRan || !dRan {
+		t.Error("independent branch did not run to completion")
+	}
+	if results[2].Err != nil || results[3].Err != nil {
+		t.Errorf("independent branch reported errors: %v, %v", results[2].Err, results[3].Err)
+	}
+	for i, want := range []string{"a", "b", "c", "d"} {
+		if results[i].Name != want {
+			t.Fatalf("results out of input order: %v", results)
+		}
+	}
+}
+
+func TestRunDAGContextCancellation(t *testing.T) {
+	// The first task cancels the context while running; it must finish
+	// normally, and every task that has not started yet must be reported
+	// Skipped with the context error (including transitively).
+	ctx, cancel := context.WithCancel(context.Background())
+	tasks := []Task{
+		{Name: "first", Run: func() (string, error) { cancel(); return "first-out", nil }},
+		{Name: "second", Deps: []string{"first"}, Run: func() (string, error) {
+			t.Error("second ran after cancellation")
+			return "", nil
+		}},
+		{Name: "third", Deps: []string{"second"}, Run: func() (string, error) {
+			t.Error("third ran after cancellation")
+			return "", nil
+		}},
+	}
+	results, err := RunDAGContext(ctx, tasks, 1)
+	if err != nil {
+		t.Fatalf("RunDAGContext: %v", err)
+	}
+	if results[0].Err != nil || results[0].Output != "first-out" {
+		t.Errorf("running task's result was disturbed: %+v", results[0])
+	}
+	for _, r := range results[1:] {
+		if !r.Skipped || r.Err == nil {
+			t.Errorf("task %s not skipped after cancellation: %+v", r.Name, r)
+		}
+	}
+	// The directly cancelled task carries the context error; its dependents
+	// cascade through the normal failed-dependency path.
+	if !errors.Is(results[1].Err, context.Canceled) {
+		t.Errorf("task second Err = %v, want the context error", results[1].Err)
+	}
+}
+
+func TestRunDAGContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	results, err := RunDAGContext(ctx, []Task{
+		{Name: "only", Run: func() (string, error) { ran = true; return "", nil }},
+	}, 4)
+	if err != nil {
+		t.Fatalf("RunDAGContext: %v", err)
+	}
+	if ran {
+		t.Error("task ran under a pre-cancelled context")
+	}
+	if !results[0].Skipped || !errors.Is(results[0].Err, context.Canceled) {
+		t.Errorf("result = %+v, want skipped with the context error", results[0])
 	}
 }

@@ -22,6 +22,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -111,12 +112,21 @@ func (c *Context) Figure1() (*Figure1Result, error) {
 
 // NewContext runs the HSR and stationary campaigns for the configuration.
 func NewContext(cfg Config) (*Context, error) {
+	return NewContextWith(context.Background(), cfg)
+}
+
+// NewContextWith is NewContext with cancellation: once ctx is done the
+// campaigns stop launching flows and the context error is returned, so a
+// deadline on the whole run (hsrbench -timeout) tears the multi-minute
+// campaign phase down cleanly.
+func NewContextWith(ctx context.Context, cfg Config) (*Context, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	hsr, err := dataset.RunCampaign(dataset.CampaignConfig{
 		Seed: cfg.Seed, FlowDuration: cfg.FlowDuration,
 		FlowsPerRow: cfg.FlowsPerRow, Parallelism: cfg.Parallelism,
+		Ctx: ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: hsr campaign: %w", err)
@@ -124,7 +134,7 @@ func NewContext(cfg Config) (*Context, error) {
 	stat, err := dataset.RunCampaign(dataset.CampaignConfig{
 		Seed: cfg.Seed + 5000, FlowDuration: cfg.FlowDuration,
 		FlowsPerRow: cfg.FlowsPerRow, Parallelism: cfg.Parallelism,
-		Stationary: true,
+		Stationary: true, Ctx: ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: stationary campaign: %w", err)

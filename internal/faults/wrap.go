@@ -1,0 +1,115 @@
+package faults
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/sim"
+)
+
+// lossInjector layers schedule-driven loss over an inner LossModel. The
+// inner model is consulted first on every packet so its burst state advances
+// identically whether or not a fault fires, keeping faulted and unfaulted
+// runs of the same seed comparable packet for packet.
+type lossInjector struct {
+	inner netem.LossModel
+	prob  func(sent, arrival time.Duration) float64
+	rng   *rand.Rand
+}
+
+// Drop implements netem.LossModel.
+func (li *lossInjector) Drop(sent, arrival time.Duration) bool {
+	dropped := li.inner.Drop(sent, arrival)
+	if p := li.prob(sent, arrival); p > 0 && (p >= 1 || li.rng.Float64() < p) {
+		dropped = true
+	}
+	return dropped
+}
+
+// WrapDataLoss layers the schedule's data-direction faults (blackouts) over
+// inner. The rng should be derived from the flow seed on
+// sim.StreamFaultData so fault draws perturb no other stream.
+func (s *Schedule) WrapDataLoss(inner netem.LossModel, rng *rand.Rand) netem.LossModel {
+	if s.Empty() {
+		return inner
+	}
+	return &lossInjector{inner: inner, prob: s.DataLossProb, rng: rng}
+}
+
+// WrapAckLoss layers the schedule's ACK-direction faults (blackouts and ACK
+// burst-loss episodes) over inner; use an rng on sim.StreamFaultAck.
+func (s *Schedule) WrapAckLoss(inner netem.LossModel, rng *rand.Rand) netem.LossModel {
+	if s.Empty() {
+		return inner
+	}
+	return &lossInjector{inner: inner, prob: s.AckLossProb, rng: rng}
+}
+
+// delayInjector adds the schedule's delay spikes to an inner DelayModel.
+type delayInjector struct {
+	inner netem.DelayModel
+	s     *Schedule
+}
+
+// Sample implements netem.DelayModel.
+func (di *delayInjector) Sample(now time.Duration) time.Duration {
+	return di.inner.Sample(now) + di.s.ExtraDelay(now)
+}
+
+// WrapDelay adds the schedule's delay-spike inflation to inner.
+func (s *Schedule) WrapDelay(inner netem.DelayModel) netem.DelayModel {
+	if s.Empty() {
+		return inner
+	}
+	return &delayInjector{inner: inner, s: s}
+}
+
+// Direction selects which side of the schedule a wrapped stage applies.
+type Direction int
+
+// Stage directions.
+const (
+	Data Direction = iota + 1 // downlink: blackouts
+	Ack                       // uplink: blackouts and ACK bursts
+)
+
+// Stage wraps any netem.Sender with schedule-driven loss at the packet's
+// entry epoch, so whole chain stages (the MPTCP shared cell, a backbone
+// segment) can be fault-injected without rebuilding them. Drops are
+// reported synchronously as channel drops, like a Link's own loss model.
+type Stage struct {
+	inner netem.Sender
+	s     *Schedule
+	dir   Direction
+	clock *sim.Simulator
+	rng   *rand.Rand
+}
+
+// NewStage wraps inner with the schedule's dir-side faults.
+func NewStage(simulator *sim.Simulator, inner netem.Sender, s *Schedule, dir Direction, rng *rand.Rand) *Stage {
+	if simulator == nil || inner == nil {
+		panic("faults: NewStage requires a simulator and an inner sender")
+	}
+	if dir != Data && dir != Ack {
+		panic("faults: NewStage with unknown direction")
+	}
+	return &Stage{inner: inner, s: s, dir: dir, clock: simulator, rng: rng}
+}
+
+// Send implements netem.Sender.
+func (st *Stage) Send(size int, deliver netem.Handler) (bool, netem.DropKind) {
+	now := st.clock.Now()
+	var p float64
+	if st.dir == Data {
+		p = st.s.DataLossProb(now, now)
+	} else {
+		p = st.s.AckLossProb(now, now)
+	}
+	if p > 0 && (p >= 1 || st.rng.Float64() < p) {
+		return false, netem.DropChannel
+	}
+	return st.inner.Send(size, deliver)
+}
+
+var _ netem.Sender = (*Stage)(nil)

@@ -18,6 +18,10 @@ const (
 	DropQueue
 )
 
+// minRateScale floors RateScale values: even a fully collapsed link keeps a
+// trickle of capacity so serialization times stay finite.
+const minRateScale = 1e-6
+
 // String implements fmt.Stringer.
 func (k DropKind) String() string {
 	switch k {
@@ -52,6 +56,12 @@ type LinkConfig struct {
 	// Rate is the line rate in bits per second; 0 means infinitely fast
 	// (no serialization delay, no queue).
 	Rate float64
+	// RateScale, when non-nil, multiplies Rate by its value at each packet's
+	// entry epoch — the hook time-varying capacity (fault-injected rate
+	// collapses, congestion episodes) plugs into. Values are floored at a
+	// tiny positive minimum so a collapsed link trickles (and tail-drops via
+	// MaxQueue) rather than dividing by zero. Ignored when Rate is 0.
+	RateScale func(now time.Duration) float64
 	// MaxQueue bounds the serialization backlog in packets; packets arriving
 	// with MaxQueue packets already waiting are tail-dropped. Ignored when
 	// Rate is 0. A zero MaxQueue means an unbounded queue.
@@ -158,7 +168,15 @@ func (l *Link) Send(size int, deliver Handler) (bool, DropKind) {
 
 	departure := now
 	if l.cfg.Rate > 0 {
-		txTime := time.Duration(float64(size*8) / l.cfg.Rate * float64(time.Second))
+		rate := l.cfg.Rate
+		if l.cfg.RateScale != nil {
+			f := l.cfg.RateScale(now)
+			if f < minRateScale {
+				f = minRateScale
+			}
+			rate *= f
+		}
+		txTime := time.Duration(float64(size*8) / rate * float64(time.Second))
 		if txTime <= 0 {
 			txTime = time.Nanosecond
 		}

@@ -241,3 +241,61 @@ func TestDropKindString(t *testing.T) {
 		t.Errorf("unknown DropKind.String = %q", got)
 	}
 }
+
+func TestLinkRateScale(t *testing.T) {
+	// 8000 bit/s and 1000-byte packets: 1 s serialization at full rate.
+	scale := 1.0
+	s, l := newTestLink(t, LinkConfig{
+		Rate:      8000,
+		Delay:     FixedDelay(0),
+		RateScale: func(time.Duration) float64 { return scale },
+	})
+	var deliveredAt []time.Duration
+	send := func() {
+		if ok, _ := l.Send(1000, HandlerFunc(func() { deliveredAt = append(deliveredAt, s.Now()) })); !ok {
+			t.Fatal("unexpected drop")
+		}
+	}
+	send()
+	s.Run()
+	if deliveredAt[0] != time.Second {
+		t.Fatalf("full-rate serialization took %v, want 1s", deliveredAt[0])
+	}
+
+	// Collapse the rate to a quarter: the next packet serializes in 4 s.
+	scale = 0.25
+	send()
+	s.Run()
+	if got := deliveredAt[1] - deliveredAt[0]; got != 4*time.Second {
+		t.Errorf("collapsed-rate serialization took %v, want 4s", got)
+	}
+
+	// A zero (or negative) scale is floored, not divided by: the packet is
+	// extremely slow but the simulation stays finite.
+	scale = 0
+	send()
+	s.Run()
+	if len(deliveredAt) != 3 {
+		t.Fatal("packet under floored rate scale never delivered")
+	}
+	if got := deliveredAt[2] - deliveredAt[1]; got <= 4*time.Second {
+		t.Errorf("floored-rate serialization took %v, want far slower than the collapse", got)
+	}
+}
+
+func TestLinkRateScaleIgnoredWhenInfinitelyFast(t *testing.T) {
+	called := false
+	s, l := newTestLink(t, LinkConfig{
+		Delay:     FixedDelay(5 * time.Millisecond),
+		RateScale: func(time.Duration) float64 { called = true; return 0.5 },
+	})
+	var at time.Duration
+	l.Send(1000, HandlerFunc(func() { at = s.Now() }))
+	s.Run()
+	if called {
+		t.Error("RateScale consulted on a rate-unlimited link")
+	}
+	if at != 5*time.Millisecond {
+		t.Errorf("delivered at %v, want pure propagation delay", at)
+	}
+}

@@ -16,7 +16,10 @@ const (
 	StreamDelay
 	StreamHandoff
 	StreamWorkload
-	StreamUser Stream = 1000
+	StreamFaultData  // fault-injected data-direction loss draws
+	StreamFaultAck   // fault-injected ACK-direction loss draws
+	StreamFaultStorm // fault-injected handoff-storm outage placement
+	StreamUser       Stream = 1000
 )
 
 // NewRand derives a deterministic *rand.Rand for (seed, stream) using

@@ -45,7 +45,47 @@ type Simulator struct {
 	seq    uint64
 	live   int    // non-cancelled entries currently in the heap
 	free   *Timer // free list of recycled fire-and-forget events
+
+	budget    Budget
+	executed  int64
+	exhausted bool
+	selfCheck bool
 }
+
+// Budget is a runaway-loop guard: it bounds how much work a simulation run
+// may do before Step refuses to execute further events. A pathological
+// workload (e.g. a fault schedule that provokes a zero-delay reschedule
+// loop) then stops gracefully — the clock and queue stay intact and
+// Exhausted reports the refusal — instead of spinning forever. Zero fields
+// mean unlimited.
+type Budget struct {
+	// MaxEvents caps the total number of events executed.
+	MaxEvents int64
+	// MaxVirtualTime refuses events with timestamps beyond this horizon
+	// (they remain queued).
+	MaxVirtualTime time.Duration
+}
+
+// SetBudget installs the run budget and clears any previous exhaustion.
+func (s *Simulator) SetBudget(b Budget) {
+	s.budget = b
+	s.exhausted = false
+}
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() int64 { return s.executed }
+
+// Exhausted reports whether the kernel refused to execute an event because
+// the budget ran out. Pending events are preserved.
+func (s *Simulator) Exhausted() bool { return s.exhausted }
+
+// SetInvariantChecks toggles the kernel's self-check mode: after every
+// executed event the clock and live-event counter are verified, and the
+// whole heap (ordering, index fields, live accounting) is audited
+// periodically. Violations panic — the mode exists to turn silent kernel
+// corruption into an immediate, attributable failure during stress
+// campaigns, not to be recovered from.
+func (s *Simulator) SetInvariantChecks(on bool) { s.selfCheck = on }
 
 // New returns a Simulator with the clock at zero and no pending events.
 func New() *Simulator {
@@ -141,32 +181,41 @@ func (s *Simulator) recycle(ev *Timer) {
 
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports whether an event was executed (false means the
-// queue is empty).
+// queue is empty, or the run budget is exhausted — see Exhausted).
 func (s *Simulator) Step() bool {
-	for len(s.events) > 0 {
-		ev := heap.Pop(&s.events).(*Timer)
-		ev.index = -1
-		if ev.cancelled {
-			// Lazily-deleted entry: it was uncounted at Stop time; drain it.
-			continue
-		}
-		s.now = ev.at
-		s.live--
-		ev.fired = true
-		if h := ev.h; h != nil {
-			// Fire-and-forget event: recycle before invoking so the handler
-			// can immediately reuse the slot for follow-up events.
-			s.recycle(ev)
-			h.Fire()
-		} else {
-			ev.fn()
-		}
-		return true
+	ev := s.peek() // drains lazily-deleted entries off the top
+	if ev == nil {
+		return false
 	}
-	return false
+	if s.budget.MaxEvents > 0 && s.executed >= s.budget.MaxEvents {
+		s.exhausted = true
+		return false
+	}
+	if s.budget.MaxVirtualTime > 0 && ev.at > s.budget.MaxVirtualTime {
+		s.exhausted = true
+		return false
+	}
+	heap.Pop(&s.events)
+	ev.index = -1
+	s.now = ev.at
+	s.live--
+	s.executed++
+	ev.fired = true
+	if h := ev.h; h != nil {
+		// Fire-and-forget event: recycle before invoking so the handler
+		// can immediately reuse the slot for follow-up events.
+		s.recycle(ev)
+		h.Fire()
+	} else {
+		ev.fn()
+	}
+	if s.selfCheck {
+		s.checkInvariants()
+	}
+	return true
 }
 
-// Run executes events until the queue is empty.
+// Run executes events until the queue is empty or the budget is exhausted.
 func (s *Simulator) Run() {
 	for s.Step() {
 	}
@@ -174,17 +223,55 @@ func (s *Simulator) Run() {
 
 // RunUntil executes events with timestamps <= deadline, then advances the
 // clock to exactly deadline. Events scheduled after the deadline remain
-// queued.
+// queued. An exhausted budget stops the run early without advancing the
+// clock past the last executed event.
 func (s *Simulator) RunUntil(deadline time.Duration) {
 	for {
 		ev := s.peek()
 		if ev == nil || ev.at > deadline {
 			break
 		}
-		s.Step()
+		if !s.Step() {
+			return // budget exhausted; leave the clock where it stopped
+		}
 	}
 	if s.now < deadline {
 		s.now = deadline
+	}
+}
+
+// invariantAuditPeriod is how many executed events separate full-heap
+// audits in self-check mode; the cheap per-event checks run every Step.
+const invariantAuditPeriod = 4096
+
+// checkInvariants verifies kernel state in self-check mode. Every event it
+// bounds the live counter; every invariantAuditPeriod events it audits the
+// whole heap: index fields, (at, seq) heap ordering, live accounting, and
+// that no queued event predates the clock.
+func (s *Simulator) checkInvariants() {
+	if s.live < 0 || s.live > len(s.events) {
+		panic(fmt.Sprintf("sim: invariant violation: live counter %d outside [0, %d]", s.live, len(s.events)))
+	}
+	if s.executed%invariantAuditPeriod != 0 {
+		return
+	}
+	live := 0
+	for i, ev := range s.events {
+		if ev.index != i {
+			panic(fmt.Sprintf("sim: invariant violation: event at heap slot %d has index %d", i, ev.index))
+		}
+		if !ev.cancelled {
+			live++
+			if ev.at < s.now {
+				panic(fmt.Sprintf("sim: invariant violation: live event at %v predates clock %v", ev.at, s.now))
+			}
+		}
+		if parent := (i - 1) / 2; i > 0 && s.events.Less(i, parent) {
+			panic(fmt.Sprintf("sim: invariant violation: heap order broken between slots %d and %d", parent, i))
+		}
+	}
+	if live != s.live {
+		panic(fmt.Sprintf("sim: invariant violation: live counter %d but %d live events queued", s.live, live))
 	}
 }
 

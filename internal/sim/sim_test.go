@@ -498,3 +498,147 @@ func TestNewRandUniformity(t *testing.T) {
 		t.Errorf("mean of uniform draws = %v, want ~0.5", mean)
 	}
 }
+
+func TestBudgetMaxEventsStopsRunawayLoop(t *testing.T) {
+	s := New()
+	s.SetBudget(Budget{MaxEvents: 1000})
+	// A pathological workload: every event reschedules itself with zero
+	// delay, so without the budget Run would spin forever.
+	var fired int
+	var loop func()
+	loop = func() {
+		fired++
+		s.Schedule(0, loop)
+	}
+	s.Schedule(0, loop)
+	s.Run()
+	if !s.Exhausted() {
+		t.Fatal("runaway loop did not exhaust the budget")
+	}
+	if fired != 1000 {
+		t.Fatalf("executed %d events, want exactly the 1000 budget", fired)
+	}
+	if got := s.Executed(); got != 1000 {
+		t.Fatalf("Executed() = %d, want 1000", got)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want the refused event still queued", s.Pending())
+	}
+}
+
+func TestBudgetRunUntilTerminates(t *testing.T) {
+	// The regression this guards: RunUntil must stop when Step refuses an
+	// event, not keep peeking at it forever.
+	s := New()
+	s.SetBudget(Budget{MaxEvents: 10})
+	var loop func()
+	loop = func() { s.Schedule(0, loop) }
+	s.Schedule(0, loop)
+	done := make(chan struct{})
+	go func() {
+		s.RunUntil(time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunUntil spun past an exhausted budget")
+	}
+	if !s.Exhausted() {
+		t.Fatal("budget not exhausted")
+	}
+}
+
+func TestBudgetMaxVirtualTimeLeavesEventsQueued(t *testing.T) {
+	s := New()
+	s.SetBudget(Budget{MaxVirtualTime: 50 * time.Millisecond})
+	var fired []time.Duration
+	for _, at := range []time.Duration{10 * time.Millisecond, 40 * time.Millisecond, 100 * time.Millisecond} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want the two events inside the horizon", fired)
+	}
+	if !s.Exhausted() {
+		t.Fatal("event beyond the horizon should exhaust the budget")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want the refused event preserved", s.Pending())
+	}
+	if s.Now() != 40*time.Millisecond {
+		t.Fatalf("clock at %v, want it left at the last executed event", s.Now())
+	}
+	// Raising the budget lets the run continue where it stopped.
+	s.SetBudget(Budget{})
+	s.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %v after lifting the budget, want all three", fired)
+	}
+}
+
+func TestSetBudgetClearsExhaustion(t *testing.T) {
+	s := New()
+	s.SetBudget(Budget{MaxEvents: 1})
+	s.Schedule(0, func() {})
+	s.Schedule(0, func() {})
+	s.Run()
+	if !s.Exhausted() {
+		t.Fatal("want exhausted")
+	}
+	s.SetBudget(Budget{MaxEvents: 100})
+	if s.Exhausted() {
+		t.Fatal("SetBudget should clear the exhausted flag")
+	}
+	s.Run()
+	if s.Exhausted() || s.Pending() != 0 {
+		t.Fatal("run should complete under the raised budget")
+	}
+}
+
+// fireFunc adapts a closure to the Handler interface for tests.
+type fireFunc func()
+
+func (f fireFunc) Fire() { f() }
+
+func TestInvariantChecksPassOnNormalWorkload(t *testing.T) {
+	// Self-check mode must be silent on a healthy kernel, across scheduling,
+	// cancellation, rescheduling and pooled fire-and-forget events — enough
+	// churn to cross the periodic full-audit boundary.
+	s := New()
+	s.SetInvariantChecks(true)
+	rng := NewRand(3, StreamWorkload)
+	var timers []*Timer
+	n := 0
+	for i := 0; i < 3*invariantAuditPeriod; i++ {
+		d := time.Duration(rng.Int63n(int64(10 * time.Millisecond)))
+		switch i % 4 {
+		case 0:
+			timers = append(timers, s.Schedule(d, func() { n++ }))
+		case 1:
+			s.ScheduleFire(d, fireFunc(func() { n++ }))
+		case 2:
+			if len(timers) > 0 {
+				timers[len(timers)-1].Stop()
+				timers = timers[:len(timers)-1]
+			}
+		case 3:
+			if len(timers) > 0 && timers[0].Active() {
+				timers[0].Reschedule(d)
+			}
+		}
+		// Drain periodically so the heap sees pops interleaved with pushes.
+		if i%64 == 63 {
+			for j := 0; j < 32; j++ {
+				if !s.Step() {
+					break
+				}
+			}
+		}
+	}
+	s.Run()
+	if n == 0 {
+		t.Fatal("workload fired nothing")
+	}
+}

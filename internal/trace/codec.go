@@ -24,6 +24,11 @@ const (
 	binaryMagic   = "HSRT"
 	binaryVersion = 1
 	eventSize     = 8 + 1 + 8 + 8 + 4 + 8 + 4
+
+	// maxPreallocEvents caps the initial event-slice allocation of ReadBinary:
+	// a declared count is only trusted up to this many events (~3 MiB) before
+	// any record has actually been read.
+	maxPreallocEvents = 1 << 16
 )
 
 // ErrBadFormat reports a corrupt or foreign input to a trace reader.
@@ -121,7 +126,14 @@ func ReadBinary(r io.Reader) (*FlowTrace, error) {
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
 		return nil, fmt.Errorf("trace: read event count: %w", err)
 	}
-	out.Events = make([]Event, 0, count)
+	// The count field is attacker-controlled in a corrupt or truncated file:
+	// pre-allocate at most maxPreallocEvents and let append grow beyond that,
+	// so a bogus 4-billion count costs an error, not gigabytes.
+	prealloc := count
+	if prealloc > maxPreallocEvents {
+		prealloc = maxPreallocEvents
+	}
+	out.Events = make([]Event, 0, prealloc)
 	var buf [eventSize]byte
 	for i := uint32(0); i < count; i++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {

@@ -2,7 +2,10 @@ package trace
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -20,6 +23,63 @@ func seedCorpus(t testing.TB) (bin, jsonl []byte) {
 	return b.Bytes(), j.Bytes()
 }
 
+// checkedInCorpus loads the hand-crafted hostile inputs under
+// testdata/corpus: truncated headers, bogus event counts, oversized meta
+// lengths — one file per historical bounds check. Returned as name→bytes.
+func checkedInCorpus(t testing.TB) map[string][]byte {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "corpus", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("testdata/corpus is empty; the checked-in seed corpus is missing")
+	}
+	out := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(p)] = data
+	}
+	return out
+}
+
+// TestCorpusRegression replays the checked-in corpus on every normal go
+// test run: each hostile input must be rejected with an error — quickly,
+// without a panic, and without the decoder trusting the declared sizes.
+func TestCorpusRegression(t *testing.T) {
+	for name, data := range checkedInCorpus(t) {
+		t.Run(name, func(t *testing.T) {
+			if strings.HasSuffix(name, ".jsonl") {
+				if _, err := ReadJSONL(bytes.NewReader(data)); err == nil {
+					t.Error("corrupt JSONL input accepted")
+				}
+				return
+			}
+			if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+				t.Error("corrupt binary input accepted")
+			}
+		})
+	}
+}
+
+// TestReadBinaryCapsPreallocation feeds a well-formed header whose count
+// field promises ~4 billion events: the reader must fail on the missing
+// records instead of pre-allocating gigabytes up front.
+func TestReadBinaryCapsPreallocation(t *testing.T) {
+	var b bytes.Buffer
+	b.WriteString(binaryMagic)
+	b.Write([]byte{binaryVersion, 0}) // uint16 LE version
+	b.Write([]byte{2, 0, 0, 0})       // metaLen 2
+	b.WriteString("{}")
+	b.Write([]byte{0xff, 0xff, 0xff, 0xff}) // count 2^32-1, no records follow
+	if _, err := ReadBinary(&b); err == nil {
+		t.Fatal("truncated 4-billion-event trace accepted")
+	}
+}
+
 // FuzzReadBinary checks the binary decoder never panics and that whatever
 // it accepts round-trips through the encoder byte-identically at the
 // event level.
@@ -29,6 +89,11 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add([]byte("HSRT"))
 	f.Add([]byte{})
 	f.Add([]byte("garbage input that is not a trace"))
+	for name, data := range checkedInCorpus(f) {
+		if strings.HasSuffix(name, ".hsrt") {
+			f.Add(data)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ft, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {
@@ -55,6 +120,11 @@ func FuzzReadJSONL(f *testing.F) {
 	f.Add([]byte(`{"meta":{}}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte(`{"meta":{"id":"x"}}` + "\n" + `{"at":1,"type":1,"seq":0,"ack":-1,"txno":1}`))
+	for name, data := range checkedInCorpus(f) {
+		if strings.HasSuffix(name, ".jsonl") {
+			f.Add(data)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ft, err := ReadJSONL(bytes.NewReader(data))
 		if err != nil {
