@@ -23,6 +23,7 @@ import (
 	"repro/internal/railway"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -418,6 +419,30 @@ func BenchmarkTCPFlowSimulation(b *testing.B) {
 			ID: "bench", Operator: cellular.ChinaMobileLTE, Trip: trip,
 			TripOffset: start, FlowDuration: 30 * time.Second,
 			Seed: int64(i), TCP: tcp.DefaultConfig(), Scenario: "hsr",
+		}
+		if _, _, err := dataset.RunFlow(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPFlowSimulationTelemetry is BenchmarkTCPFlowSimulation with a
+// full telemetry bundle attached — the pair quantifies the instrumentation
+// overhead (docs/OBSERVABILITY.md cites both numbers).
+func BenchmarkTCPFlowSimulationTelemetry(b *testing.B) {
+	trip, err := railway.NewTrip(railway.BeijingTianjin, railway.DefaultProfile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start, _ := trip.CruiseWindow()
+	tel := telemetry.NewFlow()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := dataset.Scenario{
+			ID: "bench", Operator: cellular.ChinaMobileLTE, Trip: trip,
+			TripOffset: start, FlowDuration: 30 * time.Second,
+			Seed: int64(i), TCP: tcp.DefaultConfig(), Scenario: "hsr",
+			Telemetry: tel,
 		}
 		if _, _, err := dataset.RunFlow(sc); err != nil {
 			b.Fatal(err)

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	hsrbench [-quick] [-seed N] [-duration 120s] [-flows N] [-jobs N]
-//	         [-timeout D] [-run name,...]
+//	         [-timeout D] [-run name,...] [-progress] [-metrics out.json]
+//	         [-cpuprofile f] [-memprofile f] [-version]
 //
 // Experiment names: table1, fig1, fig2, fig3, fig4, fig6, fig10, fig12,
 // window, scalars, delack, ablation, backupq, eifel, sensitivity, variants,
@@ -31,11 +32,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -56,8 +62,45 @@ func run(args []string) error {
 	runList := fs.String("run", "all", "comma-separated experiments to run")
 	csvDir := fs.String("csv", "", "also write figure series as CSV files into this directory")
 	reportPath := fs.String("report", "", "write a markdown reproduction report to this file (runs the full suite)")
+	progress := fs.Bool("progress", false, "print flow and experiment completion progress to stderr")
+	metricsPath := fs.String("metrics", "", "write a JSON telemetry report (kernel/TCP/link/fault counters, per-task resources) to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file (taken at exit, after a GC)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.Line("hsrbench"))
+		return nil
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hsrbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hsrbench: memprofile:", err)
+			}
+		}()
 	}
 
 	cfg := experiments.Default()
@@ -71,6 +114,26 @@ func run(args []string) error {
 	if *flows > 0 {
 		cfg.FlowsPerRow = *flows
 	}
+
+	var camp *telemetry.Campaign
+	if *metricsPath != "" {
+		camp = telemetry.NewCampaign()
+		cfg.Telemetry = camp
+	}
+	if *progress {
+		// Flow-level progress from the campaign workers: one line every ten
+		// flows (and the last), mutex-guarded because workers run in parallel.
+		var mu sync.Mutex
+		cfg.Progress = func(done, total int) {
+			if done%10 != 0 && done != total {
+				return
+			}
+			mu.Lock()
+			fmt.Fprintf(os.Stderr, "hsrbench: flows %d/%d\n", done, total)
+			mu.Unlock()
+		}
+	}
+	wallStart := time.Now()
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -335,7 +398,23 @@ func run(args []string) error {
 		})
 	}
 
-	results, err := experiments.RunDAGContext(ctx, tasks, *jobs)
+	var onDone func(r experiments.TaskResult, completed, total int)
+	if *progress {
+		// Task-level progress runs on the scheduler's coordinator goroutine,
+		// so no locking is needed against other onDone calls.
+		onDone = func(r experiments.TaskResult, completed, total int) {
+			status := "ok"
+			switch {
+			case r.Skipped:
+				status = "skipped"
+			case r.Err != nil:
+				status = "failed"
+			}
+			fmt.Fprintf(os.Stderr, "hsrbench: [%d/%d] %s %s (%v)\n",
+				completed, total, r.Name, status, r.Wall.Round(time.Millisecond))
+		}
+	}
+	results, err := experiments.RunDAGProgress(ctx, tasks, *jobs, onDone)
 	if err != nil {
 		return err
 	}
@@ -362,11 +441,79 @@ func run(args []string) error {
 			}
 		}
 	}
-	if failed > 0 || skipped > 0 {
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("campaign cancelled (%v) with %d task(s) failed, %d skipped; partial results above", err, failed, skipped)
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, cfg.Seed, camp, results, wallStart); err != nil {
+			return err
 		}
-		return fmt.Errorf("%d task(s) failed, %d skipped; partial results above", failed, skipped)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsPath)
+	}
+	if failed > 0 || skipped > 0 {
+		completed := len(results) - failed - skipped
+		summary := fmt.Sprintf("%d task(s) completed, %d failed, %d skipped; partial results above",
+			completed, failed, skipped)
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("campaign cancelled (%v): %s", err, summary)
+		}
+		return errors.New(summary)
+	}
+	return nil
+}
+
+// writeMetrics assembles and writes the -metrics JSON report: campaign
+// counter totals (deterministic for a seed at any -jobs), per-task outcomes
+// and process resource usage.
+func writeMetrics(path string, seed int64, camp *telemetry.Campaign, results []experiments.TaskResult, wallStart time.Time) error {
+	rep := &telemetry.Report{
+		Tool:    "hsrbench",
+		Version: buildinfo.Version(),
+		Seed:    seed,
+	}
+	// Only attach the campaign section when campaign flows actually ran
+	// (e.g. -run fig1 alone never touches the shared campaigns).
+	if camp != nil {
+		if n, _, _, _, _ := camp.Counters(); n > 0 {
+			rep.Campaign = camp
+		}
+	}
+	for _, r := range results {
+		tr := telemetry.TaskReport{
+			Name:       r.Name,
+			Status:     "ok",
+			WallMS:     float64(r.Wall) / float64(time.Millisecond),
+			Mallocs:    r.Mallocs,
+			AllocBytes: r.AllocBytes,
+		}
+		switch {
+		case r.Skipped:
+			tr.Status = "skipped"
+		case r.Err != nil:
+			tr.Status = "failed"
+		}
+		if r.Err != nil {
+			tr.Error = r.Err.Error()
+		}
+		rep.Tasks = append(rep.Tasks, tr)
+	}
+	wall := time.Since(wallStart)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rep.Resources = telemetry.Resources{
+		WallMS:          float64(wall) / float64(time.Millisecond),
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		NumGC:           ms.NumGC,
+	}
+	if camp != nil && wall > 0 {
+		_, k, _, _, _ := camp.Counters()
+		rep.Resources.VirtualPerWall = float64(k.VirtualNS) / float64(wall.Nanoseconds())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return fmt.Errorf("metrics: %w", err)
 	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 func TestRunQuickSubset(t *testing.T) {
@@ -78,6 +80,76 @@ func TestRunTimeoutCancelsCleanly(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Minute {
 		t.Errorf("cancellation took %v; the deadline did not cut the campaign short", elapsed)
+	}
+	// The partial-results summary must account for every task.
+	if !strings.Contains(err.Error(), "completed") || !strings.Contains(err.Error(), "skipped") {
+		t.Errorf("cancellation error %q lacks the completed/failed/skipped summary", err)
+	}
+}
+
+func TestRunVersionFlag(t *testing.T) {
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatalf("-version: %v", err)
+	}
+}
+
+func TestRunWritesMetricsReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	err := run([]string{"-quick", "-flows", "1", "-duration", "20s",
+		"-run", "table1", "-metrics", path})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("metrics file missing: %v", err)
+	}
+	defer f.Close()
+	rep, err := telemetry.ReadReport(f)
+	if err != nil {
+		t.Fatalf("metrics file unparseable: %v", err)
+	}
+	if rep.Tool != "hsrbench" || rep.Version == "" || rep.Seed != 1 {
+		t.Errorf("report header = %+v", rep)
+	}
+	if rep.Campaign == nil {
+		t.Fatal("report has no campaign section after a campaign run")
+	}
+	if rep.Campaign.Kernel.Events == 0 || rep.Campaign.TCP.Flows == 0 {
+		t.Errorf("campaign counters empty: kernel=%+v tcp flows=%d",
+			rep.Campaign.Kernel, rep.Campaign.TCP.Flows)
+	}
+	byName := map[string]telemetry.TaskReport{}
+	for _, tr := range rep.Tasks {
+		byName[tr.Name] = tr
+	}
+	for _, name := range []string{"campaigns", "table1"} {
+		tr, ok := byName[name]
+		if !ok || tr.Status != "ok" {
+			t.Errorf("task %q report = %+v (present %v)", name, tr, ok)
+		}
+	}
+	if rep.Resources.WallMS <= 0 || rep.Resources.Mallocs == 0 {
+		t.Errorf("resource section empty: %+v", rep.Resources)
+	}
+}
+
+func TestRunProfilesAndProgress(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	err := run([]string{"-quick", "-duration", "20s", "-run", "fig1",
+		"-progress", "-cpuprofile", cpu, "-memprofile", mem})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s missing: %v", p, err)
+		} else if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/export"
 )
@@ -35,8 +36,13 @@ func run(args []string) error {
 	w := fs.Float64("w", 18, "mean window size (for P_a = p_a^w)")
 	paBurst := fs.Float64("pburst", 0, "measured ACK burst probability P_a (overrides p_a^w)")
 	mss := fs.Int("mss", 1448, "segment size for Mbps conversion")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.Line("modelcalc"))
+		return nil
 	}
 
 	prm := core.Params{

@@ -27,3 +27,9 @@ func TestRunRejectsInvalid(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+func TestRunVersionFlag(t *testing.T) {
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatalf("-version: %v", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/export"
 	"repro/internal/trace"
@@ -44,8 +45,13 @@ func run(args []string) error {
 	models := fs.Bool("models", false, "also evaluate the Padhye and enhanced models")
 	gaps := fs.Bool("gaps", false, "also report ACK silences (the sender-side view of ACK burst loss)")
 	events := fs.Int("events", 0, "print the first N packet events of each trace as a timeline")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.Line("traceanalyze"))
+		return nil
 	}
 	files := fs.Args()
 	if len(files) == 0 {

@@ -172,3 +172,10 @@ func TestRunGuardedRecoversPanic(t *testing.T) {
 		t.Error("want an error for a missing file")
 	}
 }
+
+func TestRunVersionFlag(t *testing.T) {
+	// -version must print and exit successfully without any trace files.
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatalf("-version: %v", err)
+	}
+}

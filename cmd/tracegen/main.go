@@ -7,10 +7,16 @@
 //	tracegen -out traces/ [-flows 8] [-duration 60s] [-seed 1]
 //	         [-scenario hsr|stationary] [-operator mobile|unicom|telecom]
 //	         [-format binary|jsonl] [-faults "blackout@30s+2s; ..."]
+//	         [-flightrec N] [-version]
 //
 // -faults injects a deterministic fault schedule (blackouts, ACK burst
 // loss, rate collapses, delay spikes, handoff storms) into every generated
 // flow; the DSL is documented in docs/ROBUSTNESS.md.
+//
+// -flightrec N additionally runs a bounded flight recorder per flow: the
+// last N state-transition events (timeouts, fast retransmits, recoveries,
+// drops) are written next to the full trace as <id>.flightrec.jsonl, in the
+// regular JSONL trace format traceanalyze reads.
 package main
 
 import (
@@ -20,11 +26,13 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cellular"
 	"repro/internal/dataset"
 	"repro/internal/faults"
 	"repro/internal/railway"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -57,8 +65,17 @@ func run(args []string) error {
 	operator := fs.String("operator", "mobile", "mobile, unicom or telecom")
 	format := fs.String("format", "binary", "binary or jsonl")
 	faultSpec := fs.String("faults", "", "fault schedule DSL injected into every flow (see docs/ROBUSTNESS.md)")
+	flightrec := fs.Int("flightrec", 0, "also write the last N state-transition events per flow as <id>.flightrec.jsonl (0 = off)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.Line("tracegen"))
+		return nil
+	}
+	if *flightrec < 0 {
+		return fmt.Errorf("-flightrec %d must be non-negative", *flightrec)
 	}
 
 	sched, err := faults.Parse(*faultSpec)
@@ -106,6 +123,10 @@ func run(args []string) error {
 		return fmt.Errorf("create output dir: %w", err)
 	}
 
+	var rec *telemetry.FlightRecorder
+	if *flightrec > 0 {
+		rec = telemetry.NewFlightRecorder(*flightrec)
+	}
 	start, end := trip.CruiseWindow()
 	for i := 0; i < *flows; i++ {
 		offset := time.Duration(0)
@@ -126,6 +147,10 @@ func run(args []string) error {
 			Scenario:     *scenario,
 			Faults:       sched,
 		}
+		if rec != nil {
+			rec.Reset()
+			sc.FlightRecorder = rec
+		}
 		ft, st, err := dataset.RunFlow(sc)
 		if err != nil {
 			return fmt.Errorf("flow %d: %w", i, err)
@@ -144,6 +169,22 @@ func run(args []string) error {
 		}
 		fmt.Printf("%s: %d events, %d segments delivered, %.1f pps\n",
 			path, len(ft.Events), st.UniqueDelivered, st.ThroughputPps())
+		if rec != nil {
+			frPath := filepath.Join(*out, sc.ID+".flightrec.jsonl")
+			ff, err := os.Create(frPath)
+			if err != nil {
+				return fmt.Errorf("create %s: %w", frPath, err)
+			}
+			if err := trace.WriteJSONL(ff, rec.Trace(ft.Meta)); err != nil {
+				ff.Close()
+				return fmt.Errorf("write %s: %w", frPath, err)
+			}
+			if err := ff.Close(); err != nil {
+				return fmt.Errorf("close %s: %w", frPath, err)
+			}
+			fmt.Printf("%s: %d transition events retained (%d overwritten)\n",
+				frPath, rec.Len(), rec.Overwritten())
+		}
 	}
 	return nil
 }

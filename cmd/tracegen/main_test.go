@@ -86,6 +86,53 @@ func TestRunWithFaultSchedule(t *testing.T) {
 	}
 }
 
+func TestRunVersionFlag(t *testing.T) {
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatalf("-version: %v", err)
+	}
+}
+
+func TestRunFlightRecorder(t *testing.T) {
+	dir := t.TempDir()
+	// A blackout guarantees timeouts, so the recorder has transitions to keep.
+	err := run([]string{"-out", dir, "-flows", "2", "-duration", "15s",
+		"-faults", "blackout@5s+2s", "-flightrec", "64"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.flightrec.jsonl"))
+	if len(files) != 2 {
+		t.Fatalf("flight-recorder dumps = %v, want 2", files)
+	}
+	f, err := os.Open(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ft, err := trace.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("flight-recorder dump unreadable by the JSONL codec: %v", err)
+	}
+	if len(ft.Events) == 0 {
+		t.Fatal("flight-recorder dump is empty despite a blackout")
+	}
+	transition := map[trace.EventType]bool{
+		trace.EvTimeout: true, trace.EvFastRetx: true, trace.EvRecovered: true,
+		trace.EvDataDrop: true, trace.EvAckDrop: true,
+	}
+	for _, ev := range ft.Events {
+		if !transition[ev.Type] {
+			t.Errorf("non-transition event %v leaked into the flight recorder", ev.Type)
+		}
+	}
+}
+
+func TestRunRejectsNegativeFlightrec(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir(), "-flightrec", "-1"}); err == nil {
+		t.Error("negative -flightrec accepted")
+	}
+}
+
 func TestRunRejectsBadFaultSchedule(t *testing.T) {
 	err := runGuarded([]string{"-out", t.TempDir(), "-flows", "1", "-duration", "10s",
 		"-faults", "meteorstrike@5s+1s"})

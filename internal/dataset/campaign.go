@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/railway"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 )
 
 // TableRow is one row of the paper's Table I.
@@ -59,6 +61,16 @@ type CampaignConfig struct {
 	// running finish, no new ones start, and RunCampaign returns the context
 	// error. Nil means never cancelled.
 	Ctx context.Context
+	// Telemetry, when non-nil, aggregates every flow's telemetry bundle into
+	// campaign totals. Flows are merged in campaign order after the parallel
+	// phase completes, so the totals (including float distributions) are
+	// bit-identical at any Parallelism.
+	Telemetry *telemetry.Campaign
+	// Progress, when non-nil, is invoked after each flow finishes (success
+	// or failure) with the number of flows completed so far and the campaign
+	// total. It is called from worker goroutines and must be safe for
+	// concurrent use.
+	Progress func(done, total int)
 }
 
 // FlowResult pairs a flow's metrics with its Table I row.
@@ -149,6 +161,11 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 
 	results := make([]FlowResult, len(jobs))
 	errs := make([]error, len(jobs))
+	var flows []*telemetry.Flow
+	if cfg.Telemetry != nil {
+		flows = make([]*telemetry.Flow, len(jobs))
+	}
+	var done atomic.Int64
 	par := cfg.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -161,6 +178,10 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 			continue
 		}
 		j := j
+		if flows != nil {
+			flows[j.idx] = telemetry.NewFlow()
+			j.sc.Telemetry = flows[j.idx]
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
@@ -169,15 +190,28 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 			m, err := AnalyzeFlow(j.sc)
 			if err != nil {
 				errs[j.idx] = fmt.Errorf("flow %s: %w", j.sc.ID, err)
-				return
+			} else {
+				results[j.idx] = FlowResult{Row: j.row, Metrics: m}
 			}
-			results[j.idx] = FlowResult{Row: j.row, Metrics: m}
+			if cfg.Progress != nil {
+				cfg.Progress(int(done.Add(1)), len(jobs))
+			}
 		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
+		}
+	}
+	// Merge per-flow telemetry strictly in campaign order, after the parallel
+	// phase: float aggregates (Dist merges) are order-sensitive, and a fixed
+	// order makes the totals bit-identical at any Parallelism.
+	if cfg.Telemetry != nil {
+		for _, f := range flows {
+			if f != nil {
+				cfg.Telemetry.AddFlow(f)
+			}
 		}
 	}
 	return &Campaign{Config: cfg, Results: results}, nil

@@ -21,6 +21,7 @@ import (
 	"repro/internal/railway"
 	"repro/internal/sim"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -40,6 +41,15 @@ type Scenario struct {
 	// delay spikes inflate latency. All fault randomness derives from Seed
 	// on dedicated streams, so faulted flows stay bit-for-bit reproducible.
 	Faults *faults.Schedule
+	// Telemetry, when non-nil, collects the flow's full metrics bundle
+	// (kernel, endpoint, link and fault counters). Attaching it never
+	// changes the packet trace: live instrumentation is nil-gated integer
+	// increments and everything else is harvested after the run.
+	Telemetry *telemetry.Flow
+	// FlightRecorder, when non-nil, additionally records the flow's events
+	// into a bounded ring (state transitions only by default) that can be
+	// dumped as a JSONL trace after the run.
+	FlightRecorder *telemetry.FlightRecorder
 }
 
 // Validate checks the scenario.
@@ -86,8 +96,13 @@ func BuildPath(simulator *sim.Simulator, sc Scenario) (*netem.Path, *cellular.Ch
 	))
 	var rateScale func(time.Duration) float64
 	if faulted {
-		dataLoss = sc.Faults.WrapDataLoss(dataLoss, sim.NewRand(sc.Seed, sim.StreamFaultData))
-		ackLoss = sc.Faults.WrapAckLoss(ackLoss, sim.NewRand(sc.Seed, sim.StreamFaultAck))
+		var dataDrops, ackDrops *int64
+		if sc.Telemetry != nil {
+			dataDrops = &sc.Telemetry.Faults.DataDrops
+			ackDrops = &sc.Telemetry.Faults.AckDrops
+		}
+		dataLoss = sc.Faults.WrapDataLossCounted(dataLoss, sim.NewRand(sc.Seed, sim.StreamFaultData), dataDrops)
+		ackLoss = sc.Faults.WrapAckLossCounted(ackLoss, sim.NewRand(sc.Seed, sim.StreamFaultAck), ackDrops)
 		fwdDelay = sc.Faults.WrapDelay(fwdDelay)
 		revDelay = sc.Faults.WrapDelay(revDelay)
 		rateScale = sc.Faults.RateScale
@@ -177,9 +192,17 @@ func RunFlow(sc Scenario) (*trace.FlowTrace, tcp.Stats, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, tcp.Stats{}, err
 	}
+	tel := sc.Telemetry
+	var wallStart time.Time
+	if tel != nil {
+		wallStart = time.Now()
+	}
 	simulator := sim.New()
 	budget := int64((sc.FlowDuration+time.Minute)/time.Second) * simEventBudgetPerSecond
 	simulator.SetBudget(sim.Budget{MaxEvents: budget})
+	if tel != nil {
+		simulator.SetTelemetry(&tel.Kernel)
+	}
 	path, _, err := BuildPath(simulator, sc)
 	if err != nil {
 		return nil, tcp.Stats{}, err
@@ -195,9 +218,16 @@ func RunFlow(sc Scenario) (*trace.FlowTrace, tcp.Stats, error) {
 		WindowLimit: sc.TCP.WindowLimit,
 		Duration:    sc.FlowDuration,
 	}}
-	conn, err := tcp.New(simulator, path, sc.TCP, ft)
+	rec := trace.Recorder(ft)
+	if sc.FlightRecorder != nil {
+		rec = trace.Tee{ft, sc.FlightRecorder}
+	}
+	conn, err := tcp.New(simulator, path, sc.TCP, rec)
 	if err != nil {
 		return nil, tcp.Stats{}, err
+	}
+	if tel != nil {
+		conn.SetTelemetry(&tel.TCP)
 	}
 	if err := conn.Start(sc.FlowDuration); err != nil {
 		return nil, tcp.Stats{}, err
@@ -207,7 +237,43 @@ func RunFlow(sc Scenario) (*trace.FlowTrace, tcp.Stats, error) {
 		return nil, tcp.Stats{}, fmt.Errorf("dataset: flow %s exhausted its %d-event kernel budget at t=%v (runaway schedule?)",
 			sc.ID, budget, simulator.Now())
 	}
+	if tel != nil {
+		harvestFlow(tel, sc, simulator, path, conn, budget, wallStart)
+	}
 	return ft, conn.Stats(), nil
+}
+
+// harvestFlow fills the telemetry bundle's end-of-run sections: kernel time
+// and budget, link counters (read once from the links instead of per-packet
+// instrumentation), fault-schedule activity, and the endpoint flush.
+func harvestFlow(tel *telemetry.Flow, sc Scenario, simulator *sim.Simulator, path *netem.Path, conn *tcp.Conn, budget int64, wallStart time.Time) {
+	tel.Kernel.VirtualNS = int64(simulator.Now())
+	tel.Kernel.BudgetEvents = budget
+	if l, ok := path.Forward.(*netem.Link); ok {
+		harvestLink(&tel.Net.Data, l.Stats())
+	}
+	if l, ok := path.Reverse.(*netem.Link); ok {
+		harvestLink(&tel.Net.Ack, l.Stats())
+	}
+	if !sc.Faults.Empty() {
+		tel.Faults.Schedules++
+		episodes, storms := sc.Faults.Counts()
+		tel.Faults.Episodes += int64(episodes)
+		tel.Faults.StormOutages += int64(storms)
+	}
+	conn.FlushTelemetry()
+	tel.WallNS = time.Since(wallStart).Nanoseconds()
+}
+
+// harvestLink copies one direction's netem.LinkStats into telemetry form.
+func harvestLink(dst *telemetry.LinkCounters, st netem.LinkStats) {
+	dst.Offered += int64(st.Offered)
+	dst.Delivered += int64(st.Delivered)
+	dst.ChannelDrops += int64(st.ChannelDrops)
+	dst.QueueDrops += int64(st.QueueDrops)
+	if pb := int64(st.PeakBacklog); pb > dst.PeakBacklog {
+		dst.PeakBacklog = pb
+	}
 }
 
 // AnalyzeFlow runs a scenario and immediately reduces the trace to metrics,

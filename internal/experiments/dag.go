@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Task is one unit of an experiment schedule: a named computation whose Run
@@ -28,6 +29,15 @@ type TaskResult struct {
 	// Skipped reports that Run never executed because a dependency failed;
 	// Err then names the failed dependency.
 	Skipped bool
+	// Wall is the host wall time spent inside Run (zero for skipped tasks).
+	// It is a resource metric, never reproducible.
+	Wall time.Duration
+	// Mallocs and AllocBytes are process heap-allocation deltas across Run.
+	// They are measured only when the schedule runs sequentially (jobs == 1);
+	// with several workers the process-global counters cannot be attributed
+	// to one task, and both stay zero.
+	Mallocs    uint64
+	AllocBytes uint64
 }
 
 // PanicError is a panic recovered from a Task's Run, reported as that
@@ -77,6 +87,15 @@ func RunDAG(tasks []Task, jobs int) ([]TaskResult, error) {
 // error. The results keep input order, so even a cancelled campaign renders
 // its completed prefix deterministically.
 func RunDAGContext(ctx context.Context, tasks []Task, jobs int) ([]TaskResult, error) {
+	return RunDAGProgress(ctx, tasks, jobs, nil)
+}
+
+// RunDAGProgress is RunDAGContext with completion notification: onDone (if
+// non-nil) is invoked once per task, in completion order, with the task's
+// result and the running completed count. It runs on the single coordinator
+// goroutine — never concurrently with itself — so a progress printer needs
+// no locking against other onDone calls.
+func RunDAGProgress(ctx context.Context, tasks []Task, jobs int, onDone func(res TaskResult, completed, total int)) ([]TaskResult, error) {
 	n := len(tasks)
 	idx := make(map[string]int, n)
 	for i, t := range tasks {
@@ -125,6 +144,9 @@ func RunDAGContext(ctx context.Context, tasks []Task, jobs int) ([]TaskResult, e
 	// The coordinator below is the only writer of remaining/failedDep and the
 	// only sender on ready, so no locking is needed: values flow to workers
 	// through the ready channel and back through done.
+	// Heap-allocation deltas are only attributable when one worker runs the
+	// whole schedule; runtime.MemStats counters are process-global.
+	trackAllocs := jobs == 1
 	ready := make(chan int, n)
 	done := make(chan int, n)
 	var wg sync.WaitGroup
@@ -144,7 +166,19 @@ func RunDAGContext(ctx context.Context, tasks []Task, jobs int) ([]TaskResult, e
 					done <- i
 					continue
 				}
+				var m0 runtime.MemStats
+				if trackAllocs {
+					runtime.ReadMemStats(&m0)
+				}
+				start := time.Now()
 				r.Output, r.Err = runTask(tasks[i])
+				r.Wall = time.Since(start)
+				if trackAllocs {
+					var m1 runtime.MemStats
+					runtime.ReadMemStats(&m1)
+					r.Mallocs = m1.Mallocs - m0.Mallocs
+					r.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+				}
 				done <- i
 			}
 		}()
@@ -158,6 +192,9 @@ func RunDAGContext(ctx context.Context, tasks []Task, jobs int) ([]TaskResult, e
 	}
 	for completed := 0; completed < n; completed++ {
 		i := <-done
+		if onDone != nil {
+			onDone(results[i], completed+1, n)
+		}
 		failed := results[i].Err != nil
 		for _, d := range dependents[i] {
 			if failed && !results[d].Skipped {

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/tcp"
+	"repro/internal/telemetry"
 )
 
 // Config scales the experiments. The zero value is not valid; use Default
@@ -48,6 +49,14 @@ type Config struct {
 	PairsPerOperator int
 	// Parallelism bounds concurrent flow simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Telemetry, when non-nil, aggregates telemetry from both shared
+	// campaigns (HSR and stationary) into one collector; totals are
+	// deterministic for a given seed at any Parallelism.
+	Telemetry *telemetry.Campaign
+	// Progress, when non-nil, is forwarded to both campaigns; it is invoked
+	// per finished flow (per campaign) from worker goroutines and must be
+	// safe for concurrent use.
+	Progress func(done, total int)
 }
 
 // Default is the full-scale configuration: the complete 255-flow Table I
@@ -126,7 +135,7 @@ func NewContextWith(ctx context.Context, cfg Config) (*Context, error) {
 	hsr, err := dataset.RunCampaign(dataset.CampaignConfig{
 		Seed: cfg.Seed, FlowDuration: cfg.FlowDuration,
 		FlowsPerRow: cfg.FlowsPerRow, Parallelism: cfg.Parallelism,
-		Ctx: ctx,
+		Ctx: ctx, Telemetry: cfg.Telemetry, Progress: cfg.Progress,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: hsr campaign: %w", err)
@@ -134,7 +143,7 @@ func NewContextWith(ctx context.Context, cfg Config) (*Context, error) {
 	stat, err := dataset.RunCampaign(dataset.CampaignConfig{
 		Seed: cfg.Seed + 5000, FlowDuration: cfg.FlowDuration,
 		FlowsPerRow: cfg.FlowsPerRow, Parallelism: cfg.Parallelism,
-		Stationary: true, Ctx: ctx,
+		Stationary: true, Ctx: ctx, Telemetry: cfg.Telemetry, Progress: cfg.Progress,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: stationary campaign: %w", err)

@@ -1,0 +1,67 @@
+package export
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotAllNaNIsNoData(t *testing.T) {
+	p := Plot{Width: 20, Height: 5}
+	p.Add("s", '#', []XY{{math.NaN(), math.NaN()}, {1, math.NaN()}})
+	out := p.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("all-NaN series rendered a canvas:\n%s", out)
+	}
+}
+
+func TestPlotCanvasDimensions(t *testing.T) {
+	p := Plot{Width: 30, Height: 7}
+	p.Add("s", '#', []XY{{0, 0}, {5, 5}})
+	out := p.Render()
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") {
+			rows++
+			if got := len(line) - strings.Index(line, "|") - 1; got != 30 {
+				t.Fatalf("canvas row width = %d, want 30 (%q)", got, line)
+			}
+		}
+	}
+	if rows != 7 {
+		t.Fatalf("canvas rows = %d, want 7", rows)
+	}
+}
+
+func TestPlotExtremesLandInCorners(t *testing.T) {
+	p := Plot{Width: 10, Height: 4}
+	p.Add("s", '#', []XY{{0, 0}, {9, 3}})
+	lines := strings.Split(p.Render(), "\n")
+	var canvas []string
+	for _, line := range lines {
+		if i := strings.Index(line, "|"); i >= 0 {
+			canvas = append(canvas, line[i+1:])
+		}
+	}
+	if len(canvas) != 4 {
+		t.Fatalf("canvas rows = %d, want 4", len(canvas))
+	}
+	if canvas[0][len(canvas[0])-1] != '#' {
+		t.Errorf("max point not in top-right corner:\n%s", strings.Join(canvas, "\n"))
+	}
+	if canvas[3][0] != '#' {
+		t.Errorf("min point not in bottom-left corner:\n%s", strings.Join(canvas, "\n"))
+	}
+}
+
+func TestPlotNegativeRange(t *testing.T) {
+	p := Plot{Width: 20, Height: 5}
+	p.Add("s", '#', []XY{{-10, -5}, {-2, -1}})
+	out := p.Render()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("negative-range plot missing glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "-10") || !strings.Contains(out, "-5") {
+		t.Errorf("negative axis extremes missing:\n%s", out)
+	}
+}

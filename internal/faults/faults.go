@@ -169,6 +169,22 @@ func (s *Schedule) Validate() error {
 // callers can hold a *Schedule field and never branch on nil.
 func (s *Schedule) Empty() bool { return s == nil || len(s.Episodes) == 0 }
 
+// Counts reports how many episodes the schedule scripts and how many
+// individual bearer outages its storm episodes expand into — the
+// fault-schedule activation counters telemetry reports per flow. Nil-safe.
+func (s *Schedule) Counts() (episodes, stormOutages int) {
+	if s.Empty() {
+		return 0, 0
+	}
+	for _, e := range s.Episodes {
+		episodes++
+		if e.Kind == Storm {
+			stormOutages += e.Count
+		}
+	}
+	return episodes, stormOutages
+}
+
 // Scale returns a copy with every episode's severity multiplied by sev:
 // blackout durations, burst-loss probabilities, delay-spike magnitudes and
 // storm outage counts scale linearly, and rate-collapse factors move from 1

@@ -16,12 +16,20 @@ type lossInjector struct {
 	inner netem.LossModel
 	prob  func(sent, arrival time.Duration) float64
 	rng   *rand.Rand
+	// drops, when non-nil, counts packets the schedule killed that the inner
+	// model would have let through (fault-drop attribution for telemetry).
+	// Counting never changes rng consumption, so counted and uncounted runs
+	// of the same seed stay packet-identical.
+	drops *int64
 }
 
 // Drop implements netem.LossModel.
 func (li *lossInjector) Drop(sent, arrival time.Duration) bool {
 	dropped := li.inner.Drop(sent, arrival)
 	if p := li.prob(sent, arrival); p > 0 && (p >= 1 || li.rng.Float64() < p) {
+		if !dropped && li.drops != nil {
+			*li.drops++
+		}
 		dropped = true
 	}
 	return dropped
@@ -31,19 +39,32 @@ func (li *lossInjector) Drop(sent, arrival time.Duration) bool {
 // inner. The rng should be derived from the flow seed on
 // sim.StreamFaultData so fault draws perturb no other stream.
 func (s *Schedule) WrapDataLoss(inner netem.LossModel, rng *rand.Rand) netem.LossModel {
+	return s.WrapDataLossCounted(inner, rng, nil)
+}
+
+// WrapDataLossCounted is WrapDataLoss with fault-drop attribution: every
+// packet the schedule (and not the inner model) kills increments *drops.
+// A nil drops counts nothing and behaves exactly like WrapDataLoss.
+func (s *Schedule) WrapDataLossCounted(inner netem.LossModel, rng *rand.Rand, drops *int64) netem.LossModel {
 	if s.Empty() {
 		return inner
 	}
-	return &lossInjector{inner: inner, prob: s.DataLossProb, rng: rng}
+	return &lossInjector{inner: inner, prob: s.DataLossProb, rng: rng, drops: drops}
 }
 
 // WrapAckLoss layers the schedule's ACK-direction faults (blackouts and ACK
 // burst-loss episodes) over inner; use an rng on sim.StreamFaultAck.
 func (s *Schedule) WrapAckLoss(inner netem.LossModel, rng *rand.Rand) netem.LossModel {
+	return s.WrapAckLossCounted(inner, rng, nil)
+}
+
+// WrapAckLossCounted is WrapAckLoss with fault-drop attribution into *drops;
+// nil drops counts nothing.
+func (s *Schedule) WrapAckLossCounted(inner netem.LossModel, rng *rand.Rand, drops *int64) netem.LossModel {
 	if s.Empty() {
 		return inner
 	}
-	return &lossInjector{inner: inner, prob: s.AckLossProb, rng: rng}
+	return &lossInjector{inner: inner, prob: s.AckLossProb, rng: rng, drops: drops}
 }
 
 // delayInjector adds the schedule's delay spikes to an inner DelayModel.

@@ -40,6 +40,10 @@ type LinkStats struct {
 	Delivered    int // packets whose deliver callback fired
 	ChannelDrops int // random channel losses
 	QueueDrops   int // serialization-queue tail drops
+	// PeakBacklog is the largest serialization backlog (packets ahead of an
+	// arriving one, including the one in service) observed on a
+	// bounded-queue link; always 0 on unbounded or infinitely fast links.
+	PeakBacklog int
 }
 
 // LossRate returns the fraction of offered packets that were dropped for any
@@ -188,6 +192,9 @@ func (l *Link) Send(size int, deliver Handler) (bool, DropKind) {
 			// backlog counts packets ahead of this one (including the one in
 			// service); only the waiting ones occupy queue slots.
 			backlog := int((start - now) / txTime)
+			if backlog > l.stats.PeakBacklog {
+				l.stats.PeakBacklog = backlog
+			}
 			if backlog > l.cfg.MaxQueue {
 				l.stats.QueueDrops++
 				return false, DropQueue

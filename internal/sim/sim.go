@@ -23,6 +23,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Handler is the callback interface of pooled fire-and-forget events
@@ -50,7 +52,17 @@ type Simulator struct {
 	executed  int64
 	exhausted bool
 	selfCheck bool
+
+	// tel is the optional kernel telemetry sink. It is nil by default and
+	// every update below is guarded by one nil check, so the disabled path
+	// costs a predictable branch and zero allocations.
+	tel *telemetry.Kernel
 }
+
+// SetTelemetry attaches a kernel metrics sink (nil detaches). Updates are
+// plain integer increments into the caller-owned struct; the kernel never
+// allocates for telemetry.
+func (s *Simulator) SetTelemetry(k *telemetry.Kernel) { s.tel = k }
 
 // Budget is a runaway-loop guard: it bounds how much work a simulation run
 // may do before Step refuses to execute further events. A pathological
@@ -151,9 +163,15 @@ func (s *Simulator) AtFire(t time.Duration, h Handler) {
 	ev := s.free
 	if ev == nil {
 		ev = &Timer{s: s}
+		if s.tel != nil {
+			s.tel.PoolMisses++
+		}
 	} else {
 		s.free = ev.freeNext
 		ev.freeNext = nil
+		if s.tel != nil {
+			s.tel.PoolHits++
+		}
 	}
 	ev.at = t
 	ev.h = h
@@ -168,6 +186,12 @@ func (s *Simulator) push(ev *Timer) {
 	s.seq++
 	s.live++
 	heap.Push(&s.events, ev)
+	if s.tel != nil {
+		s.tel.Scheduled++
+		if d := int64(len(s.events)); d > s.tel.MaxHeapDepth {
+			s.tel.MaxHeapDepth = d
+		}
+	}
 }
 
 // recycle returns a pooled fire-and-forget event to the free list.
@@ -200,6 +224,9 @@ func (s *Simulator) Step() bool {
 	s.now = ev.at
 	s.live--
 	s.executed++
+	if s.tel != nil {
+		s.tel.Events++
+	}
 	ev.fired = true
 	if h := ev.h; h != nil {
 		// Fire-and-forget event: recycle before invoking so the handler
@@ -294,6 +321,9 @@ func (s *Simulator) maybeCompact() {
 	if len(s.events) < compactMinHeap || len(s.events)-s.live <= s.live {
 		return
 	}
+	if s.tel != nil {
+		s.tel.Compactions++
+	}
 	kept := s.events[:0]
 	for _, ev := range s.events {
 		if ev.cancelled {
@@ -340,6 +370,9 @@ func (t *Timer) Stop() bool {
 	}
 	t.cancelled = true
 	t.s.live--
+	if t.s.tel != nil {
+		t.s.tel.TimerStops++
+	}
 	t.s.maybeCompact()
 	return true
 }
@@ -363,6 +396,9 @@ func (t *Timer) Reschedule(delay time.Duration) {
 	t.at = s.now + delay
 	t.seq = s.seq
 	s.seq++
+	if s.tel != nil {
+		s.tel.TimerReschedules++
+	}
 	switch {
 	case t.index >= 0 && !t.cancelled:
 		// Active and queued: move the existing entry.

@@ -32,6 +32,34 @@ func (r *Running) Add(x float64) {
 	r.m2 += delta * (x - r.mean)
 }
 
+// Merge folds other into r, as if every sample added to other had been
+// added to r directly (the Chan et al. parallel combine of Welford
+// accumulators). Mean and variance are preserved up to floating-point
+// rounding, so merge order must be fixed when bit-identical aggregates
+// matter. Merging an empty accumulator is a no-op; merging into an empty
+// accumulator copies.
+func (r *Running) Merge(other *Running) {
+	if other.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = *other
+		return
+	}
+	n := r.n + other.n
+	delta := other.mean - r.mean
+	r.mean += delta * float64(other.n) / float64(n)
+	r.m2 += other.m2 + delta*delta*float64(r.n)*float64(other.n)/float64(n)
+	r.n = n
+	r.sum += other.sum
+	if other.min < r.min {
+		r.min = other.min
+	}
+	if other.max > r.max {
+		r.max = other.max
+	}
+}
+
 // N returns the number of samples added.
 func (r *Running) N() int { return r.n }
 

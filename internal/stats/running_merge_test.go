@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunningMergeMatchesDirectAdds(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, -5, 9, 2.5, 6, -5.3, 5}
+	for split := 0; split <= len(xs); split++ {
+		var a, b, direct Running
+		for i, x := range xs {
+			if i < split {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+			direct.Add(x)
+		}
+		a.Merge(&b)
+		if a.N() != direct.N() {
+			t.Fatalf("split %d: N = %d, want %d", split, a.N(), direct.N())
+		}
+		if math.Abs(a.Mean()-direct.Mean()) > 1e-12 {
+			t.Errorf("split %d: mean = %v, want %v", split, a.Mean(), direct.Mean())
+		}
+		if math.Abs(a.Variance()-direct.Variance()) > 1e-10 {
+			t.Errorf("split %d: variance = %v, want %v", split, a.Variance(), direct.Variance())
+		}
+		if a.Min() != direct.Min() || a.Max() != direct.Max() {
+			t.Errorf("split %d: min/max = %v/%v, want %v/%v",
+				split, a.Min(), a.Max(), direct.Min(), direct.Max())
+		}
+		if math.Abs(a.Sum()-direct.Sum()) > 1e-12 {
+			t.Errorf("split %d: sum = %v, want %v", split, a.Sum(), direct.Sum())
+		}
+	}
+}
+
+func TestRunningMergeEmptyCases(t *testing.T) {
+	// empty <- empty stays empty.
+	var a, b Running
+	a.Merge(&b)
+	if a.N() != 0 || !math.IsNaN(a.Mean()) {
+		t.Fatalf("empty merge produced samples: n=%d mean=%v", a.N(), a.Mean())
+	}
+
+	// non-empty <- empty is a no-op.
+	a.Add(2)
+	a.Add(4)
+	before := a
+	a.Merge(&b)
+	if a != before {
+		t.Errorf("merging an empty accumulator changed the receiver: %+v -> %+v", before, a)
+	}
+
+	// empty <- non-empty copies.
+	var c Running
+	c.Merge(&a)
+	if c.N() != 2 || c.Mean() != 3 || c.Min() != 2 || c.Max() != 4 {
+		t.Errorf("copy merge = %+v", c)
+	}
+}
+
+func TestRunningMergeSingleSamples(t *testing.T) {
+	// Two single-sample accumulators: variance must transition NaN -> defined.
+	var a, b Running
+	a.Add(1)
+	b.Add(5)
+	if !math.IsNaN(a.Variance()) {
+		t.Fatalf("single-sample variance = %v, want NaN", a.Variance())
+	}
+	a.Merge(&b)
+	if a.N() != 2 || a.Mean() != 3 {
+		t.Fatalf("merged = n=%d mean=%v", a.N(), a.Mean())
+	}
+	if got, want := a.Variance(), 8.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("merged variance = %v, want %v", got, want)
+	}
+}
+
+func TestRunningNaNSamples(t *testing.T) {
+	// NaN samples poison mean/variance (as with direct adds) but must not
+	// corrupt the count, and merging propagates the poisoning deterministically.
+	var a Running
+	a.Add(1)
+	a.Add(math.NaN())
+	if a.N() != 2 {
+		t.Fatalf("N = %d, want 2", a.N())
+	}
+	if !math.IsNaN(a.Mean()) {
+		t.Errorf("mean after NaN sample = %v, want NaN", a.Mean())
+	}
+	var b Running
+	b.Add(7)
+	b.Merge(&a)
+	if b.N() != 3 {
+		t.Errorf("merged N = %d, want 3", b.N())
+	}
+	if !math.IsNaN(b.Mean()) || !math.IsNaN(b.Variance()) {
+		t.Errorf("NaN did not propagate through merge: mean=%v var=%v", b.Mean(), b.Variance())
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/netem"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -51,6 +52,11 @@ type Conn struct {
 	path      *netem.Path
 	cfg       Config
 	rec       trace.Recorder
+
+	// tel is the optional per-flow telemetry sink; nil (the default) keeps
+	// every instrumented path at a single predictable branch with zero
+	// allocations and no behavioural change.
+	tel *telemetry.TCP
 
 	start       time.Duration
 	deadline    time.Duration
@@ -224,6 +230,41 @@ func (c *Conn) Stats() Stats {
 	return st
 }
 
+// SetTelemetry attaches a per-flow TCP telemetry sink (nil detaches).
+// Counters the endpoint already tracks in Stats are copied into the sink by
+// FlushTelemetry at the end of the flow; only quantities Stats cannot
+// express (cwnd samples, recovery-phase timing, recovery retransmission
+// loss, RTO backoff histogram) are instrumented live — each behind one nil
+// check, allocation-free.
+func (c *Conn) SetTelemetry(t *telemetry.TCP) { c.tel = t }
+
+// FlushTelemetry finalizes the attached telemetry sink at the end of a
+// flow: an open timeout-recovery phase is closed at the current virtual
+// time and the endpoint counters are folded in. Call it once, after the
+// simulation has run; it is a no-op without a sink.
+func (c *Conn) FlushTelemetry() {
+	if c.tel == nil {
+		return
+	}
+	if c.snd.inTimeoutRecovery {
+		c.tel.RecoveryNS += int64(c.snd.now() - c.snd.recoveryStart)
+		c.snd.recoveryStart = c.snd.now()
+	}
+	st := c.Stats()
+	c.tel.Flows++
+	c.tel.DataSent += st.DataSent
+	c.tel.Retransmissions += st.Retransmissions
+	c.tel.DataDropped += st.DataDropped
+	c.tel.UniqueDelivered += st.UniqueDelivered
+	c.tel.DupDelivered += st.DupDelivered
+	c.tel.AcksSent += st.AcksSent
+	c.tel.AcksReceived += st.AcksReceived
+	c.tel.AcksDropped += st.AcksDropped
+	c.tel.Timeouts += st.Timeouts
+	c.tel.FastRetransmits += st.FastRetransmits
+	c.tel.SpuriousRecoveries += st.SpuriousRecoveries
+}
+
 // Cwnd returns the sender's current congestion window in packets.
 func (c *Conn) Cwnd() float64 { return c.snd.cwnd }
 
@@ -284,6 +325,9 @@ type sender struct {
 	recoverPoint      int64
 	inTimeoutRecovery bool
 	backoff           int
+	// recoveryStart is the virtual time the current timeout-recovery phase
+	// began; only meaningful while inTimeoutRecovery and telemetry is on.
+	recoveryStart time.Duration
 
 	rto      *rtoEstimator
 	rtoTimer *sim.Timer
@@ -358,6 +402,12 @@ func (s *sender) transmit(seq int64) {
 	size := s.c.cfg.MSS + s.c.cfg.HeaderBytes
 	ev := s.c.getDataEvent(seq, txNo)
 	ok, _ := s.c.path.Forward.Send(size, ev)
+	if s.c.tel != nil && s.inTimeoutRecovery && txNo > 1 {
+		s.c.tel.RecoveryRetransmits++
+		if !ok {
+			s.c.tel.RecoveryRetxDrops++
+		}
+	}
 	if !ok {
 		s.c.putDataEvent(ev)
 		s.stats.DataDropped++
@@ -398,6 +448,12 @@ func (s *sender) armTimer() {
 // transmission reached the receiver.
 func (s *sender) onAck(ackNo int64, trigTxNo int, dsack bool) {
 	s.stats.AcksReceived++
+	if s.c.tel != nil {
+		// Per-ACK cwnd sampling: the window evolution the paper's Fig 3/4
+		// plots, summarized as a running distribution plus a coarse histogram.
+		s.c.tel.Cwnd.Add(s.cwnd)
+		s.c.tel.CwndHist.Add(s.cwnd)
+	}
 	s.c.rec.Record(trace.Event{
 		At: s.now(), Type: trace.EvAckRecv, Seq: -1, Ack: ackNo, Cwnd: s.cwnd,
 	})
@@ -440,6 +496,9 @@ func (s *sender) onNewAck(ackNo int64) {
 		// Leaving the timeout recovery phase: the paper's "recovered"
 		// boundary, after which the sender slow-starts.
 		s.inTimeoutRecovery = false
+		if s.c.tel != nil {
+			s.c.tel.RecoveryNS += int64(s.now() - s.recoveryStart)
+		}
 		s.c.rec.Record(trace.Event{
 			At: s.now(), Type: trace.EvRecovered, Seq: -1, Ack: ackNo, Cwnd: s.cwnd,
 		})
@@ -553,6 +612,13 @@ func (s *sender) onRTO() {
 		s.preTO = preTimeoutState{
 			cwnd: s.cwnd, ssthresh: s.ssthresh, sndNxt: s.sndNxt, valid: true,
 		}
+		if s.c.tel != nil {
+			s.c.tel.RecoveryPhases++
+			s.recoveryStart = s.now()
+		}
+	}
+	if s.c.tel != nil {
+		s.c.tel.BackoffHist.Add(float64(s.backoff))
 	}
 	s.inTimeoutRecovery = true
 	s.fastRecovery = false

@@ -1,0 +1,72 @@
+package telemetry
+
+// Hist is a fixed-bound histogram: Counts[i] counts samples x <= Bounds[i]
+// (for the smallest such i) and the final bucket counts overflow beyond the
+// last bound. All storage is allocated once at construction, so Add is
+// allocation-free and safe on hot paths.
+type Hist struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"` // len(Bounds)+1; last bucket is overflow
+}
+
+// NewHist builds a histogram over the given ascending upper bounds. It
+// panics on no bounds or non-ascending bounds: histogram shapes are static
+// program facts, not runtime inputs.
+func NewHist(bounds ...float64) Hist {
+	if len(bounds) == 0 {
+		panic("telemetry: NewHist requires at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: NewHist bounds must be strictly ascending")
+		}
+	}
+	return Hist{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Add buckets one sample. A zero-value Hist (no bounds) silently discards
+// samples, preserving the nil-sink discipline of the package.
+func (h *Hist) Add(x float64) {
+	if len(h.Counts) == 0 {
+		return
+	}
+	for i, b := range h.Bounds {
+		if x <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Counts)-1]++
+}
+
+// Total returns the number of samples bucketed.
+func (h *Hist) Total() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Merge folds other into h. An empty receiver adopts the other's shape; an
+// empty other is a no-op. Merging two non-empty histograms with different
+// shapes panics — that is a programming error, not a data condition.
+func (h *Hist) Merge(other *Hist) {
+	if len(other.Counts) == 0 {
+		return
+	}
+	if len(h.Counts) == 0 {
+		h.Bounds = append([]float64(nil), other.Bounds...)
+		h.Counts = append([]int64(nil), other.Counts...)
+		return
+	}
+	if len(h.Counts) != len(other.Counts) {
+		panic("telemetry: Hist.Merge with mismatched bucket shapes")
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+}

@@ -1,0 +1,327 @@
+// Package telemetry is the simulator's observability layer: allocation-
+// conscious metrics (counters, streaming distributions, fixed-bound
+// histograms), a bounded flight recorder of per-flow state transitions, and
+// typed JSON reports.
+//
+// The layer is compiled in everywhere but costs ~nothing when disabled.
+// Instrumented components (the sim kernel, tcp.Conn, the netem links, the
+// fault injectors) hold a nil telemetry pointer by default and guard every
+// update with a single predictable nil check — the hot paths allocate
+// nothing and the campaign output is byte-identical whether or not the
+// check compiles in a telemetry sink. When a sink is attached, updates are
+// plain integer field increments into caller-owned structs: still zero
+// allocations per event.
+//
+// Aggregation is deterministic by construction: every per-flow Flow bundle
+// is produced by a single-threaded simulation, and Campaign.AddFlow merges
+// flows in campaign order after the parallel phase has completed, so the
+// counter sections of a report are bit-identical across any -jobs setting.
+// Wall-clock fields (Flow.WallNS, Campaign.WallNS) are the one documented
+// exception: they measure host resources, not simulated behaviour.
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Dist is a streaming distribution summary (count, mean, standard
+// deviation, min, max) with deterministic JSON marshalling. The zero value
+// is an empty distribution ready for use; Add is allocation-free.
+type Dist struct {
+	r stats.Running
+}
+
+// Add folds one sample into the distribution.
+func (d *Dist) Add(x float64) { d.r.Add(x) }
+
+// Merge folds other into d (Chan et al. parallel combine, via
+// stats.Running.Merge). Merge order must be fixed for bit-identical
+// results; campaign aggregation merges in flow order.
+func (d *Dist) Merge(other *Dist) { d.r.Merge(&other.r) }
+
+// N returns the number of samples added.
+func (d *Dist) N() int { return d.r.N() }
+
+// Mean returns the sample mean, or NaN when empty.
+func (d *Dist) Mean() float64 { return d.r.Mean() }
+
+// Max returns the largest sample, or NaN when empty.
+func (d *Dist) Max() float64 { return d.r.Max() }
+
+// MarshalJSON emits {"n":0} for an empty distribution and a flat summary
+// object otherwise. NaN never leaks into the JSON: the standard deviation
+// of fewer than two samples is reported as 0.
+func (d Dist) MarshalJSON() ([]byte, error) {
+	if d.r.N() == 0 {
+		return []byte(`{"n":0}`), nil
+	}
+	std := d.r.StdDev()
+	if d.r.N() < 2 {
+		std = 0
+	}
+	return json.Marshal(struct {
+		N    int     `json:"n"`
+		Mean float64 `json:"mean"`
+		Std  float64 `json:"std"`
+		Min  float64 `json:"min"`
+		Max  float64 `json:"max"`
+	}{d.r.N(), d.r.Mean(), std, d.r.Min(), d.r.Max()})
+}
+
+// Kernel collects event-kernel metrics for one simulation (or, after
+// merging, a whole campaign). Events counts executed events; Scheduled
+// counts heap insertions including Reschedule re-arms; PoolHits/PoolMisses
+// track the fire-and-forget event free list; MaxHeapDepth is the peak raw
+// heap size including lazily-deleted entries.
+type Kernel struct {
+	Events           int64 `json:"events"`
+	Scheduled        int64 `json:"scheduled"`
+	PoolHits         int64 `json:"pool_hits"`
+	PoolMisses       int64 `json:"pool_misses"`
+	MaxHeapDepth     int64 `json:"max_heap_depth"`
+	Compactions      int64 `json:"compactions"`
+	TimerStops       int64 `json:"timer_stops"`
+	TimerReschedules int64 `json:"timer_reschedules"`
+	// VirtualNS is the total virtual time simulated, in nanoseconds.
+	VirtualNS int64 `json:"virtual_ns"`
+	// BudgetEvents is the sum of configured kernel event budgets
+	// (0 = unlimited); BudgetHeadroom derives from it.
+	BudgetEvents int64 `json:"budget_events"`
+}
+
+// PoolHitRate returns the fraction of fire-and-forget schedules served from
+// the free list, or 0 when none were scheduled.
+func (k *Kernel) PoolHitRate() float64 {
+	total := k.PoolHits + k.PoolMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(k.PoolHits) / float64(total)
+}
+
+// BudgetHeadroom returns the unused fraction of the event budget
+// (1 = untouched, 0 = exhausted), or 1 when no budget was configured.
+func (k *Kernel) BudgetHeadroom() float64 {
+	if k.BudgetEvents <= 0 {
+		return 1
+	}
+	h := 1 - float64(k.Events)/float64(k.BudgetEvents)
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// Merge folds other into k: counters sum, MaxHeapDepth takes the maximum.
+func (k *Kernel) Merge(other *Kernel) {
+	k.Events += other.Events
+	k.Scheduled += other.Scheduled
+	k.PoolHits += other.PoolHits
+	k.PoolMisses += other.PoolMisses
+	if other.MaxHeapDepth > k.MaxHeapDepth {
+		k.MaxHeapDepth = other.MaxHeapDepth
+	}
+	k.Compactions += other.Compactions
+	k.TimerStops += other.TimerStops
+	k.TimerReschedules += other.TimerReschedules
+	k.VirtualNS += other.VirtualNS
+	k.BudgetEvents += other.BudgetEvents
+}
+
+// MarshalJSON adds the derived pool_hit_rate and budget_headroom fields to
+// the raw counters; both derive from deterministic integers, so the JSON is
+// reproducible.
+func (k Kernel) MarshalJSON() ([]byte, error) {
+	type raw Kernel // shed the method to avoid recursion
+	return json.Marshal(struct {
+		raw
+		PoolHitRate    float64 `json:"pool_hit_rate"`
+		BudgetHeadroom float64 `json:"budget_headroom"`
+	}{raw(k), k.PoolHitRate(), k.BudgetHeadroom()})
+}
+
+// TCP collects per-flow endpoint metrics mirroring the paper's measured
+// quantities: the recovery-phase retransmission loss of Fig 3
+// (RecoveryRetxDrops / RecoveryRetransmits), the timeout counters of Fig 4,
+// and the ACK-loss quantities of Fig 6 (AcksSent / AcksDropped).
+type TCP struct {
+	Flows              int64 `json:"flows"`
+	DataSent           int64 `json:"data_sent"`
+	Retransmissions    int64 `json:"retransmissions"`
+	DataDropped        int64 `json:"data_dropped"`
+	UniqueDelivered    int64 `json:"unique_delivered"`
+	DupDelivered       int64 `json:"dup_delivered"`
+	AcksSent           int64 `json:"acks_sent"`
+	AcksReceived       int64 `json:"acks_received"`
+	AcksDropped        int64 `json:"acks_dropped"`
+	Timeouts           int64 `json:"timeouts"` // individual RTO expirations
+	FastRetransmits    int64 `json:"fast_retransmits"`
+	SpuriousRecoveries int64 `json:"spurious_recoveries"` // Eifel undo events
+	// RecoveryPhases counts entries into timeout recovery (the paper's
+	// timeout sequences); RecoveryNS is the total virtual time spent inside.
+	RecoveryPhases int64 `json:"recovery_phases"`
+	RecoveryNS     int64 `json:"recovery_ns"`
+	// RecoveryRetransmits / RecoveryRetxDrops are the Fig 3 q domain: data
+	// transmissions sent inside timeout recovery and how many of them the
+	// channel dropped.
+	RecoveryRetransmits int64 `json:"recovery_retransmits"`
+	RecoveryRetxDrops   int64 `json:"recovery_retx_drops"`
+
+	// Cwnd summarizes the congestion window sampled at every processed ACK;
+	// CwndHist buckets the same samples; BackoffHist buckets the backoff
+	// exponent observed at each RTO expiration.
+	Cwnd        Dist `json:"cwnd"`
+	CwndHist    Hist `json:"cwnd_hist"`
+	BackoffHist Hist `json:"backoff_hist"`
+}
+
+// NewTCP returns a TCP metrics block with the standard cwnd and backoff
+// histogram bounds installed.
+func NewTCP() *TCP {
+	return &TCP{
+		CwndHist:    NewHist(1, 2, 4, 8, 16, 32, 64, 128),
+		BackoffHist: NewHist(0, 1, 2, 3, 4, 5, 6),
+	}
+}
+
+// Merge folds other into t.
+func (t *TCP) Merge(other *TCP) {
+	t.Flows += other.Flows
+	t.DataSent += other.DataSent
+	t.Retransmissions += other.Retransmissions
+	t.DataDropped += other.DataDropped
+	t.UniqueDelivered += other.UniqueDelivered
+	t.DupDelivered += other.DupDelivered
+	t.AcksSent += other.AcksSent
+	t.AcksReceived += other.AcksReceived
+	t.AcksDropped += other.AcksDropped
+	t.Timeouts += other.Timeouts
+	t.FastRetransmits += other.FastRetransmits
+	t.SpuriousRecoveries += other.SpuriousRecoveries
+	t.RecoveryPhases += other.RecoveryPhases
+	t.RecoveryNS += other.RecoveryNS
+	t.RecoveryRetransmits += other.RecoveryRetransmits
+	t.RecoveryRetxDrops += other.RecoveryRetxDrops
+	t.Cwnd.Merge(&other.Cwnd)
+	t.CwndHist.Merge(&other.CwndHist)
+	t.BackoffHist.Merge(&other.BackoffHist)
+}
+
+// LinkCounters is the telemetry view of one link direction, harvested from
+// netem.LinkStats at the end of a flow (zero per-packet overhead).
+type LinkCounters struct {
+	Offered      int64 `json:"offered"`
+	Delivered    int64 `json:"delivered"`
+	ChannelDrops int64 `json:"channel_drops"`
+	QueueDrops   int64 `json:"queue_drops"`
+	PeakBacklog  int64 `json:"peak_backlog"` // peak queued packets (max-merged)
+}
+
+// Merge folds other into c.
+func (c *LinkCounters) Merge(other *LinkCounters) {
+	c.Offered += other.Offered
+	c.Delivered += other.Delivered
+	c.ChannelDrops += other.ChannelDrops
+	c.QueueDrops += other.QueueDrops
+	if other.PeakBacklog > c.PeakBacklog {
+		c.PeakBacklog = other.PeakBacklog
+	}
+}
+
+// Net groups link telemetry by direction: Data is the downlink (data
+// segments), Ack the uplink (cumulative ACKs).
+type Net struct {
+	Data LinkCounters `json:"data"`
+	Ack  LinkCounters `json:"ack"`
+}
+
+// Merge folds other into n.
+func (n *Net) Merge(other *Net) {
+	n.Data.Merge(&other.Data)
+	n.Ack.Merge(&other.Ack)
+}
+
+// Faults counts fault-schedule activity: how many flows carried a
+// non-empty schedule, how many scripted episodes overlapped their windows,
+// how many storm outages were injected, and how many packets the injected
+// faults (as opposed to the underlying channel) dropped per direction.
+type Faults struct {
+	Schedules    int64 `json:"schedules"`
+	Episodes     int64 `json:"episodes"`
+	StormOutages int64 `json:"storm_outages"`
+	DataDrops    int64 `json:"data_drops"`
+	AckDrops     int64 `json:"ack_drops"`
+}
+
+// Merge folds other into f.
+func (f *Faults) Merge(other *Faults) {
+	f.Schedules += other.Schedules
+	f.Episodes += other.Episodes
+	f.StormOutages += other.StormOutages
+	f.DataDrops += other.DataDrops
+	f.AckDrops += other.AckDrops
+}
+
+// Flow is the complete telemetry bundle of one simulated flow. Attach one
+// to a dataset.Scenario to collect it; every section except WallNS is
+// deterministic for a given seed.
+type Flow struct {
+	Kernel Kernel `json:"kernel"`
+	TCP    TCP    `json:"tcp"`
+	Net    Net    `json:"net"`
+	Faults Faults `json:"faults"`
+	// WallNS is host wall-clock time spent simulating the flow. It is a
+	// resource metric and NOT reproducible across runs or -jobs settings.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// NewFlow returns a Flow bundle with histogram bounds installed.
+func NewFlow() *Flow {
+	f := &Flow{}
+	f.TCP = *NewTCP()
+	return f
+}
+
+// Campaign aggregates Flow bundles into campaign totals. AddFlow is safe
+// for concurrent use, but bit-identical float aggregates (the Dist merges)
+// additionally require a fixed merge order — dataset.RunCampaign merges in
+// flow order after its parallel phase, which both hsr and stationary
+// campaigns go through, so reports are reproducible at any parallelism.
+type Campaign struct {
+	mu sync.Mutex
+
+	FlowCount int64  `json:"flows"`
+	Kernel    Kernel `json:"kernel"`
+	TCP       TCP    `json:"tcp"`
+	Net       Net    `json:"net"`
+	Faults    Faults `json:"faults"`
+	// WallNS sums per-flow host wall time (resource metric, not
+	// reproducible; flows running in parallel each contribute fully).
+	WallNS int64 `json:"wall_ns"`
+}
+
+// NewCampaign returns an empty campaign collector.
+func NewCampaign() *Campaign { return &Campaign{} }
+
+// AddFlow merges one flow's telemetry into the campaign totals.
+func (c *Campaign) AddFlow(f *Flow) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.FlowCount++
+	c.Kernel.Merge(&f.Kernel)
+	c.TCP.Merge(&f.TCP)
+	c.Net.Merge(&f.Net)
+	c.Faults.Merge(&f.Faults)
+	c.WallNS += f.WallNS
+}
+
+// Counters returns a copy of the deterministic counter sections (everything
+// except the wall-clock resource fields), for reproducibility checks.
+func (c *Campaign) Counters() (int64, Kernel, TCP, Net, Faults) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.FlowCount, c.Kernel, c.TCP, c.Net, c.Faults
+}
