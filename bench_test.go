@@ -406,6 +406,111 @@ func BenchmarkCancelHeavy(b *testing.B) {
 	s.Run()
 }
 
+// BenchmarkRunFlowStreaming measures one full 30-second HSR flow reduced
+// straight to metrics through the pooled streaming analyzer — the same flow
+// BenchmarkTCPFlowSimulation materializes as a trace, so the pair quantifies
+// what skipping trace materialization saves (docs/PERFORMANCE.md cites both).
+func BenchmarkRunFlowStreaming(b *testing.B) {
+	trip, err := railway.NewTrip(railway.BeijingTianjin, railway.DefaultProfile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start, _ := trip.CruiseWindow()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := dataset.Scenario{
+			ID: "bench", Operator: cellular.ChinaMobileLTE, Trip: trip,
+			TripOffset: start, FlowDuration: 30 * time.Second,
+			Seed: int64(i), TCP: tcp.DefaultConfig(), Scenario: "hsr",
+		}
+		if _, _, err := dataset.RunFlowMetrics(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunFlowMaterialized is the legacy pipeline over the same flow as
+// BenchmarkRunFlowStreaming: materialize the full event trace, then run the
+// batch analyzer. Compare the two to see the streaming win.
+func BenchmarkRunFlowMaterialized(b *testing.B) {
+	trip, err := railway.NewTrip(railway.BeijingTianjin, railway.DefaultProfile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start, _ := trip.CruiseWindow()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := dataset.Scenario{
+			ID: "bench", Operator: cellular.ChinaMobileLTE, Trip: trip,
+			TripOffset: start, FlowDuration: 30 * time.Second,
+			Seed: int64(i), TCP: tcp.DefaultConfig(), Scenario: "hsr",
+		}
+		ft, _, err := dataset.RunFlow(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := analysis.Analyze(ft); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCampaign is the small campaign the cache benchmarks run: big enough
+// to amortize fixed costs, small enough to keep the cold iterations sane.
+func benchCampaign(cache *dataset.FlowCache) dataset.CampaignConfig {
+	return dataset.CampaignConfig{
+		Seed: 1, FlowDuration: 15 * time.Second, FlowsPerRow: 2,
+		Parallelism: 1, Cache: cache,
+	}
+}
+
+// BenchmarkCampaignColdCache runs a small campaign against an empty cache
+// every iteration: full simulation plus entry write-back.
+func BenchmarkCampaignColdCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		cache, err := dataset.OpenFlowCacheVersion(dir, "bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := dataset.RunCampaign(benchCampaign(cache)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignWarmCache runs the same campaign as
+// BenchmarkCampaignColdCache against a pre-populated cache, so every flow is
+// a hit and no simulation runs. The ratio of the two is the warm-cache
+// speedup docs/PERFORMANCE.md quotes.
+func BenchmarkCampaignWarmCache(b *testing.B) {
+	dir := b.TempDir()
+	cache, err := dataset.OpenFlowCacheVersion(dir, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := dataset.RunCampaign(benchCampaign(cache)); err != nil {
+		b.Fatal(err)
+	}
+	if c := cache.Counters(); c.Hits != 0 || c.Misses == 0 {
+		b.Fatalf("warm-up campaign: %+v, want all misses", c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.RunCampaign(benchCampaign(cache)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if c := cache.Counters(); c.Errors > 0 {
+		b.Fatalf("cache errors after warm runs: %+v", c)
+	}
+}
+
 // BenchmarkTCPFlowSimulation measures one full 30-second HSR flow.
 func BenchmarkTCPFlowSimulation(b *testing.B) {
 	trip, err := railway.NewTrip(railway.BeijingTianjin, railway.DefaultProfile)

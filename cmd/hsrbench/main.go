@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/export"
 	"repro/internal/telemetry"
@@ -63,6 +64,8 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "also write figure series as CSV files into this directory")
 	reportPath := fs.String("report", "", "write a markdown reproduction report to this file (runs the full suite)")
 	progress := fs.Bool("progress", false, "print flow and experiment completion progress to stderr")
+	cacheDir := fs.String("cache", "", "flow result cache directory: serve (scenario, seed, version)-keyed flow metrics from disk instead of re-simulating, and store every simulated flow")
+	materialize := fs.Bool("materialize", false, "force the legacy materialize-then-analyze flow pipeline (cross-check mode; output must be byte-identical to the streaming default)")
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry report (kernel/TCP/link/fault counters, per-task resources) to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file (taken at exit, after a GC)")
@@ -120,6 +123,16 @@ func run(args []string) error {
 		camp = telemetry.NewCampaign()
 		cfg.Telemetry = camp
 	}
+	var cache *dataset.FlowCache
+	if *cacheDir != "" {
+		var err error
+		cache, err = dataset.OpenFlowCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		cfg.Cache = cache
+	}
+	cfg.Materialize = *materialize
 	if *progress {
 		// Flow-level progress from the campaign workers: one line every ten
 		// flows (and the last), mutex-guarded because workers run in parallel.
@@ -441,8 +454,13 @@ func run(args []string) error {
 			}
 		}
 	}
+	if cache != nil {
+		cc := cache.Counters()
+		fmt.Fprintf(os.Stderr, "hsrbench: cache: %d hits, %d misses, %d errors, %d B read, %d B written\n",
+			cc.Hits, cc.Misses, cc.Errors, cc.BytesRead, cc.BytesWritten)
+	}
 	if *metricsPath != "" {
-		if err := writeMetrics(*metricsPath, cfg.Seed, camp, results, wallStart); err != nil {
+		if err := writeMetrics(*metricsPath, cfg.Seed, camp, cache, results, wallStart); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsPath)
@@ -462,11 +480,15 @@ func run(args []string) error {
 // writeMetrics assembles and writes the -metrics JSON report: campaign
 // counter totals (deterministic for a seed at any -jobs), per-task outcomes
 // and process resource usage.
-func writeMetrics(path string, seed int64, camp *telemetry.Campaign, results []experiments.TaskResult, wallStart time.Time) error {
+func writeMetrics(path string, seed int64, camp *telemetry.Campaign, cache *dataset.FlowCache, results []experiments.TaskResult, wallStart time.Time) error {
 	rep := &telemetry.Report{
 		Tool:    "hsrbench",
 		Version: buildinfo.Version(),
 		Seed:    seed,
+	}
+	if cache != nil {
+		cc := cache.Counters()
+		rep.Cache = &cc
 	}
 	// Only attach the campaign section when campaign flows actually ran
 	// (e.g. -run fig1 alone never touches the shared campaigns).

@@ -127,15 +127,11 @@ func Analyze(ft *trace.FlowTrace) (*FlowMetrics, error) {
 		}
 	}
 
-	// pend is the unacked-first-transmission queue. First transmissions
-	// carry strictly increasing sequence numbers, and cumulative ACKs evict
-	// from the front, so a slice with a head index replaces the former
-	// map — the per-ACK eviction scan over the whole map dominated Analyze.
-	type sendRec struct {
-		seq     int64
-		at      time.Duration
-		tainted bool // segment was retransmitted (Karn: no RTT sample)
-	}
+	// pend is the unacked-first-transmission queue (sendRec is shared with
+	// the streaming analyzer). First transmissions carry strictly increasing
+	// sequence numbers, and cumulative ACKs evict from the front, so a slice
+	// with a head index replaces the former map — the per-ACK eviction scan
+	// over the whole map dominated Analyze.
 	var (
 		cwndSum      float64
 		rttSum       time.Duration
@@ -358,19 +354,60 @@ func Summarize(ms []*FlowMetrics) Summary {
 	return s
 }
 
-// growNeg extends s so index i is valid, filling new slots with -1
-// ("never seen"). Sequence numbers are dense, so a slice beats a map here.
-func growNeg(s []time.Duration, i int64) []time.Duration {
-	for int64(len(s)) <= i {
-		s = append(s, -1)
+// seqTableSlackCap bounds the extra capacity the per-sequence tables reserve
+// beyond the highest index demanded so far. Doubling keeps growth amortized
+// O(1) for the dense sequence spaces real flows produce, while the cap keeps
+// a sparse, high-sequence trace (a hostile input or a long-idle flow) from
+// reserving twice the high-water mark in one jump. Shared by the batch
+// analyzer and the streaming analyzer so both grow identically.
+const seqTableSlackCap = 1 << 16
+
+// seqTableCap picks the new capacity for a per-sequence table that must hold
+// need entries: geometric (doubling) growth, slack-capped.
+func seqTableCap(oldCap, need int) int {
+	newCap := 2 * oldCap
+	if newCap < need {
+		newCap = need
 	}
-	return s
+	if newCap > need+seqTableSlackCap {
+		newCap = need + seqTableSlackCap
+	}
+	return newCap
 }
 
-// growBool extends s so index i is valid.
-func growBool(s []bool, i int64) []bool {
-	for int64(len(s)) <= i {
-		s = append(s, false)
+// growNeg extends s so index i is valid, filling new slots with -1
+// ("never seen"). Sequence numbers are dense, so a slice beats a map here;
+// growth is geometric (one allocation per doubling) instead of per-index
+// appends, so a sparse high-sequence trace costs one capped allocation
+// rather than a reallocation cascade.
+func growNeg(s []time.Duration, i int64) []time.Duration {
+	need := int(i) + 1
+	if need <= len(s) {
+		return s
 	}
-	return s
+	if need > cap(s) {
+		ns := make([]time.Duration, len(s), seqTableCap(cap(s), need))
+		copy(ns, s)
+		s = ns
+	}
+	tail := s[len(s):need]
+	for j := range tail {
+		tail[j] = -1
+	}
+	return s[:need]
+}
+
+// growBool extends s so index i is valid (new slots false), with the same
+// capped geometric growth as growNeg.
+func growBool(s []bool, i int64) []bool {
+	need := int(i) + 1
+	if need <= len(s) {
+		return s
+	}
+	if need > cap(s) {
+		ns := make([]bool, len(s), seqTableCap(cap(s), need))
+		copy(ns, s)
+		s = ns
+	}
+	return s[:need]
 }

@@ -1,0 +1,251 @@
+package dataset
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/buildinfo"
+	"repro/internal/cellular"
+	"repro/internal/faults"
+	"repro/internal/railway"
+	"repro/internal/tcp"
+	"repro/internal/telemetry"
+)
+
+// cacheSchema names the on-disk entry layout. It participates in the
+// content-addressed key, so bumping it orphans (never corrupts) every entry
+// written under the previous layout.
+const cacheSchema = 1
+
+// entryMagic is the first token of every cache entry file.
+const entryMagic = "hsrflowcache"
+
+// FlowCache is a content-addressed, on-disk store of per-flow results: the
+// key is a stable hash of everything that determines a flow's outcome (the
+// full scenario configuration, the seed, and the model-relevant code
+// version), the value its FlowMetrics and endpoint Stats. Campaigns and
+// sweeps consult it before simulating, so repeated and overlapping runs
+// skip simulation entirely on a hit — and because the simulation is
+// deterministic for a key, a hit is byte-equivalent to re-running it.
+//
+// Entries are written atomically (temp file + rename) and carry a SHA-256
+// checksum of their payload; a truncated, corrupted or stale-schema entry is
+// detected on read, counted in Errors, deleted best-effort, and treated as a
+// miss — the flow simply simulates again and rewrites the entry. All methods
+// are safe for concurrent use by campaign workers.
+type FlowCache struct {
+	dir     string
+	version string
+
+	hits         atomic.Int64
+	misses       atomic.Int64
+	errors       atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+}
+
+// OpenFlowCache opens (creating if needed) a flow result cache rooted at
+// dir, keyed with the current build's version (buildinfo.Version): a new
+// model-relevant code version makes every old entry unreachable. Note that
+// builds without VCS stamping report "devel" — when iterating on model code
+// with such builds, point -cache at a fresh directory.
+func OpenFlowCache(dir string) (*FlowCache, error) {
+	return OpenFlowCacheVersion(dir, buildinfo.Version())
+}
+
+// OpenFlowCacheVersion is OpenFlowCache with an explicit version string in
+// the key, for tests and for callers that version the model themselves.
+func OpenFlowCacheVersion(dir, version string) (*FlowCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("dataset: cache directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: cache: %w", err)
+	}
+	return &FlowCache{dir: dir, version: version}, nil
+}
+
+// CachedFlow is one cache entry's payload: everything a metrics-only run
+// needs from a flow simulation.
+type CachedFlow struct {
+	Metrics *analysis.FlowMetrics `json:"metrics"`
+	Stats   tcp.Stats             `json:"stats"`
+}
+
+// cacheKey is the canonical serialization hashed into an entry's address.
+// Every field that can change a flow's outcome appears here; the struct is
+// marshalled with encoding/json, whose output is deterministic for a given
+// binary, and the schema and version fields fence off layout and model
+// changes. Telemetry and FlightRecorder sinks deliberately do not
+// participate: they observe a flow, they never alter it.
+type cacheKey struct {
+	Schema       int               `json:"schema"`
+	Version      string            `json:"version"`
+	ID           string            `json:"id"`
+	Operator     cellular.Operator `json:"operator"`
+	Trip         railway.Trip      `json:"trip"`
+	TripOffset   time.Duration     `json:"trip_offset"`
+	FlowDuration time.Duration     `json:"flow_duration"`
+	Seed         int64             `json:"seed"`
+	TCP          tcp.Config        `json:"tcp"`
+	Scenario     string            `json:"scenario"`
+	Faults       *faults.Schedule  `json:"faults,omitempty"`
+}
+
+// key computes the scenario's content address under this cache's version.
+func (c *FlowCache) key(sc Scenario) (string, error) {
+	k := cacheKey{
+		Schema:       cacheSchema,
+		Version:      c.version,
+		ID:           sc.ID,
+		Operator:     sc.Operator,
+		Trip:         sc.Trip,
+		TripOffset:   sc.TripOffset,
+		FlowDuration: sc.FlowDuration,
+		Seed:         sc.Seed,
+		TCP:          sc.TCP,
+		Scenario:     sc.Scenario,
+		Faults:       sc.Faults,
+	}
+	h := sha256.New()
+	if err := json.NewEncoder(h).Encode(k); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// path maps a key to its entry file.
+func (c *FlowCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get looks the scenario up, returning its cached result and true on a hit.
+// Corrupt or truncated entries are detected by checksum, removed, counted
+// in Errors, and reported as a miss.
+func (c *FlowCache) Get(sc Scenario) (CachedFlow, bool) {
+	key, err := c.key(sc)
+	if err != nil {
+		c.errors.Add(1)
+		return CachedFlow{}, false
+	}
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return CachedFlow{}, false
+	}
+	ent, err := decodeEntry(raw)
+	if err != nil {
+		// Detected corruption: drop the bad entry so the rewrite after the
+		// fallback simulation starts clean.
+		os.Remove(c.path(key))
+		c.errors.Add(1)
+		c.misses.Add(1)
+		return CachedFlow{}, false
+	}
+	c.bytesRead.Add(int64(len(raw)))
+	c.hits.Add(1)
+	return ent, true
+}
+
+// Put stores the flow's result under the scenario's key. Writes are atomic
+// (unique temp file, then rename), so concurrent writers of the same key —
+// which, by construction, carry identical payloads — cannot interleave into
+// a torn entry. Storage failures are counted and otherwise ignored: the
+// cache is an accelerator, never a correctness dependency.
+func (c *FlowCache) Put(sc Scenario, m *analysis.FlowMetrics, st tcp.Stats) {
+	key, err := c.key(sc)
+	if err != nil {
+		c.errors.Add(1)
+		return
+	}
+	raw, err := encodeEntry(CachedFlow{Metrics: m, Stats: st})
+	if err != nil {
+		c.errors.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		c.errors.Add(1)
+		return
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.errors.Add(1)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.errors.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		c.errors.Add(1)
+		return
+	}
+	c.bytesWritten.Add(int64(len(raw)))
+}
+
+// Counters returns a snapshot of the cache's activity counters in telemetry
+// form.
+func (c *FlowCache) Counters() telemetry.Cache {
+	return telemetry.Cache{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Errors:       c.errors.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+	}
+}
+
+// encodeEntry renders an entry file: a header line carrying the magic and
+// the SHA-256 of the payload, then the JSON payload.
+func encodeEntry(ent CachedFlow) ([]byte, error) {
+	payload, err := json.Marshal(ent)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(payload)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %s\n", entryMagic, hex.EncodeToString(sum[:]))
+	buf.Write(payload)
+	return buf.Bytes(), nil
+}
+
+// decodeEntry parses and checksum-verifies an entry file.
+func decodeEntry(raw []byte) (CachedFlow, error) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return CachedFlow{}, fmt.Errorf("dataset: cache entry: missing header")
+	}
+	header, payload := raw[:nl], raw[nl+1:]
+	fields := bytes.Fields(header)
+	if len(fields) != 2 || string(fields[0]) != entryMagic {
+		return CachedFlow{}, fmt.Errorf("dataset: cache entry: bad header")
+	}
+	want, err := hex.DecodeString(string(fields[1]))
+	if err != nil || len(want) != sha256.Size {
+		return CachedFlow{}, fmt.Errorf("dataset: cache entry: bad checksum encoding")
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], want) {
+		return CachedFlow{}, fmt.Errorf("dataset: cache entry: checksum mismatch (truncated or corrupted)")
+	}
+	var ent CachedFlow
+	if err := json.Unmarshal(payload, &ent); err != nil {
+		return CachedFlow{}, fmt.Errorf("dataset: cache entry: %w", err)
+	}
+	if ent.Metrics == nil {
+		return CachedFlow{}, fmt.Errorf("dataset: cache entry: missing metrics")
+	}
+	return ent, nil
+}

@@ -1,0 +1,243 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cellular"
+	"repro/internal/tcp"
+)
+
+// cachedScenario is a short flow the cache tests simulate repeatedly.
+func cachedScenario(t *testing.T, seed int64) Scenario {
+	t.Helper()
+	return hsrScenario(t, cellular.ChinaMobileLTE, seed, 5*time.Second)
+}
+
+// entryFile returns the path of the single entry a one-flow cache holds.
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("cache holds %d entries, want 1", len(paths))
+	}
+	return paths[0]
+}
+
+func TestFlowCacheRoundTrip(t *testing.T) {
+	cache, err := OpenFlowCacheVersion(t.TempDir(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := cachedScenario(t, 7)
+	if _, ok := cache.Get(sc); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want, st, err := RunFlowMetrics(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(sc, want, st)
+	ent, ok := cache.Get(sc)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !reflect.DeepEqual(want, ent.Metrics) {
+		t.Errorf("metrics changed through the cache:\nput: %+v\ngot: %+v", want, ent.Metrics)
+	}
+	if st != ent.Stats {
+		t.Errorf("stats changed through the cache:\nput: %+v\ngot: %+v", st, ent.Stats)
+	}
+	c := cache.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.Errors != 0 {
+		t.Errorf("counters %+v, want 1 hit / 1 miss / 0 errors", c)
+	}
+	if c.BytesWritten == 0 || c.BytesRead != c.BytesWritten {
+		t.Errorf("byte counters %+v, want read == written > 0", c)
+	}
+}
+
+func TestFlowCacheKeySensitivity(t *testing.T) {
+	cache, err := OpenFlowCacheVersion(t.TempDir(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := cachedScenario(t, 7)
+	m, st, err := RunFlowMetrics(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(sc, m, st)
+
+	other := sc
+	other.Seed++
+	if _, ok := cache.Get(other); ok {
+		t.Error("seed change still hit")
+	}
+	other = sc
+	other.FlowDuration += time.Second
+	if _, ok := cache.Get(other); ok {
+		t.Error("duration change still hit")
+	}
+	other = sc
+	other.TCP.MSS++
+	if _, ok := cache.Get(other); ok {
+		t.Error("TCP config change still hit")
+	}
+	if _, ok := cache.Get(sc); !ok {
+		t.Error("unchanged scenario missed")
+	}
+}
+
+// TestFlowCacheVersionInvalidates covers the automatic invalidation story:
+// entries written under one code version are unreachable from a cache
+// opened under another, with no explicit flush step.
+func TestFlowCacheVersionInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	v1, err := OpenFlowCacheVersion(dir, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := cachedScenario(t, 7)
+	m, st, err := RunFlowMetrics(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1.Put(sc, m, st)
+	if _, ok := v1.Get(sc); !ok {
+		t.Fatal("same-version miss")
+	}
+	v2, err := OpenFlowCacheVersion(dir, "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := v2.Get(sc); ok {
+		t.Error("entry written under v1 served under v2")
+	}
+}
+
+// TestFlowCacheDetectsCorruption flips and truncates stored entries and
+// checks the checksum catches both, the bad entry is dropped, and the
+// campaign path falls back to simulation with identical results.
+func TestFlowCacheDetectsCorruption(t *testing.T) {
+	sc := cachedScenario(t, 7)
+	want, st, err := RunFlowMetrics(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptions := map[string]func([]byte) []byte{
+		"bit flip in payload": func(raw []byte) []byte {
+			raw[len(raw)-2] ^= 0x40
+			return raw
+		},
+		"truncated payload": func(raw []byte) []byte {
+			return raw[:len(raw)-7]
+		},
+		"truncated to partial header": func(raw []byte) []byte {
+			return raw[:10]
+		},
+		"emptied": func([]byte) []byte {
+			return nil
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			cache, err := OpenFlowCacheVersion(dir, "test")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cache.Put(sc, want, st)
+			path := entryFile(t, dir)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := cache.Get(sc); ok {
+				t.Fatal("corrupt entry served")
+			}
+			if c := cache.Counters(); c.Errors != 1 {
+				t.Errorf("counters %+v, want exactly 1 error", c)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt entry not removed (stat err %v)", err)
+			}
+			// The campaign path must recover transparently: simulate, rewrite,
+			// then serve the fresh entry.
+			got, hit, err := runCampaignFlow(CampaignConfig{Cache: cache}, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hit {
+				t.Fatal("corrupt entry reported as campaign hit")
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("fallback simulation diverged:\nwant %+v\ngot  %+v", want, got)
+			}
+			if ent, ok := cache.Get(sc); !ok {
+				t.Error("entry not rewritten after fallback")
+			} else if !reflect.DeepEqual(want, ent.Metrics) {
+				t.Error("rewritten entry diverged")
+			}
+		})
+	}
+}
+
+// TestFlowCacheConcurrentWriters hammers one cache directory from parallel
+// goroutines mixing writers and readers of the same keys — the atomic
+// temp-file-plus-rename protocol must never expose a torn entry. Run under
+// -race in CI.
+func TestFlowCacheConcurrentWriters(t *testing.T) {
+	cache, err := OpenFlowCacheVersion(t.TempDir(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type flowResult struct {
+		metrics *analysis.FlowMetrics
+		stats   tcp.Stats
+	}
+	const flows = 4
+	scs := make([]Scenario, flows)
+	wants := make([]flowResult, flows)
+	for i := range scs {
+		scs[i] = cachedScenario(t, int64(100+i))
+		m, st, err := RunFlowMetrics(scs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = flowResult{metrics: m, stats: st}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				idx := (w + i) % flows
+				cache.Put(scs[idx], wants[idx].metrics, wants[idx].stats)
+				if ent, ok := cache.Get(scs[idx]); ok {
+					if !reflect.DeepEqual(wants[idx].metrics, ent.Metrics) {
+						t.Errorf("torn or wrong entry for flow %d", idx)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c := cache.Counters(); c.Errors != 0 {
+		t.Errorf("counters %+v, want 0 errors", c)
+	}
+}

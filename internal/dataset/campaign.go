@@ -61,6 +61,18 @@ type CampaignConfig struct {
 	// running finish, no new ones start, and RunCampaign returns the context
 	// error. Nil means never cancelled.
 	Ctx context.Context
+	// Cache, when non-nil, serves flows whose (scenario, seed, version) key
+	// it already holds without simulating them, and stores every flow it
+	// does simulate. Cached results are bit-identical to simulated ones, so
+	// campaign output does not depend on the cache's temperature. Flows
+	// served from the cache skip simulation entirely and therefore
+	// contribute nothing to the Telemetry campaign totals (the cache's own
+	// hit/miss counters record them).
+	Cache *FlowCache
+	// Materialize forces the legacy materialize-then-analyze pipeline (full
+	// event list, batch analyzer) instead of the streaming analyzer, for
+	// byte-identity cross-checks; it bypasses the cache.
+	Materialize bool
 	// Telemetry, when non-nil, aggregates every flow's telemetry bundle into
 	// campaign totals. Flows are merged in campaign order after the parallel
 	// phase completes, so the totals (including float distributions) are
@@ -187,11 +199,16 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			m, err := AnalyzeFlow(j.sc)
+			m, hit, err := runCampaignFlow(cfg, j.sc)
 			if err != nil {
 				errs[j.idx] = fmt.Errorf("flow %s: %w", j.sc.ID, err)
 			} else {
 				results[j.idx] = FlowResult{Row: j.row, Metrics: m}
+				if hit && flows != nil {
+					// Served from the cache: no simulation ran, so this
+					// flow has no kernel/TCP/link counters to merge.
+					flows[j.idx] = nil
+				}
 			}
 			if cfg.Progress != nil {
 				cfg.Progress(int(done.Add(1)), len(jobs))
@@ -215,6 +232,34 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 		}
 	}
 	return &Campaign{Config: cfg, Results: results}, nil
+}
+
+// runCampaignFlow produces one campaign flow's metrics through the
+// configured pipeline: cache lookup first (unless materializing), then the
+// streaming (or legacy materialized) simulation, then cache write-back.
+// hit reports whether the result came from the cache.
+func runCampaignFlow(cfg CampaignConfig, sc Scenario) (m *analysis.FlowMetrics, hit bool, err error) {
+	if cfg.Materialize {
+		ft, _, err := RunFlow(sc)
+		if err != nil {
+			return nil, false, err
+		}
+		m, err = analysis.Analyze(ft)
+		return m, false, err
+	}
+	if cfg.Cache != nil {
+		if ent, ok := cfg.Cache.Get(sc); ok {
+			return ent.Metrics, true, nil
+		}
+	}
+	m, st, err := RunFlowMetrics(sc)
+	if err != nil {
+		return nil, false, err
+	}
+	if cfg.Cache != nil {
+		cfg.Cache.Put(sc, m, st)
+	}
+	return m, false, nil
 }
 
 // flowOffset places a flow inside the trip's cruise window (the paper's

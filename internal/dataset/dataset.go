@@ -185,12 +185,30 @@ func BuildSubflowPath(simulator *sim.Simulator, sc Scenario, sharedDown, sharedU
 // constant virtual time.
 const simEventBudgetPerSecond = 2_000_000
 
-// RunFlow simulates one scenario end to end and returns its packet trace
-// and the endpoint counters. The kernel runs under an event budget so a
+// FlowMeta returns the trace metadata describing the scenario's flow.
+func (sc Scenario) FlowMeta() trace.FlowMeta {
+	return trace.FlowMeta{
+		ID:          sc.ID,
+		Operator:    sc.Operator.Name,
+		Tech:        sc.Operator.Tech.String(),
+		Scenario:    sc.Scenario,
+		Seed:        sc.Seed,
+		MSS:         sc.TCP.MSS,
+		DelayedAckB: sc.TCP.DelayedAckB,
+		WindowLimit: sc.TCP.WindowLimit,
+		Duration:    sc.FlowDuration,
+	}
+}
+
+// runScenario simulates one scenario end to end, streaming every packet
+// event into rec, and returns the endpoint counters. This is the single
+// simulation core under both the materializing RunFlow and the streaming
+// RunFlowMetrics: the sink is the only difference between the two, so their
+// simulations are bit-identical. The kernel runs under an event budget so a
 // runaway schedule fails loudly instead of hanging the campaign.
-func RunFlow(sc Scenario) (*trace.FlowTrace, tcp.Stats, error) {
+func runScenario(sc Scenario, rec trace.Recorder) (tcp.Stats, error) {
 	if err := sc.Validate(); err != nil {
-		return nil, tcp.Stats{}, err
+		return tcp.Stats{}, err
 	}
 	tel := sc.Telemetry
 	var wallStart time.Time
@@ -205,42 +223,63 @@ func RunFlow(sc Scenario) (*trace.FlowTrace, tcp.Stats, error) {
 	}
 	path, _, err := BuildPath(simulator, sc)
 	if err != nil {
-		return nil, tcp.Stats{}, err
+		return tcp.Stats{}, err
 	}
-	ft := &trace.FlowTrace{Meta: trace.FlowMeta{
-		ID:          sc.ID,
-		Operator:    sc.Operator.Name,
-		Tech:        sc.Operator.Tech.String(),
-		Scenario:    sc.Scenario,
-		Seed:        sc.Seed,
-		MSS:         sc.TCP.MSS,
-		DelayedAckB: sc.TCP.DelayedAckB,
-		WindowLimit: sc.TCP.WindowLimit,
-		Duration:    sc.FlowDuration,
-	}}
-	rec := trace.Recorder(ft)
 	if sc.FlightRecorder != nil {
-		rec = trace.Tee{ft, sc.FlightRecorder}
+		rec = trace.Tee{rec, sc.FlightRecorder}
 	}
 	conn, err := tcp.New(simulator, path, sc.TCP, rec)
 	if err != nil {
-		return nil, tcp.Stats{}, err
+		return tcp.Stats{}, err
 	}
 	if tel != nil {
 		conn.SetTelemetry(&tel.TCP)
 	}
 	if err := conn.Start(sc.FlowDuration); err != nil {
-		return nil, tcp.Stats{}, err
+		return tcp.Stats{}, err
 	}
 	simulator.RunUntil(sc.FlowDuration)
 	if simulator.Exhausted() {
-		return nil, tcp.Stats{}, fmt.Errorf("dataset: flow %s exhausted its %d-event kernel budget at t=%v (runaway schedule?)",
+		return tcp.Stats{}, fmt.Errorf("dataset: flow %s exhausted its %d-event kernel budget at t=%v (runaway schedule?)",
 			sc.ID, budget, simulator.Now())
 	}
 	if tel != nil {
 		harvestFlow(tel, sc, simulator, path, conn, budget, wallStart)
 	}
-	return ft, conn.Stats(), nil
+	return conn.Stats(), nil
+}
+
+// RunFlow simulates one scenario end to end and returns its complete packet
+// trace and the endpoint counters. Use it when the events themselves are the
+// product (CSV export, tracegen, figure rendering); campaigns that only need
+// metrics should use RunFlowMetrics, which never materializes the event
+// list.
+func RunFlow(sc Scenario) (*trace.FlowTrace, tcp.Stats, error) {
+	ft := &trace.FlowTrace{Meta: sc.FlowMeta()}
+	st, err := runScenario(sc, ft)
+	if err != nil {
+		return nil, tcp.Stats{}, err
+	}
+	return ft, st, nil
+}
+
+// RunFlowMetrics simulates one scenario and reduces it to FlowMetrics
+// online: packet events stream into a pooled incremental analyzer as the
+// simulation produces them, so peak memory is independent of flow length
+// and the analyzer's tables are reused across flows. The metrics are
+// identical to analyzing the materialized trace of the same scenario.
+func RunFlowMetrics(sc Scenario) (*analysis.FlowMetrics, tcp.Stats, error) {
+	inc := analysis.AcquireIncremental(sc.FlowMeta())
+	defer inc.Release()
+	st, err := runScenario(sc, inc)
+	if err != nil {
+		return nil, tcp.Stats{}, err
+	}
+	m, err := inc.Finish()
+	if err != nil {
+		return nil, tcp.Stats{}, err
+	}
+	return m, st, nil
 }
 
 // harvestFlow fills the telemetry bundle's end-of-run sections: kernel time
@@ -276,13 +315,51 @@ func harvestLink(dst *telemetry.LinkCounters, st netem.LinkStats) {
 	}
 }
 
-// AnalyzeFlow runs a scenario and immediately reduces the trace to metrics,
-// releasing the event list (campaigns over hundreds of flows would
-// otherwise hold gigabytes of events).
+// AnalyzeFlow runs a scenario and reduces it to metrics through the
+// streaming pipeline (campaigns over hundreds of flows would otherwise hold
+// gigabytes of events).
 func AnalyzeFlow(sc Scenario) (*analysis.FlowMetrics, error) {
-	ft, _, err := RunFlow(sc)
+	m, _, err := RunFlowMetrics(sc)
+	return m, err
+}
+
+// RunOptions selects how a flow's metrics are produced: through the result
+// cache (skip simulation on a hit, populate on a miss), and through which
+// analysis pipeline.
+type RunOptions struct {
+	// Cache, when non-nil, is consulted before simulating and populated
+	// after; nil always simulates.
+	Cache *FlowCache
+	// Materialize forces the legacy materialize-then-analyze path (the full
+	// event list is built and handed to the batch analyzer). It exists to
+	// cross-check the streaming pipeline — output must be byte-identical —
+	// and bypasses the cache entirely.
+	Materialize bool
+}
+
+// AnalyzeFlowOpts is AnalyzeFlow with pipeline options. Cache hits skip the
+// simulation; the scenario's Telemetry bundle (if any) is then left
+// untouched, since no simulation work happened (the cache's own counters
+// record the hit).
+func AnalyzeFlowOpts(opt RunOptions, sc Scenario) (*analysis.FlowMetrics, error) {
+	if opt.Materialize {
+		ft, _, err := RunFlow(sc)
+		if err != nil {
+			return nil, err
+		}
+		return analysis.Analyze(ft)
+	}
+	if opt.Cache != nil {
+		if ent, ok := opt.Cache.Get(sc); ok {
+			return ent.Metrics, nil
+		}
+	}
+	m, st, err := RunFlowMetrics(sc)
 	if err != nil {
 		return nil, err
 	}
-	return analysis.Analyze(ft)
+	if opt.Cache != nil {
+		opt.Cache.Put(sc, m, st)
+	}
+	return m, nil
 }

@@ -151,7 +151,7 @@ func ChannelSensitivity(cfg Config) (*ChannelSensitivityResult, error) {
 				TCP:          defaultTCP(),
 				Scenario:     "hsr",
 			}
-			m, err := dataset.AnalyzeFlow(sc)
+			m, err := cfg.analyzeFlow(sc)
 			if err != nil {
 				return nil, err
 			}

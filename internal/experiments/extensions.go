@@ -78,7 +78,7 @@ func DelayedAck(cfg Config) (*DelayedAckResult, error) {
 				TCP:          tcpCfg,
 				Scenario:     "hsr",
 			}
-			m, err := dataset.AnalyzeFlow(sc)
+			m, err := cfg.analyzeFlow(sc)
 			if err != nil {
 				return nil, err
 			}
@@ -261,7 +261,7 @@ func BackupQ(cfg Config) (*BackupQResult, error) {
 			TCP:          defaultTCP(),
 			Scenario:     "hsr",
 		}
-		plain, err := dataset.AnalyzeFlow(sc)
+		plain, err := cfg.analyzeFlow(sc)
 		if err != nil {
 			return nil, err
 		}

@@ -84,7 +84,7 @@ func FaultSweep(cfg Config) (*FaultSweepResult, error) {
 				Scenario:     "faults",
 				Faults:       scaled,
 			}
-			m, err := dataset.AnalyzeFlow(sc)
+			m, err := cfg.analyzeFlow(sc)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fault sweep severity %.2f: %w", sev, err)
 			}

@@ -73,7 +73,7 @@ func SpeedSweep(cfg Config) (*SpeedSweepResult, error) {
 				TCP:          defaultTCP(),
 				Scenario:     fmt.Sprintf("speed-%.0f", speed),
 			}
-			m, err := dataset.AnalyzeFlow(sc)
+			m, err := cfg.analyzeFlow(sc)
 			if err != nil {
 				return nil, err
 			}

@@ -65,7 +65,7 @@ func Variants(cfg Config) (*VariantsResult, error) {
 				TCP:          tcpCfg,
 				Scenario:     "hsr",
 			}
-			m, err := dataset.AnalyzeFlow(sc)
+			m, err := cfg.analyzeFlow(sc)
 			if err != nil {
 				return nil, err
 			}

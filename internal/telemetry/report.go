@@ -47,7 +47,10 @@ type Report struct {
 	// Campaign totals the kernel / TCP / netem / fault counters over every
 	// campaign flow that carried a telemetry bundle; nil when no campaign
 	// ran (e.g. -run fig12 alone).
-	Campaign  *Campaign    `json:"campaign,omitempty"`
+	Campaign *Campaign `json:"campaign,omitempty"`
+	// Cache reports flow-result-cache activity (hsrbench -cache); nil when
+	// no cache was configured.
+	Cache     *Cache       `json:"cache,omitempty"`
 	Tasks     []TaskReport `json:"tasks"`
 	Resources Resources    `json:"resources"`
 }

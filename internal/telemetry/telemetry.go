@@ -265,6 +265,30 @@ func (f *Faults) Merge(other *Faults) {
 	f.AckDrops += other.AckDrops
 }
 
+// Cache counts flow-result-cache activity: how many flow simulations were
+// skipped because a cached result was served (Hits), how many entries were
+// looked up but absent (Misses), how many stored entries were rejected as
+// corrupt or unreadable and fell back to simulation (Errors), and the entry
+// bytes moved in each direction. All fields are host-side resource counters:
+// they never influence simulated behaviour, and a warm cache reports the
+// same experiment output with most of the simulation work replaced by Hits.
+type Cache struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Errors       int64 `json:"errors"`
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+}
+
+// Merge folds other into c.
+func (c *Cache) Merge(other *Cache) {
+	c.Hits += other.Hits
+	c.Misses += other.Misses
+	c.Errors += other.Errors
+	c.BytesRead += other.BytesRead
+	c.BytesWritten += other.BytesWritten
+}
+
 // Flow is the complete telemetry bundle of one simulated flow. Attach one
 // to a dataset.Scenario to collect it; every section except WallNS is
 // deterministic for a given seed.

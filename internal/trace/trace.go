@@ -124,22 +124,34 @@ var (
 func (f *FlowTrace) Validate() error {
 	var prev time.Duration
 	for i, ev := range f.Events {
-		if ev.At < prev {
-			return fmt.Errorf("trace: event %d at %v precedes previous event at %v", i, ev.At, prev)
+		if err := ValidateEvent(i, ev, prev); err != nil {
+			return err
 		}
 		prev = ev.At
-		switch ev.Type {
-		case EvDataSend, EvDataRecv, EvDataDrop:
-			if ev.Seq < 0 {
-				return fmt.Errorf("trace: event %d (%v) has negative seq", i, ev.Type)
-			}
-			if ev.TransmitNo < 1 {
-				return fmt.Errorf("trace: event %d (%v) has TransmitNo %d < 1", i, ev.Type, ev.TransmitNo)
-			}
-		case EvAckSend, EvAckRecv, EvAckDrop:
-			if ev.Ack < 0 {
-				return fmt.Errorf("trace: event %d (%v) has negative ack", i, ev.Type)
-			}
+	}
+	return nil
+}
+
+// ValidateEvent checks one event against the structural rules Validate
+// enforces: i is the event's position in the stream and prev the timestamp
+// of the event before it (zero for the first). Streaming consumers apply the
+// same checks incrementally that Validate applies to a materialized trace,
+// so both paths reject a malformed stream with identical errors.
+func ValidateEvent(i int, ev Event, prev time.Duration) error {
+	if ev.At < prev {
+		return fmt.Errorf("trace: event %d at %v precedes previous event at %v", i, ev.At, prev)
+	}
+	switch ev.Type {
+	case EvDataSend, EvDataRecv, EvDataDrop:
+		if ev.Seq < 0 {
+			return fmt.Errorf("trace: event %d (%v) has negative seq", i, ev.Type)
+		}
+		if ev.TransmitNo < 1 {
+			return fmt.Errorf("trace: event %d (%v) has TransmitNo %d < 1", i, ev.Type, ev.TransmitNo)
+		}
+	case EvAckSend, EvAckRecv, EvAckDrop:
+		if ev.Ack < 0 {
+			return fmt.Errorf("trace: event %d (%v) has negative ack", i, ev.Type)
 		}
 	}
 	return nil
