@@ -6,6 +6,7 @@
 //
 //	hsrbench [-quick] [-seed N] [-duration 120s] [-flows N] [-jobs N]
 //	         [-timeout D] [-run name,...] [-progress] [-metrics out.json]
+//	         [-cache DIR] [-cache-max-bytes N]
 //	         [-cpuprofile f] [-memprofile f] [-version]
 //
 // Experiment names: table1, fig1, fig2, fig3, fig4, fig6, fig10, fig12,
@@ -65,6 +66,7 @@ func run(args []string) error {
 	reportPath := fs.String("report", "", "write a markdown reproduction report to this file (runs the full suite)")
 	progress := fs.Bool("progress", false, "print flow and experiment completion progress to stderr")
 	cacheDir := fs.String("cache", "", "flow result cache directory: serve (scenario, seed, version)-keyed flow metrics from disk instead of re-simulating, and store every simulated flow")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "bound the cache directory's entry bytes, evicting oldest entries first (0 = unbounded)")
 	materialize := fs.Bool("materialize", false, "force the legacy materialize-then-analyze flow pipeline (cross-check mode; output must be byte-identical to the streaming default)")
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry report (kernel/TCP/link/fault counters, per-task resources) to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -130,6 +132,9 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if err := cache.SetMaxBytes(*cacheMaxBytes); err != nil {
+			return err
+		}
 		cfg.Cache = cache
 	}
 	cfg.Materialize = *materialize
@@ -155,260 +160,65 @@ func run(args []string) error {
 		defer cancel()
 	}
 
+	// Resolve the -run list against the canonical catalog. Unknown names
+	// simply select nothing (documented behaviour); "all" selects the whole
+	// catalog; the hidden "panic" self-test is handled below.
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runList, ",") {
 		want[strings.TrimSpace(name)] = true
 	}
-	all := want["all"]
-	sel := func(name string) bool { return all || want[name] }
+	var names []string
+	for _, name := range experiments.CatalogNames() {
+		if want["all"] || want[name] {
+			names = append(names, name)
+		}
+	}
 
-	needCtx := all || *reportPath != "" || want["table1"] || want["fig3"] || want["fig4"] ||
-		want["fig6"] || want["fig10"] || want["scalars"] || want["ablation"]
-	needFig1 := sel("fig1") || sel("fig2") || sel("window")
-
-	section := func(s string) string { return strings.Repeat("=", 90) + "\n" + s + "\n\n" }
-	writeCSV := func(name string, t *export.Table) error {
-		if *csvDir == "" {
+	opt := experiments.CatalogOptions{
+		ForceCampaigns: *reportPath != "",
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if *csvDir != "" {
+		opt.WriteCSV = func(name string, t *export.Table) error {
+			if err := experiments.WriteCSV(*csvDir, name, t); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s/%s.csv\n", *csvDir, name)
 			return nil
 		}
-		if err := experiments.WriteCSV(*csvDir, name, t); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s/%s.csv\n", *csvDir, name)
-		return nil
 	}
-
-	// The experiment DAG. Shared state (the campaign Context, the exemplar
-	// Figure-1 flow) is produced by dedicated tasks; the scheduler guarantees
-	// each task's dependencies ran before it, for any -jobs value.
-	var (
-		ectx  *experiments.Context
-		fig1  *experiments.Figure1Result
-		tasks []experiments.Task
-	)
-	add := func(name string, deps []string, run func() (string, error)) {
-		tasks = append(tasks, experiments.Task{Name: name, Deps: deps, Run: run})
+	cat, err := experiments.NewCatalog(ctx, cfg, names, opt)
+	if err != nil {
+		return err
 	}
-
-	var ctxDep, fig1Dep []string
-	if needCtx {
-		ctxDep = []string{"campaigns"}
-		add("campaigns", nil, func() (string, error) {
-			fmt.Fprintf(os.Stderr, "running campaigns (seed=%d, duration=%v, flowsPerRow=%d)...\n",
-				cfg.Seed, cfg.FlowDuration, cfg.FlowsPerRow)
-			start := time.Now()
-			var err error
-			ectx, err = experiments.NewContextWith(ctx, cfg)
-			if err != nil {
-				return "", err
-			}
-			fmt.Fprintf(os.Stderr, "campaigns done in %v\n", time.Since(start).Round(time.Millisecond))
-			return "", nil
-		})
-	}
-	if needFig1 {
-		fig1Dep = []string{"exemplar-flow"}
-		add("exemplar-flow", nil, func() (string, error) {
-			var err error
-			fig1, err = experiments.Figure1(cfg)
-			return "", err
-		})
-	}
-
-	if sel("table1") {
-		add("table1", ctxDep, func() (string, error) {
-			return section("TABLE I") + experiments.Table1(ectx).Render() + "\n", nil
-		})
-	}
-	if sel("fig1") {
-		add("fig1", fig1Dep, func() (string, error) {
-			if err := writeCSV("fig1_delivery", fig1.CSVTable()); err != nil {
-				return "", err
-			}
-			return section("FIGURE 1") + fig1.Render() + "\n", nil
-		})
-	}
-	if sel("fig2") {
-		add("fig2", fig1Dep, func() (string, error) {
-			f2, err := experiments.Figure2(fig1)
-			if err != nil {
-				return "", err
-			}
-			return section("FIGURE 2") + f2.Render() + "\n", nil
-		})
-	}
-	if sel("window") {
-		add("window", fig1Dep, func() (string, error) {
-			w, err := experiments.WindowTrace(fig1)
-			if err != nil {
-				return "", err
-			}
-			return section("WINDOW EVOLUTION (the live Figs 7-9)") + w.Render() + "\n", nil
-		})
-	}
-	if sel("fig3") {
-		add("fig3", ctxDep, func() (string, error) {
-			f3 := experiments.Figure3(ectx)
-			if err := writeCSV("fig3_loss_rates", f3.CSVTable()); err != nil {
-				return "", err
-			}
-			return section("FIGURE 3") + f3.Render() + "\n", nil
-		})
-	}
-	if sel("fig4") {
-		add("fig4", ctxDep, func() (string, error) {
-			f4 := experiments.Figure4(ectx)
-			if err := writeCSV("fig4_ack_vs_timeouts", f4.CSVTable()); err != nil {
-				return "", err
-			}
-			return section("FIGURE 4") + f4.Render() + "\n", nil
-		})
-	}
-	if sel("fig6") {
-		add("fig6", ctxDep, func() (string, error) {
-			f6 := experiments.Figure6(ectx)
-			if err := writeCSV("fig6_ack_loss", f6.CSVTable()); err != nil {
-				return "", err
-			}
-			return section("FIGURE 6") + f6.Render() + "\n", nil
-		})
-	}
-	if sel("fig10") {
-		add("fig10", ctxDep, func() (string, error) {
-			f10, err := experiments.Figure10(ectx)
-			if err != nil {
-				return "", err
-			}
-			if err := writeCSV("fig10_model_fits", f10.CSVTable()); err != nil {
-				return "", err
-			}
-			return section("FIGURE 10") + f10.Render() + "\n", nil
-		})
-	}
-	if sel("fig12") {
-		add("fig12", nil, func() (string, error) {
-			f12, err := experiments.Figure12(cfg)
-			if err != nil {
-				return "", err
-			}
-			if err := writeCSV("fig12_mptcp", f12.CSVTable()); err != nil {
-				return "", err
-			}
-			return section("FIGURE 12") + f12.Render() + "\n", nil
-		})
-	}
-	if sel("scalars") {
-		add("scalars", ctxDep, func() (string, error) {
-			return section("HEADLINE CLAIMS") + experiments.Scalars(ectx).Render() + "\n", nil
-		})
-	}
-	if sel("delack") {
-		add("delack", nil, func() (string, error) {
-			d, err := experiments.DelayedAck(cfg)
-			if err != nil {
-				return "", err
-			}
-			return section("DELAYED-ACK SWEEP (Section V-A)") + d.Render() + "\n", nil
-		})
-	}
-	if sel("ablation") {
-		add("ablation", ctxDep, func() (string, error) {
-			a, err := experiments.ModelAblation(ectx)
-			if err != nil {
-				return "", err
-			}
-			return section("MODEL ABLATION") + a.Render() + "\n", nil
-		})
-	}
-	if sel("backupq") {
-		add("backupq", nil, func() (string, error) {
-			bq, err := experiments.BackupQ(cfg)
-			if err != nil {
-				return "", err
-			}
-			return section("MPTCP BACKUP MODE (Section V-B)") + bq.Render() + "\n", nil
-		})
-	}
-	if sel("eifel") {
-		add("eifel", nil, func() (string, error) {
-			e, err := experiments.Eifel(cfg)
-			if err != nil {
-				return "", err
-			}
-			return section("EIFEL-STYLE SPURIOUS-RTO RESPONSE") + e.Render() + "\n", nil
-		})
-	}
-	if sel("sensitivity") {
-		add("sensitivity", nil, func() (string, error) {
-			s, err := experiments.ChannelSensitivity(cfg)
-			if err != nil {
-				return "", err
-			}
-			return section("CHANNEL ABLATION — HANDOFF DURATION SWEEP") + s.Render() + "\n", nil
-		})
-	}
-	if sel("variants") {
-		add("variants", nil, func() (string, error) {
-			v, err := experiments.Variants(cfg)
-			if err != nil {
-				return "", err
-			}
-			return section("VARIANT COMPARISON — RENO VS NEWRENO") + v.Render() + "\n", nil
-		})
-	}
-	if sel("speed") {
-		add("speed", nil, func() (string, error) {
-			sp, err := experiments.SpeedSweep(cfg)
-			if err != nil {
-				return "", err
-			}
-			return section("SPEED SWEEP — 0 TO 300 KM/H") + sp.Render() + "\n", nil
-		})
-	}
-	if sel("validation") {
-		add("validation", nil, func() (string, error) {
-			v, err := experiments.ModelValidation(cfg)
-			if err != nil {
-				return "", err
-			}
-			return section("PIPELINE VALIDATION — STATIC BERNOULLI CHANNEL") + v.Render() + "\n", nil
-		})
-	}
-	if sel("faults") {
-		add("faults", nil, func() (string, error) {
-			f, err := experiments.FaultSweep(cfg)
-			if err != nil {
-				return "", err
-			}
-			if err := writeCSV("fault_sweep", f.CSVTable()); err != nil {
-				return "", err
-			}
-			return section("FAULT-INJECTION SEVERITY SWEEP") + f.Render() + "\n", nil
-		})
-	}
+	tasks := cat.Tasks
 	if want["panic"] {
 		// Hidden self-test (never part of "all"): a task that panics plus a
 		// dependent that must be skipped, proving a crashing experiment
 		// cannot take the campaign down.
-		add("panic", nil, func() (string, error) {
+		tasks = append(tasks, experiments.Task{Name: "panic", Run: func() (string, error) {
 			panic("deliberate self-test panic")
-		})
-		add("panic-dependent", []string{"panic"}, func() (string, error) {
-			return "must never render\n", nil
-		})
+		}})
+		tasks = append(tasks, experiments.Task{Name: "panic-dependent", Deps: []string{"panic"},
+			Run: func() (string, error) {
+				return "must never render\n", nil
+			}})
 	}
 	if *reportPath != "" {
-		add("report", ctxDep, func() (string, error) {
-			md, err := experiments.BuildReport(ectx)
-			if err != nil {
-				return "", err
-			}
-			if err := os.WriteFile(*reportPath, []byte(md), 0o644); err != nil {
-				return "", fmt.Errorf("write report: %w", err)
-			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", *reportPath)
-			return "", nil
-		})
+		tasks = append(tasks, experiments.Task{Name: "report", Deps: []string{experiments.CampaignsTaskName},
+			Run: func() (string, error) {
+				md, err := experiments.BuildReport(cat.Context())
+				if err != nil {
+					return "", err
+				}
+				if err := os.WriteFile(*reportPath, []byte(md), 0o644); err != nil {
+					return "", fmt.Errorf("write report: %w", err)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *reportPath)
+				return "", nil
+			}})
 	}
 
 	var onDone func(r experiments.TaskResult, completed, total int)
@@ -456,12 +266,26 @@ func run(args []string) error {
 	}
 	if cache != nil {
 		cc := cache.Counters()
-		fmt.Fprintf(os.Stderr, "hsrbench: cache: %d hits, %d misses, %d errors, %d B read, %d B written\n",
-			cc.Hits, cc.Misses, cc.Errors, cc.BytesRead, cc.BytesWritten)
+		fmt.Fprintf(os.Stderr, "hsrbench: cache: %d hits, %d misses, %d dedups, %d errors, %d evictions, %d B read, %d B written\n",
+			cc.Hits, cc.Misses, cc.Dedups, cc.Errors, cc.Evictions, cc.BytesRead, cc.BytesWritten)
 	}
 	if *metricsPath != "" {
-		if err := writeMetrics(*metricsPath, cfg.Seed, camp, cache, results, wallStart); err != nil {
-			return err
+		var cc *telemetry.Cache
+		if cache != nil {
+			c := cache.Counters()
+			cc = &c
+		}
+		rep := experiments.MetricsReport("hsrbench", cfg.Seed, camp, cc, results, wallStart)
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("metrics: %w", werr)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsPath)
 	}
@@ -473,69 +297,6 @@ func run(args []string) error {
 			return fmt.Errorf("campaign cancelled (%v): %s", err, summary)
 		}
 		return errors.New(summary)
-	}
-	return nil
-}
-
-// writeMetrics assembles and writes the -metrics JSON report: campaign
-// counter totals (deterministic for a seed at any -jobs), per-task outcomes
-// and process resource usage.
-func writeMetrics(path string, seed int64, camp *telemetry.Campaign, cache *dataset.FlowCache, results []experiments.TaskResult, wallStart time.Time) error {
-	rep := &telemetry.Report{
-		Tool:    "hsrbench",
-		Version: buildinfo.Version(),
-		Seed:    seed,
-	}
-	if cache != nil {
-		cc := cache.Counters()
-		rep.Cache = &cc
-	}
-	// Only attach the campaign section when campaign flows actually ran
-	// (e.g. -run fig1 alone never touches the shared campaigns).
-	if camp != nil {
-		if n, _, _, _, _ := camp.Counters(); n > 0 {
-			rep.Campaign = camp
-		}
-	}
-	for _, r := range results {
-		tr := telemetry.TaskReport{
-			Name:       r.Name,
-			Status:     "ok",
-			WallMS:     float64(r.Wall) / float64(time.Millisecond),
-			Mallocs:    r.Mallocs,
-			AllocBytes: r.AllocBytes,
-		}
-		switch {
-		case r.Skipped:
-			tr.Status = "skipped"
-		case r.Err != nil:
-			tr.Status = "failed"
-		}
-		if r.Err != nil {
-			tr.Error = r.Err.Error()
-		}
-		rep.Tasks = append(rep.Tasks, tr)
-	}
-	wall := time.Since(wallStart)
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	rep.Resources = telemetry.Resources{
-		WallMS:          float64(wall) / float64(time.Millisecond),
-		TotalAllocBytes: ms.TotalAlloc,
-		Mallocs:         ms.Mallocs,
-		NumGC:           ms.NumGC,
-	}
-	if camp != nil && wall > 0 {
-		_, k, _, _, _ := camp.Counters()
-		rep.Resources.VirtualPerWall = float64(k.VirtualNS) / float64(wall.Nanoseconds())
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("metrics: %w", err)
-	}
-	defer f.Close()
-	if err := rep.WriteJSON(f); err != nil {
-		return fmt.Errorf("metrics: %w", err)
 	}
 	return nil
 }

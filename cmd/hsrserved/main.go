@@ -1,0 +1,127 @@
+// Command hsrserved serves the simulation suite over HTTP: submit flow,
+// campaign and experiment jobs as JSON to POST /v1/jobs and read back an
+// NDJSON stream of progress events ending in the same telemetry report
+// hsrbench -metrics writes. Results are bit-identical to the CLI for the
+// same seed and scale — both surfaces share the experiment catalog, the
+// flow cache and the report builder.
+//
+// Usage:
+//
+//	hsrserved [-addr :8096] [-workers N] [-queue N] [-flow-parallelism N]
+//	          [-dag-jobs N] [-cache DIR] [-cache-max-bytes N]
+//	          [-max-flow-duration D] [-job-timeout D] [-drain-timeout D]
+//	          [-version]
+//
+// Endpoints: POST /v1/jobs (submit, streams NDJSON), GET /v1/experiments
+// (the catalog), GET /healthz (JSON liveness + version), GET /metrics
+// (text exposition of server, cache and campaign counters).
+//
+// Admission control: at most -workers jobs run concurrently and at most
+// -queue wait; beyond that, submissions fail fast with 429 + Retry-After.
+// SIGINT/SIGTERM drain gracefully: admission stops (503), running jobs and
+// their streams finish (up to -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hsrserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hsrserved", flag.ContinueOnError)
+	addr := fs.String("addr", ":8096", "listen address")
+	workers := fs.Int("workers", 2, "jobs executing concurrently")
+	queue := fs.Int("queue", 8, "jobs accepted but not yet running before submissions get 429")
+	flowPar := fs.Int("flow-parallelism", 0, "concurrent flow simulations per job (0 = GOMAXPROCS)")
+	dagJobs := fs.Int("dag-jobs", 1, "concurrent experiment tasks per job")
+	cacheDir := fs.String("cache", "", "flow result cache directory shared across all jobs")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "bound the cache directory's entry bytes, evicting oldest entries first (0 = unbounded)")
+	maxFlowDur := fs.Duration("max-flow-duration", 10*time.Minute, "reject jobs asking for longer simulated flows")
+	jobTimeout := fs.Duration("job-timeout", 15*time.Minute, "per-job deadline cap (and default when the job names none)")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long a shutdown signal waits for running jobs before exiting anyway")
+	version := fs.Bool("version", false, "print version and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.Line("hsrserved"))
+		return nil
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "hsrserved: "+format+"\n", a...)
+	}
+	cfg := serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		FlowParallelism: *flowPar,
+		DAGJobs:         *dagJobs,
+		Limits: serve.Limits{
+			MaxFlowDuration: *maxFlowDur,
+			MaxTimeout:      *jobTimeout,
+		},
+		Logf: logf,
+	}
+	if *cacheDir != "" {
+		cache, err := dataset.OpenFlowCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		if err := cache.SetMaxBytes(*cacheMaxBytes); err != nil {
+			return err
+		}
+		cfg.Cache = cache
+	}
+	srv := serve.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	logf("listening on %s (workers=%d queue=%d, version %s)", ln.Addr(), *workers, *queue, buildinfo.Version())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	logf("shutdown signal: draining (timeout %v)", *drainTimeout)
+	srv.StartDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Shutdown waits for the streaming handlers (and so the running jobs)
+	// to finish before closing the listener's connections.
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	srv.Drain()
+	logf("drained, exiting")
+	return nil
+}

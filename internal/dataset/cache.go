@@ -8,6 +8,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -47,9 +50,31 @@ type FlowCache struct {
 
 	hits         atomic.Int64
 	misses       atomic.Int64
+	dedups       atomic.Int64
 	errors       atomic.Int64
+	evictions    atomic.Int64
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
+
+	// maxBytes bounds the on-disk entry total (0 = unbounded); diskBytes is
+	// the running estimate that triggers an eviction scan, and evictMu
+	// serializes scans so concurrent writers cannot double-evict.
+	maxBytes  atomic.Int64
+	diskBytes atomic.Int64
+	evictMu   sync.Mutex
+
+	// flightMu/flight deduplicate concurrent computations of the same key:
+	// the first caller of GetOrCompute for a missing key simulates, everyone
+	// else waits for its result.
+	flightMu sync.Mutex
+	flight   map[string]*flightCall
+}
+
+// flightCall is one in-flight computation shared by concurrent misses.
+type flightCall struct {
+	done chan struct{} // closed when ent/err are final
+	ent  CachedFlow
+	err  error
 }
 
 // OpenFlowCache opens (creating if needed) a flow result cache rooted at
@@ -136,6 +161,11 @@ func (c *FlowCache) Get(sc Scenario) (CachedFlow, bool) {
 		c.errors.Add(1)
 		return CachedFlow{}, false
 	}
+	return c.getKey(key)
+}
+
+// getKey is Get below the key computation.
+func (c *FlowCache) getKey(key string) (CachedFlow, bool) {
 	raw, err := os.ReadFile(c.path(key))
 	if err != nil {
 		c.misses.Add(1)
@@ -155,6 +185,55 @@ func (c *FlowCache) Get(sc Scenario) (CachedFlow, bool) {
 	return ent, true
 }
 
+// GetOrCompute returns the scenario's result, serving it from disk when
+// cached and computing (then storing) it otherwise — with concurrent
+// computations of the same key collapsed onto one: the first caller runs
+// compute, every simultaneous caller for the same key blocks on that result
+// instead of simulating it again (counted in Dedups). shared reports that
+// the result came from the cache or another caller's computation rather
+// than this call's own compute — callers that attach telemetry to the
+// computation can use it exactly like a cache hit (no simulation work of
+// their own happened). A compute error is returned to the leader and every
+// waiter, and nothing is stored.
+func (c *FlowCache) GetOrCompute(sc Scenario, compute func() (CachedFlow, error)) (CachedFlow, bool, error) {
+	key, err := c.key(sc)
+	if err != nil {
+		// Unkeyable scenario: fall back to a plain computation.
+		c.errors.Add(1)
+		ent, cerr := compute()
+		return ent, false, cerr
+	}
+	if ent, ok := c.getKey(key); ok {
+		return ent, true, nil
+	}
+	c.flightMu.Lock()
+	if call, inflight := c.flight[key]; inflight {
+		c.flightMu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return CachedFlow{}, false, call.err
+		}
+		c.dedups.Add(1)
+		return call.ent, true, nil
+	}
+	call := &flightCall{done: make(chan struct{})}
+	if c.flight == nil {
+		c.flight = make(map[string]*flightCall)
+	}
+	c.flight[key] = call
+	c.flightMu.Unlock()
+
+	call.ent, call.err = compute()
+	if call.err == nil {
+		c.putKey(key, call.ent)
+	}
+	c.flightMu.Lock()
+	delete(c.flight, key)
+	c.flightMu.Unlock()
+	close(call.done)
+	return call.ent, false, call.err
+}
+
 // Put stores the flow's result under the scenario's key. Writes are atomic
 // (unique temp file, then rename), so concurrent writers of the same key —
 // which, by construction, carry identical payloads — cannot interleave into
@@ -166,7 +245,12 @@ func (c *FlowCache) Put(sc Scenario, m *analysis.FlowMetrics, st tcp.Stats) {
 		c.errors.Add(1)
 		return
 	}
-	raw, err := encodeEntry(CachedFlow{Metrics: m, Stats: st})
+	c.putKey(key, CachedFlow{Metrics: m, Stats: st})
+}
+
+// putKey is Put below the key computation.
+func (c *FlowCache) putKey(key string, ent CachedFlow) {
+	raw, err := encodeEntry(ent)
 	if err != nil {
 		c.errors.Add(1)
 		return
@@ -193,6 +277,121 @@ func (c *FlowCache) Put(sc Scenario, m *analysis.FlowMetrics, st tcp.Stats) {
 		return
 	}
 	c.bytesWritten.Add(int64(len(raw)))
+	if max := c.maxBytes.Load(); max > 0 && c.diskBytes.Add(int64(len(raw))) > max {
+		c.evict(max)
+	}
+}
+
+// SetMaxBytes bounds the cache's on-disk entry total: after every write that
+// pushes the total past max, the oldest entries (by modification time) are
+// evicted until the total fits again, so a long-running server's cache
+// directory cannot grow without bound. max <= 0 removes the bound. The
+// current total is measured from the directory when the bound is installed
+// (and re-measured on every eviction scan), so a pre-populated or externally
+// shared directory is bounded correctly too; an over-budget directory is
+// trimmed immediately.
+func (c *FlowCache) SetMaxBytes(max int64) error {
+	if max <= 0 {
+		c.maxBytes.Store(0)
+		return nil
+	}
+	c.maxBytes.Store(max)
+	total, err := c.scanDiskBytes()
+	if err != nil {
+		return fmt.Errorf("dataset: cache: %w", err)
+	}
+	c.diskBytes.Store(total)
+	if total > max {
+		c.evict(max)
+	}
+	return nil
+}
+
+// scanDiskBytes sums the sizes of every entry file in the cache directory.
+func (c *FlowCache) scanDiskBytes() (int64, error) {
+	ents, err := c.entries()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range ents {
+		total += e.size
+	}
+	return total, nil
+}
+
+// cacheEntryInfo is one on-disk entry's eviction-relevant metadata.
+type cacheEntryInfo struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// entries lists the cache directory's entry files (temp files excluded).
+func (c *FlowCache) entries() ([]cacheEntryInfo, error) {
+	dirents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, err
+	}
+	ents := make([]cacheEntryInfo, 0, len(dirents))
+	for _, de := range dirents {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // raced with a concurrent removal
+		}
+		ents = append(ents, cacheEntryInfo{
+			path:  filepath.Join(c.dir, name),
+			size:  info.Size(),
+			mtime: info.ModTime(),
+		})
+	}
+	return ents, nil
+}
+
+// evict removes the oldest entries (by mtime, ties broken by name for
+// determinism) until the directory total is back under max. It re-scans the
+// directory for an accurate total — the running estimate drifts when several
+// processes share the directory — and tolerates entries vanishing mid-scan
+// (another process may be evicting too). Failures are counted and otherwise
+// ignored: eviction is bookkeeping, never a correctness dependency.
+func (c *FlowCache) evict(max int64) {
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	ents, err := c.entries()
+	if err != nil {
+		c.errors.Add(1)
+		return
+	}
+	var total int64
+	for _, e := range ents {
+		total += e.size
+	}
+	if total > max {
+		sort.Slice(ents, func(i, j int) bool {
+			if !ents[i].mtime.Equal(ents[j].mtime) {
+				return ents[i].mtime.Before(ents[j].mtime)
+			}
+			return ents[i].path < ents[j].path
+		})
+		for _, e := range ents {
+			if total <= max {
+				break
+			}
+			if err := os.Remove(e.path); err != nil {
+				if !os.IsNotExist(err) {
+					c.errors.Add(1)
+					continue
+				}
+			}
+			total -= e.size
+			c.evictions.Add(1)
+		}
+	}
+	c.diskBytes.Store(total)
 }
 
 // Counters returns a snapshot of the cache's activity counters in telemetry
@@ -201,7 +400,9 @@ func (c *FlowCache) Counters() telemetry.Cache {
 	return telemetry.Cache{
 		Hits:         c.hits.Load(),
 		Misses:       c.misses.Load(),
+		Dedups:       c.dedups.Load(),
 		Errors:       c.errors.Load(),
+		Evictions:    c.evictions.Load(),
 		BytesRead:    c.bytesRead.Load(),
 		BytesWritten: c.bytesWritten.Load(),
 	}

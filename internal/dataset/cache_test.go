@@ -1,10 +1,13 @@
 package dataset
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -239,5 +242,191 @@ func TestFlowCacheConcurrentWriters(t *testing.T) {
 	wg.Wait()
 	if c := cache.Counters(); c.Errors != 0 {
 		t.Errorf("counters %+v, want 0 errors", c)
+	}
+}
+
+// TestFlowCacheGetOrComputeDeduplicates launches many concurrent misses of
+// the same key and checks exactly one computation runs: the leader reports
+// shared=false, every follower shares its result (shared=true, counted in
+// Dedups), and afterwards the entry is on disk.
+func TestFlowCacheGetOrComputeDeduplicates(t *testing.T) {
+	cache, err := OpenFlowCacheVersion(t.TempDir(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := cachedScenario(t, 7)
+	want, st, err := RunFlowMetrics(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 8
+	var computes atomic.Int64
+	var shareds atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ent, shared, err := cache.GetOrCompute(sc, func() (CachedFlow, error) {
+				computes.Add(1)
+				<-release // hold every other caller in the in-flight window
+				return CachedFlow{Metrics: want, Stats: st}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if shared {
+				shareds.Add(1)
+			}
+			if !reflect.DeepEqual(want, ent.Metrics) {
+				t.Error("caller got diverging metrics")
+			}
+		}()
+	}
+	// Give every goroutine time to either become the leader or join the
+	// flight, then release the leader.
+	for computes.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want exactly 1", n)
+	}
+	if c := cache.Counters(); c.Dedups != shareds.Load() {
+		t.Errorf("counters %+v, want dedups == %d shared callers", c, shareds.Load())
+	}
+	if _, ok := cache.Get(sc); !ok {
+		t.Error("entry missing after deduplicated computation")
+	}
+}
+
+// TestFlowCacheGetOrComputeErrorPropagates checks a failing computation
+// reaches the leader and every waiter, and stores nothing.
+func TestFlowCacheGetOrComputeErrorPropagates(t *testing.T) {
+	cache, err := OpenFlowCacheVersion(t.TempDir(), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := cachedScenario(t, 7)
+	wantErr := errors.New("synthetic failure")
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	started := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := cache.GetOrCompute(sc, func() (CachedFlow, error) {
+				close(started)
+				<-release
+				return CachedFlow{}, wantErr
+			})
+			if !errors.Is(err, wantErr) {
+				t.Errorf("GetOrCompute error = %v, want %v", err, wantErr)
+			}
+		}()
+	}
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if _, ok := cache.Get(sc); ok {
+		t.Error("failed computation left an entry behind")
+	}
+}
+
+// TestFlowCacheEviction fills a size-bounded cache past its limit and
+// checks the oldest entries (by mtime) are evicted first, newer entries
+// survive, and the evictions are counted.
+func TestFlowCacheEviction(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenFlowCacheVersion(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := cachedScenario(t, 7)
+	m, st, err := RunFlowMetrics(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write four entries with strictly increasing mtimes.
+	var paths []string
+	for i := 0; i < 4; i++ {
+		s := sc
+		s.Seed = int64(1000 + i)
+		cache.Put(s, m, st)
+		all, err := filepath.Glob(filepath.Join(dir, "*.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(all) != i+1 {
+			t.Fatalf("after put %d: %d entries on disk", i, len(all))
+		}
+		for _, p := range all {
+			if !slices.Contains(paths, p) {
+				paths = append(paths, p)
+				mtime := time.Now().Add(time.Duration(i-10) * time.Hour)
+				if err := os.Chtimes(p, mtime, mtime); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	entrySize := func(p string) int64 {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Size()
+	}
+	one := entrySize(paths[3])
+	// Bound to roughly two entries: the two oldest must go.
+	if err := cache.SetMaxBytes(2*one + one/2); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range paths {
+		_, err := os.Stat(p)
+		gone := os.IsNotExist(err)
+		if wantGone := i < 2; gone != wantGone {
+			t.Errorf("entry %d gone=%v, want %v", i, gone, wantGone)
+		}
+	}
+	if c := cache.Counters(); c.Evictions != 2 {
+		t.Errorf("counters %+v, want 2 evictions", c)
+	}
+	// A further Put that busts the bound evicts again, oldest-first.
+	s := sc
+	s.Seed = 2000
+	cache.Put(s, m, st)
+	left, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, p := range left {
+		total += entrySize(p)
+	}
+	if total > 2*one+one/2 {
+		t.Errorf("post-put total %d bytes exceeds the %d bound", total, 2*one+one/2)
+	}
+	// The freshly written entry must have survived (it is the newest).
+	if _, ok := cache.Get(s); !ok {
+		t.Error("newest entry evicted")
+	}
+	// Dropping the bound stops eviction.
+	if err := cache.SetMaxBytes(0); err != nil {
+		t.Fatal(err)
+	}
+	before := cache.Counters().Evictions
+	s.Seed = 2001
+	cache.Put(s, m, st)
+	if after := cache.Counters().Evictions; after != before {
+		t.Errorf("eviction ran with the bound removed (%d -> %d)", before, after)
 	}
 }

@@ -237,7 +237,11 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 // runCampaignFlow produces one campaign flow's metrics through the
 // configured pipeline: cache lookup first (unless materializing), then the
 // streaming (or legacy materialized) simulation, then cache write-back.
-// hit reports whether the result came from the cache.
+// Concurrent campaigns sharing one cache deduplicate identical misses
+// through FlowCache.GetOrCompute: the flow simulates once, everyone shares
+// the result. hit reports whether the result came from the cache or another
+// worker's in-flight simulation (either way, this call simulated nothing
+// itself, so its telemetry bundle stays empty).
 func runCampaignFlow(cfg CampaignConfig, sc Scenario) (m *analysis.FlowMetrics, hit bool, err error) {
 	if cfg.Materialize {
 		ft, _, err := RunFlow(sc)
@@ -248,16 +252,21 @@ func runCampaignFlow(cfg CampaignConfig, sc Scenario) (m *analysis.FlowMetrics, 
 		return m, false, err
 	}
 	if cfg.Cache != nil {
-		if ent, ok := cfg.Cache.Get(sc); ok {
-			return ent.Metrics, true, nil
+		ent, shared, err := cfg.Cache.GetOrCompute(sc, func() (CachedFlow, error) {
+			m, st, err := RunFlowMetrics(sc)
+			if err != nil {
+				return CachedFlow{}, err
+			}
+			return CachedFlow{Metrics: m, Stats: st}, nil
+		})
+		if err != nil {
+			return nil, false, err
 		}
+		return ent.Metrics, shared, nil
 	}
-	m, st, err := RunFlowMetrics(sc)
+	m, _, err = RunFlowMetrics(sc)
 	if err != nil {
 		return nil, false, err
-	}
-	if cfg.Cache != nil {
-		cfg.Cache.Put(sc, m, st)
 	}
 	return m, false, nil
 }

@@ -350,16 +350,24 @@ func AnalyzeFlowOpts(opt RunOptions, sc Scenario) (*analysis.FlowMetrics, error)
 		return analysis.Analyze(ft)
 	}
 	if opt.Cache != nil {
-		if ent, ok := opt.Cache.Get(sc); ok {
-			return ent.Metrics, nil
+		// GetOrCompute additionally deduplicates concurrent misses of the
+		// same key (e.g. identical jobs racing in a server): the flow
+		// simulates once and every caller shares the result.
+		ent, _, err := opt.Cache.GetOrCompute(sc, func() (CachedFlow, error) {
+			m, st, err := RunFlowMetrics(sc)
+			if err != nil {
+				return CachedFlow{}, err
+			}
+			return CachedFlow{Metrics: m, Stats: st}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		return ent.Metrics, nil
 	}
-	m, st, err := RunFlowMetrics(sc)
+	m, _, err := RunFlowMetrics(sc)
 	if err != nil {
 		return nil, err
-	}
-	if opt.Cache != nil {
-		opt.Cache.Put(sc, m, st)
 	}
 	return m, nil
 }

@@ -158,6 +158,9 @@ func TestDefaultCampaignPipelineEquivalence(t *testing.T) {
 // 169. The bound leaves a little headroom over the measurement without
 // letting the trace arena creep back in.
 func TestRunFlowMetricsAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation inflates allocation counts")
+	}
 	sc := hsrScenario(t, cellular.ChinaMobileLTE, 0, 30*time.Second)
 	n := 0
 	avg := testing.AllocsPerRun(20, func() {

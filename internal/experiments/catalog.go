@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/export"
+)
+
+// Task names of the shared-state producers every consumer depends on.
+// CampaignsTaskName simulates the HSR + stationary Table I campaigns into
+// the shared Context; ExemplarTaskName simulates the Figure 1 exemplar flow.
+const (
+	CampaignsTaskName = "campaigns"
+	ExemplarTaskName  = "exemplar-flow"
+)
+
+// catalogSections is the canonical experiment catalog: every named
+// experiment the CLI and the service can schedule, in render order. needCtx
+// marks sections consuming the shared campaigns Context, needFig1 those
+// consuming the exemplar flow.
+var catalogSections = []struct {
+	name     string
+	needCtx  bool
+	needFig1 bool
+}{
+	{name: "table1", needCtx: true},
+	{name: "fig1", needFig1: true},
+	{name: "fig2", needFig1: true},
+	{name: "window", needFig1: true},
+	{name: "fig3", needCtx: true},
+	{name: "fig4", needCtx: true},
+	{name: "fig6", needCtx: true},
+	{name: "fig10", needCtx: true},
+	{name: "fig12"},
+	{name: "scalars", needCtx: true},
+	{name: "delack"},
+	{name: "ablation", needCtx: true},
+	{name: "backupq"},
+	{name: "eifel"},
+	{name: "sensitivity"},
+	{name: "variants"},
+	{name: "speed"},
+	{name: "validation"},
+	{name: "faults"},
+}
+
+// CatalogNames returns every experiment name in canonical render order.
+func CatalogNames() []string {
+	names := make([]string, len(catalogSections))
+	for i, s := range catalogSections {
+		names[i] = s.name
+	}
+	return names
+}
+
+// IsCatalogName reports whether name is a known catalog experiment.
+func IsCatalogName(name string) bool {
+	for _, s := range catalogSections {
+		if s.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CatalogOptions customizes a catalog build.
+type CatalogOptions struct {
+	// WriteCSV, when non-nil, additionally receives each figure experiment's
+	// CSV series (name, table) from inside the experiment's task; an error
+	// fails that task.
+	WriteCSV func(name string, t *export.Table) error
+	// ForceCampaigns schedules the shared campaigns task even when no
+	// selected experiment consumes it (used by report generation and
+	// campaign-only jobs).
+	ForceCampaigns bool
+	// Logf, when non-nil, receives human-oriented progress notes (campaign
+	// start/finish). It may be called from worker goroutines.
+	Logf func(format string, args ...any)
+}
+
+// Catalog is a buildable schedule over the named experiments: the dependency
+// tasks for shared state plus one task per requested experiment, wired
+// exactly like cmd/hsrbench's sections. Run the Tasks with RunDAGProgress;
+// after the campaigns task completed, Context returns the shared campaigns.
+type Catalog struct {
+	// Tasks is the dependency-aware schedule, in canonical render order.
+	Tasks []Task
+
+	cfg  Config
+	opt  CatalogOptions
+	ectx *Context
+	fig1 *Figure1Result
+}
+
+// Context returns the shared campaigns Context. It is only non-nil after
+// the catalog's campaigns task has run (schedule a dependent task on
+// CampaignsTaskName to consume it safely).
+func (c *Catalog) Context() *Context { return c.ectx }
+
+// sectionHeader renders an hsrbench output section heading.
+func sectionHeader(s string) string { return strings.Repeat("=", 90) + "\n" + s + "\n\n" }
+
+// NewCatalog builds the experiment schedule for the requested names under
+// cfg. Unknown names are an error (callers that want to ignore them filter
+// with IsCatalogName first); duplicate names collapse to one task. The
+// returned tasks run under ctx: once it is done, unstarted tasks are
+// skipped, exactly like RunDAGContext.
+func NewCatalog(ctx context.Context, cfg Config, names []string, opt CatalogOptions) (*Catalog, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	want := make(map[string]bool, len(names))
+	for _, name := range names {
+		if !IsCatalogName(name) {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+				name, strings.Join(CatalogNames(), ", "))
+		}
+		want[name] = true
+	}
+	needCtx := opt.ForceCampaigns
+	needFig1 := false
+	for _, s := range catalogSections {
+		if want[s.name] && s.needCtx {
+			needCtx = true
+		}
+		if want[s.name] && s.needFig1 {
+			needFig1 = true
+		}
+	}
+
+	cat := &Catalog{cfg: cfg, opt: opt}
+	add := func(name string, deps []string, run func() (string, error)) {
+		cat.Tasks = append(cat.Tasks, Task{Name: name, Deps: deps, Run: run})
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	var ctxDep, fig1Dep []string
+	if needCtx {
+		ctxDep = []string{CampaignsTaskName}
+		add(CampaignsTaskName, nil, func() (string, error) {
+			logf("running campaigns (seed=%d, duration=%v, flowsPerRow=%d)...",
+				cfg.Seed, cfg.FlowDuration, cfg.FlowsPerRow)
+			start := time.Now()
+			var err error
+			cat.ectx, err = NewContextWith(ctx, cfg)
+			if err != nil {
+				return "", err
+			}
+			logf("campaigns done in %v", time.Since(start).Round(time.Millisecond))
+			return "", nil
+		})
+	}
+	if needFig1 {
+		fig1Dep = []string{ExemplarTaskName}
+		add(ExemplarTaskName, nil, func() (string, error) {
+			var err error
+			cat.fig1, err = Figure1(cfg)
+			return "", err
+		})
+	}
+
+	writeCSV := func(name string, t *export.Table) error {
+		if opt.WriteCSV == nil {
+			return nil
+		}
+		return opt.WriteCSV(name, t)
+	}
+
+	if want["table1"] {
+		add("table1", ctxDep, func() (string, error) {
+			return sectionHeader("TABLE I") + Table1(cat.ectx).Render() + "\n", nil
+		})
+	}
+	if want["fig1"] {
+		add("fig1", fig1Dep, func() (string, error) {
+			if err := writeCSV("fig1_delivery", cat.fig1.CSVTable()); err != nil {
+				return "", err
+			}
+			return sectionHeader("FIGURE 1") + cat.fig1.Render() + "\n", nil
+		})
+	}
+	if want["fig2"] {
+		add("fig2", fig1Dep, func() (string, error) {
+			f2, err := Figure2(cat.fig1)
+			if err != nil {
+				return "", err
+			}
+			return sectionHeader("FIGURE 2") + f2.Render() + "\n", nil
+		})
+	}
+	if want["window"] {
+		add("window", fig1Dep, func() (string, error) {
+			w, err := WindowTrace(cat.fig1)
+			if err != nil {
+				return "", err
+			}
+			return sectionHeader("WINDOW EVOLUTION (the live Figs 7-9)") + w.Render() + "\n", nil
+		})
+	}
+	if want["fig3"] {
+		add("fig3", ctxDep, func() (string, error) {
+			f3 := Figure3(cat.ectx)
+			if err := writeCSV("fig3_loss_rates", f3.CSVTable()); err != nil {
+				return "", err
+			}
+			return sectionHeader("FIGURE 3") + f3.Render() + "\n", nil
+		})
+	}
+	if want["fig4"] {
+		add("fig4", ctxDep, func() (string, error) {
+			f4 := Figure4(cat.ectx)
+			if err := writeCSV("fig4_ack_vs_timeouts", f4.CSVTable()); err != nil {
+				return "", err
+			}
+			return sectionHeader("FIGURE 4") + f4.Render() + "\n", nil
+		})
+	}
+	if want["fig6"] {
+		add("fig6", ctxDep, func() (string, error) {
+			f6 := Figure6(cat.ectx)
+			if err := writeCSV("fig6_ack_loss", f6.CSVTable()); err != nil {
+				return "", err
+			}
+			return sectionHeader("FIGURE 6") + f6.Render() + "\n", nil
+		})
+	}
+	if want["fig10"] {
+		add("fig10", ctxDep, func() (string, error) {
+			f10, err := Figure10(cat.ectx)
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("fig10_model_fits", f10.CSVTable()); err != nil {
+				return "", err
+			}
+			return sectionHeader("FIGURE 10") + f10.Render() + "\n", nil
+		})
+	}
+	if want["fig12"] {
+		add("fig12", nil, func() (string, error) {
+			f12, err := Figure12(cfg)
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("fig12_mptcp", f12.CSVTable()); err != nil {
+				return "", err
+			}
+			return sectionHeader("FIGURE 12") + f12.Render() + "\n", nil
+		})
+	}
+	if want["scalars"] {
+		add("scalars", ctxDep, func() (string, error) {
+			return sectionHeader("HEADLINE CLAIMS") + Scalars(cat.ectx).Render() + "\n", nil
+		})
+	}
+	if want["delack"] {
+		add("delack", nil, func() (string, error) {
+			d, err := DelayedAck(cfg)
+			if err != nil {
+				return "", err
+			}
+			return sectionHeader("DELAYED-ACK SWEEP (Section V-A)") + d.Render() + "\n", nil
+		})
+	}
+	if want["ablation"] {
+		add("ablation", ctxDep, func() (string, error) {
+			a, err := ModelAblation(cat.ectx)
+			if err != nil {
+				return "", err
+			}
+			return sectionHeader("MODEL ABLATION") + a.Render() + "\n", nil
+		})
+	}
+	if want["backupq"] {
+		add("backupq", nil, func() (string, error) {
+			bq, err := BackupQ(cfg)
+			if err != nil {
+				return "", err
+			}
+			return sectionHeader("MPTCP BACKUP MODE (Section V-B)") + bq.Render() + "\n", nil
+		})
+	}
+	if want["eifel"] {
+		add("eifel", nil, func() (string, error) {
+			e, err := Eifel(cfg)
+			if err != nil {
+				return "", err
+			}
+			return sectionHeader("EIFEL-STYLE SPURIOUS-RTO RESPONSE") + e.Render() + "\n", nil
+		})
+	}
+	if want["sensitivity"] {
+		add("sensitivity", nil, func() (string, error) {
+			s, err := ChannelSensitivity(cfg)
+			if err != nil {
+				return "", err
+			}
+			return sectionHeader("CHANNEL ABLATION — HANDOFF DURATION SWEEP") + s.Render() + "\n", nil
+		})
+	}
+	if want["variants"] {
+		add("variants", nil, func() (string, error) {
+			v, err := Variants(cfg)
+			if err != nil {
+				return "", err
+			}
+			return sectionHeader("VARIANT COMPARISON — RENO VS NEWRENO") + v.Render() + "\n", nil
+		})
+	}
+	if want["speed"] {
+		add("speed", nil, func() (string, error) {
+			sp, err := SpeedSweep(cfg)
+			if err != nil {
+				return "", err
+			}
+			return sectionHeader("SPEED SWEEP — 0 TO 300 KM/H") + sp.Render() + "\n", nil
+		})
+	}
+	if want["validation"] {
+		add("validation", nil, func() (string, error) {
+			v, err := ModelValidation(cfg)
+			if err != nil {
+				return "", err
+			}
+			return sectionHeader("PIPELINE VALIDATION — STATIC BERNOULLI CHANNEL") + v.Render() + "\n", nil
+		})
+	}
+	if want["faults"] {
+		add("faults", nil, func() (string, error) {
+			f, err := FaultSweep(cfg)
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("fault_sweep", f.CSVTable()); err != nil {
+				return "", err
+			}
+			return sectionHeader("FAULT-INJECTION SEVERITY SWEEP") + f.Render() + "\n", nil
+		})
+	}
+	return cat, nil
+}

@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"net/http"
+
+	"repro/internal/telemetry"
+)
+
+// handleMetrics renders the server's counters in Prometheus text
+// exposition: pool gauges, job lifecycle totals, the shared flow cache's
+// counters, and the campaign aggregate merged over every completed job.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	x := telemetry.NewTextExposer(w, "hsrserved_")
+	x.Comment("hsrserved server state")
+	x.Int("workers", int64(s.cfg.Workers))
+	x.Int("queue_depth", s.pl.depth())
+	x.Int("queue_capacity", int64(s.cfg.QueueDepth))
+	x.Int("jobs_running", s.pl.active())
+	draining := int64(0)
+	if s.draining.Load() {
+		draining = 1
+	}
+	x.Int("draining", draining)
+	x.Comment("job lifecycle totals")
+	x.Int("jobs_submitted_total", s.submitted.Load())
+	x.Int("jobs_accepted_total", s.accepted.Load())
+	x.Int("jobs_rejected_total", s.rejected.Load())
+	x.Int("jobs_completed_total", s.completed.Load())
+	x.Int("jobs_failed_total", s.failed.Load())
+	if s.cfg.Cache != nil {
+		cc := s.cfg.Cache.Counters()
+		x.Comment("shared flow-result cache")
+		x.Cache(&cc)
+	}
+	if n, _, _, _, _ := s.agg.Counters(); n > 0 {
+		x.Comment("campaign counters aggregated over all jobs")
+		x.Campaign(s.agg)
+	}
+	if err := x.Flush(); err != nil {
+		s.cfg.Logf("metrics write failed: %v", err)
+	}
+}

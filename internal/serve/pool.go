@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Admission errors: the HTTP layer maps ErrQueueFull to 429 + Retry-After
+// and ErrDraining to 503.
+var (
+	ErrQueueFull = errors.New("serve: job queue full")
+	ErrDraining  = errors.New("serve: server draining")
+)
+
+// pool is a bounded worker pool with a bounded queue: admission control is
+// the queue bound — a submit against a full queue fails immediately instead
+// of blocking, so the HTTP handler can turn backpressure into a 429 while
+// the accepted jobs keep their FIFO order.
+type pool struct {
+	queue   chan func()
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	queued  atomic.Int64
+	running atomic.Int64
+}
+
+// newPool starts workers goroutines draining a queue of at most depth
+// pending jobs (beyond the ones actively running).
+func newPool(workers, depth int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &pool{queue: make(chan func(), depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.queue {
+				p.queued.Add(-1)
+				p.running.Add(1)
+				fn()
+				p.running.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues fn, failing with ErrQueueFull when the queue is at
+// capacity and ErrDraining after drain began. fn runs exactly once on a
+// worker goroutine when submit returns nil.
+func (p *pool) submit(fn func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrDraining
+	}
+	select {
+	case p.queue <- fn:
+		p.queued.Add(1)
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// drain stops admission and waits until every accepted job has finished.
+// Safe to call more than once.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// depth returns the number of queued (not yet running) jobs.
+func (p *pool) depth() int64 { return p.queued.Load() }
+
+// active returns the number of jobs currently running on workers.
+func (p *pool) active() int64 { return p.running.Load() }

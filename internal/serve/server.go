@@ -1,0 +1,341 @@
+// Package serve is the simulation-as-a-service layer: an HTTP server that
+// accepts simulation jobs (single flows, the Table I campaigns, named
+// catalog experiments) as JSON, validates them against the same schemas the
+// CLIs use, executes them on a bounded worker pool with admission control,
+// and streams progress plus a final telemetry report as NDJSON. Results are
+// bit-identical to the same job run through cmd/hsrbench: both surfaces
+// share the experiment catalog, the flow cache and the report builder.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/telemetry"
+)
+
+// Config configures a Server. The zero value is usable: one worker, a
+// one-deep queue, no cache.
+type Config struct {
+	// Workers is the number of jobs executing concurrently (min 1).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running (min 1); a full
+	// queue rejects submissions with 429 + Retry-After.
+	QueueDepth int
+	// Cache, when non-nil, is the flow-result cache shared across every job
+	// (identical flows across requests are served from disk, identical
+	// in-flight computations are deduplicated).
+	Cache *dataset.FlowCache
+	// FlowParallelism bounds concurrent flow simulations inside one job
+	// (0 = GOMAXPROCS). With several workers, set it so
+	// Workers*FlowParallelism matches the machine.
+	FlowParallelism int
+	// DAGJobs bounds concurrent experiment tasks inside one job (min 1).
+	DAGJobs int
+	// Limits is the admission policy for job contents. Zero fields default
+	// to MaxFlowDuration 10m, MaxTimeout 15m; MaxTimeout is also the
+	// default per-job deadline when a spec names none.
+	Limits Limits
+	// Logf, when non-nil, receives one line per job lifecycle edge.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP service. Create with New, mount via Handler, stop with
+// StartDrain + Drain.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	pl  *pool
+
+	draining atomic.Bool
+	jobSeq   atomic.Int64
+
+	submitted atomic.Int64
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+
+	// agg accumulates every job's campaign counters into one server-wide
+	// aggregate for /metrics.
+	agg *telemetry.Campaign
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	if cfg.DAGJobs < 1 {
+		cfg.DAGJobs = 1
+	}
+	if cfg.Limits.MaxFlowDuration == 0 {
+		cfg.Limits.MaxFlowDuration = 10 * time.Minute
+	}
+	if cfg.Limits.MaxTimeout == 0 {
+		cfg.Limits.MaxTimeout = 15 * time.Minute
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg: cfg,
+		mux: http.NewServeMux(),
+		pl:  newPool(cfg.Workers, cfg.QueueDepth),
+		agg: telemetry.NewCampaign(),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDrain stops admitting jobs: new submissions get 503, /healthz flips
+// to draining. Streaming responses for accepted jobs keep running.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Drain blocks until every accepted job has finished. Call after StartDrain
+// (and typically after http.Server.Shutdown has drained the handlers).
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.pl.drain()
+}
+
+// healthzBody is the /healthz JSON document.
+type healthzBody struct {
+	Status        string `json:"status"` // "ok" or "draining"
+	Version       string `json:"version"`
+	Workers       int    `json:"workers"`
+	QueueDepth    int64  `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	JobsRunning   int64  `json:"jobs_running"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	body := healthzBody{
+		Status:        "ok",
+		Version:       buildinfo.Version(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.pl.depth(),
+		QueueCapacity: s.cfg.QueueDepth,
+		JobsRunning:   s.pl.active(),
+	}
+	if s.draining.Load() {
+		body.Status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Experiments []string `json:"experiments"`
+	}{experiments.CatalogNames()})
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.submitted.Add(1)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		s.rejected.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("serve: bad job body: %v", err))
+		return
+	}
+	if err := spec.Validate(s.cfg.Limits); err != nil {
+		s.rejected.Add(1)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.draining.Load() {
+		s.rejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, ErrDraining.Error())
+		return
+	}
+
+	jobID := fmt.Sprintf("job-%d", s.jobSeq.Add(1))
+	st := newStream()
+	// The job runs under the request context plus the job deadline: a gone
+	// client or an expired deadline cancels the schedule, which skips
+	// unstarted tasks and reports the completed prefix.
+	timeout := s.cfg.Limits.MaxTimeout
+	if spec.TimeoutMS > 0 {
+		if d := time.Duration(spec.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	jobCtx, cancel := context.WithTimeout(r.Context(), timeout)
+	if err := s.pl.submit(func() {
+		defer cancel()
+		defer st.close()
+		s.runJob(jobCtx, jobID, &spec, st)
+	}); err != nil {
+		cancel()
+		s.rejected.Add(1)
+		if err == ErrQueueFull {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.accepted.Add(1)
+	s.cfg.Logf("job %s accepted: kind=%s seed=%d queue=%d", jobID, spec.Kind, spec.seed(), s.pl.depth())
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Job-Id", jobID)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeEvent := func(e Event) {
+		// A failed write means the client is gone; keep draining the stream
+		// so the worker's sends never back up.
+		_ = enc.Encode(e)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeEvent(Event{
+		Event:      "accepted",
+		JobID:      jobID,
+		Version:    buildinfo.Version(),
+		QueueDepth: s.pl.depth(),
+	})
+	for e := range st.ch {
+		writeEvent(e)
+	}
+}
+
+// runJob executes one admitted job on a worker goroutine.
+func (s *Server) runJob(ctx context.Context, jobID string, spec *JobSpec, st *stream) {
+	start := time.Now()
+	var terminal Event
+	switch spec.Kind {
+	case KindFlow:
+		terminal = s.runFlowJob(spec)
+	default:
+		terminal = s.runScheduledJob(ctx, spec, st, start)
+	}
+	terminal.JobID = jobID
+	terminal.Version = buildinfo.Version()
+	terminal.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if terminal.Event == "error" {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
+	s.cfg.Logf("job %s %s: status=%s elapsed=%v", jobID, terminal.Event, terminal.Status,
+		time.Since(start).Round(time.Millisecond))
+	st.emit(terminal)
+}
+
+// runFlowJob simulates (or serves from cache) one flow.
+func (s *Server) runFlowJob(spec *JobSpec) Event {
+	sc, err := spec.flowScenario(s.cfg.Limits)
+	if err != nil {
+		return Event{Event: "error", Status: "error", Error: err.Error()}
+	}
+	var ent dataset.CachedFlow
+	var shared bool
+	if s.cfg.Cache != nil {
+		ent, shared, err = s.cfg.Cache.GetOrCompute(sc, func() (dataset.CachedFlow, error) {
+			m, stats, err := dataset.RunFlowMetrics(sc)
+			return dataset.CachedFlow{Metrics: m, Stats: stats}, err
+		})
+	} else {
+		ent.Metrics, ent.Stats, err = dataset.RunFlowMetrics(sc)
+	}
+	if err != nil {
+		return Event{Event: "error", Status: "error", Error: err.Error()}
+	}
+	return Event{Event: "result", Status: "ok", Flow: &ent, Cached: shared}
+}
+
+// runScheduledJob executes a campaign or experiment job through the shared
+// catalog and reports exactly like hsrbench -metrics.
+func (s *Server) runScheduledJob(ctx context.Context, spec *JobSpec, st *stream, start time.Time) Event {
+	cfg := spec.experimentsConfig()
+	cfg.Parallelism = s.cfg.FlowParallelism
+	cfg.Cache = s.cfg.Cache
+	camp := telemetry.NewCampaign()
+	cfg.Telemetry = camp
+	cfg.Progress = func(done, total int) {
+		st.tryEmit(Event{Event: "flows", Done: done, Total: total})
+	}
+
+	cat, err := experiments.NewCatalog(ctx, cfg, spec.Run, experiments.CatalogOptions{
+		ForceCampaigns: spec.Kind == KindCampaign,
+	})
+	if err != nil {
+		return Event{Event: "error", Status: "error", Error: err.Error()}
+	}
+	results, err := experiments.RunDAGProgress(ctx, cat.Tasks, s.cfg.DAGJobs,
+		func(res experiments.TaskResult, completed, total int) {
+			status := "ok"
+			switch {
+			case res.Skipped:
+				status = "skipped"
+			case res.Err != nil:
+				status = "failed"
+			}
+			st.tryEmit(Event{Event: "task", Task: res.Name, Status: status,
+				Completed: completed, Total: total})
+		})
+	if err != nil {
+		return Event{Event: "error", Status: "error", Error: err.Error()}
+	}
+
+	var cc *telemetry.Cache
+	if s.cfg.Cache != nil {
+		c := s.cfg.Cache.Counters()
+		cc = &c
+	}
+	rep := experiments.MetricsReport("hsrserved", cfg.Seed, camp, cc, results, start)
+	s.agg.Merge(camp)
+
+	sum := Summary{}
+	var outputs []TaskOutput
+	for _, r := range results {
+		switch {
+		case r.Skipped:
+			sum.Skipped++
+		case r.Err != nil:
+			sum.Failed++
+		default:
+			sum.Completed++
+			if r.Output != "" {
+				outputs = append(outputs, TaskOutput{Name: r.Name, Output: r.Output})
+			}
+		}
+	}
+	status := "ok"
+	if sum.Failed > 0 || sum.Skipped > 0 {
+		status = "partial"
+	}
+	return Event{Event: "result", Status: status, Summary: &sum, Report: rep, Outputs: outputs}
+}

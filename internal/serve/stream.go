@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/telemetry"
+)
+
+// Event is one NDJSON line of a job's response stream. The first line is
+// always "accepted"; "flows" and "task" lines report progress while the job
+// runs; exactly one terminal "result" or "error" line closes the stream.
+type Event struct {
+	// Event is the line type: accepted, flows, task, result, error.
+	Event string `json:"event"`
+	// JobID identifies the job on every line (assigned at admission).
+	JobID string `json:"job_id,omitempty"`
+	// Version is the server build (accepted + terminal lines).
+	Version string `json:"version,omitempty"`
+	// QueueDepth is the queue occupancy observed at admission.
+	QueueDepth int64 `json:"queue_depth,omitempty"`
+
+	// Flow progress (event=flows): Done of Total campaign flows finished.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+
+	// Task progress (event=task): one DAG task completed.
+	Task      string `json:"task,omitempty"`
+	Status    string `json:"status,omitempty"` // ok, failed, skipped — and the terminal ok/partial/error
+	Completed int    `json:"completed,omitempty"`
+
+	// Terminal payload (event=result|error).
+	Error string `json:"error,omitempty"`
+
+	ElapsedMS float64             `json:"elapsed_ms,omitempty"`
+	Summary   *Summary            `json:"summary,omitempty"`
+	Report    *telemetry.Report   `json:"report,omitempty"`
+	Outputs   []TaskOutput        `json:"outputs,omitempty"`
+	Flow      *dataset.CachedFlow `json:"flow,omitempty"`
+	// Cached reports that a flow job's result came from the shared cache or
+	// a deduplicated concurrent computation.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// Summary counts a scheduled job's task outcomes.
+type Summary struct {
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Skipped   int `json:"skipped"`
+}
+
+// TaskOutput is one experiment's rendered section.
+type TaskOutput struct {
+	Name   string `json:"name"`
+	Output string `json:"output"`
+}
+
+// stream carries a job's events from the worker goroutine to the HTTP
+// handler. Progress events are best-effort (dropped when the reader lags);
+// terminal events always land — the buffer is sized so the worker never
+// blocks on a slow or gone client.
+type stream struct {
+	ch chan Event
+}
+
+func newStream() *stream {
+	// 256 buffered events absorb any full catalog run (19 experiments + the
+	// shared tasks + per-campaign flow batches) without the worker blocking.
+	return &stream{ch: make(chan Event, 256)}
+}
+
+// tryEmit sends a progress event, dropping it when the buffer is full.
+func (s *stream) tryEmit(e Event) {
+	select {
+	case s.ch <- e:
+	default:
+	}
+}
+
+// emit sends an event that must not be lost (terminal lines). The buffer
+// outsizes any event sequence that can precede a terminal line, so this
+// never blocks in practice; the send is still on the buffered channel, not
+// the client socket, so a gone client cannot wedge the worker.
+func (s *stream) emit(e Event) {
+	s.ch <- e
+}
+
+// close ends the stream; the handler's range loop terminates.
+func (s *stream) close() { close(s.ch) }

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// TextExposer renders counters and gauges in the Prometheus text exposition
+// format ("name value" lines, '#'-prefixed comments). It exists so a
+// long-running service can publish the same telemetry counters the JSON
+// reports carry without taking on a metrics dependency: every line derives
+// from deterministic integers (plus whatever gauges the caller adds), and
+// lines are emitted in call order, so scrapes of identical state are
+// byte-identical.
+//
+// Write errors are sticky: the first one is remembered, later calls are
+// no-ops, and Flush reports it.
+type TextExposer struct {
+	w      *bufio.Writer
+	prefix string
+	err    error
+}
+
+// NewTextExposer wraps w; every metric name is prepended with prefix
+// (conventionally the service name plus '_').
+func NewTextExposer(w io.Writer, prefix string) *TextExposer {
+	return &TextExposer{w: bufio.NewWriter(w), prefix: prefix}
+}
+
+// Comment emits a '#'-prefixed comment line.
+func (e *TextExposer) Comment(text string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, "# %s\n", text)
+}
+
+// Int emits one integer-valued metric line.
+func (e *TextExposer) Int(name string, v int64) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, "%s%s %d\n", e.prefix, name, v)
+}
+
+// Float emits one float-valued metric line ('g' formatting, so integral
+// values stay terse and scrapes stay deterministic).
+func (e *TextExposer) Float(name string, v float64) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, "%s%s %s\n", e.prefix, name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// Cache emits the flow-result-cache counters.
+func (e *TextExposer) Cache(c *Cache) {
+	e.Int("cache_hits_total", c.Hits)
+	e.Int("cache_misses_total", c.Misses)
+	e.Int("cache_dedups_total", c.Dedups)
+	e.Int("cache_errors_total", c.Errors)
+	e.Int("cache_evictions_total", c.Evictions)
+	e.Int("cache_read_bytes_total", c.BytesRead)
+	e.Int("cache_written_bytes_total", c.BytesWritten)
+}
+
+// Campaign emits the deterministic counter sections of a campaign
+// aggregate: flow count, kernel, endpoint, link and fault totals.
+func (e *TextExposer) Campaign(c *Campaign) {
+	flows, k, t, n, f := c.Counters()
+	e.Int("campaign_flows_total", flows)
+	e.Int("kernel_events_total", k.Events)
+	e.Int("kernel_scheduled_total", k.Scheduled)
+	e.Int("kernel_virtual_ns_total", k.VirtualNS)
+	e.Int("tcp_flows_total", t.Flows)
+	e.Int("tcp_data_sent_total", t.DataSent)
+	e.Int("tcp_retransmissions_total", t.Retransmissions)
+	e.Int("tcp_timeouts_total", t.Timeouts)
+	e.Int("tcp_fast_retransmits_total", t.FastRetransmits)
+	e.Int("tcp_spurious_recoveries_total", t.SpuriousRecoveries)
+	e.Int("tcp_recovery_phases_total", t.RecoveryPhases)
+	e.Int("net_data_offered_total", n.Data.Offered)
+	e.Int("net_data_delivered_total", n.Data.Delivered)
+	e.Int("net_data_channel_drops_total", n.Data.ChannelDrops)
+	e.Int("net_data_queue_drops_total", n.Data.QueueDrops)
+	e.Int("net_ack_offered_total", n.Ack.Offered)
+	e.Int("net_ack_delivered_total", n.Ack.Delivered)
+	e.Int("net_ack_channel_drops_total", n.Ack.ChannelDrops)
+	e.Int("net_ack_queue_drops_total", n.Ack.QueueDrops)
+	e.Int("faults_schedules_total", f.Schedules)
+	e.Int("faults_episodes_total", f.Episodes)
+	e.Int("faults_data_drops_total", f.DataDrops)
+	e.Int("faults_ack_drops_total", f.AckDrops)
+}
+
+// Flush writes out buffered lines and returns the first error encountered.
+func (e *TextExposer) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}

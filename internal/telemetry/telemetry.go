@@ -32,29 +32,63 @@ import (
 // is an empty distribution ready for use; Add is allocation-free.
 type Dist struct {
 	r stats.Running
+	// parsed holds a summary decoded from JSON (a report round trip). The
+	// streaming accumulator cannot be reconstructed exactly from its summary
+	// (the inverse mappings round), so the parsed form is kept verbatim and
+	// re-emitted by MarshalJSON: a report survives any number of read/write
+	// round trips byte for byte. A parsed Dist is a read-only summary —
+	// Add or Merge on one discards the parsed part.
+	parsed *distSummary
+}
+
+// distSummary mirrors the marshalled form of a non-empty distribution.
+type distSummary struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
 }
 
 // Add folds one sample into the distribution.
-func (d *Dist) Add(x float64) { d.r.Add(x) }
+func (d *Dist) Add(x float64) { d.parsed = nil; d.r.Add(x) }
 
 // Merge folds other into d (Chan et al. parallel combine, via
 // stats.Running.Merge). Merge order must be fixed for bit-identical
 // results; campaign aggregation merges in flow order.
-func (d *Dist) Merge(other *Dist) { d.r.Merge(&other.r) }
+func (d *Dist) Merge(other *Dist) { d.parsed = nil; d.r.Merge(&other.r) }
 
 // N returns the number of samples added.
-func (d *Dist) N() int { return d.r.N() }
+func (d *Dist) N() int {
+	if d.parsed != nil {
+		return d.parsed.N
+	}
+	return d.r.N()
+}
 
 // Mean returns the sample mean, or NaN when empty.
-func (d *Dist) Mean() float64 { return d.r.Mean() }
+func (d *Dist) Mean() float64 {
+	if d.parsed != nil {
+		return d.parsed.Mean
+	}
+	return d.r.Mean()
+}
 
 // Max returns the largest sample, or NaN when empty.
-func (d *Dist) Max() float64 { return d.r.Max() }
+func (d *Dist) Max() float64 {
+	if d.parsed != nil {
+		return d.parsed.Max
+	}
+	return d.r.Max()
+}
 
 // MarshalJSON emits {"n":0} for an empty distribution and a flat summary
 // object otherwise. NaN never leaks into the JSON: the standard deviation
 // of fewer than two samples is reported as 0.
 func (d Dist) MarshalJSON() ([]byte, error) {
+	if d.parsed != nil {
+		return json.Marshal(d.parsed)
+	}
 	if d.r.N() == 0 {
 		return []byte(`{"n":0}`), nil
 	}
@@ -62,13 +96,23 @@ func (d Dist) MarshalJSON() ([]byte, error) {
 	if d.r.N() < 2 {
 		std = 0
 	}
-	return json.Marshal(struct {
-		N    int     `json:"n"`
-		Mean float64 `json:"mean"`
-		Std  float64 `json:"std"`
-		Min  float64 `json:"min"`
-		Max  float64 `json:"max"`
-	}{d.r.N(), d.r.Mean(), std, d.r.Min(), d.r.Max()})
+	return json.Marshal(distSummary{d.r.N(), d.r.Mean(), std, d.r.Min(), d.r.Max()})
+}
+
+// UnmarshalJSON restores a distribution written by MarshalJSON as a
+// read-only summary; see the parsed field for the round-trip contract.
+func (d *Dist) UnmarshalJSON(raw []byte) error {
+	var s distSummary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return err
+	}
+	d.r = stats.Running{}
+	if s.N == 0 {
+		d.parsed = nil
+		return nil
+	}
+	d.parsed = &s
+	return nil
 }
 
 // Kernel collects event-kernel metrics for one simulation (or, after
@@ -267,15 +311,20 @@ func (f *Faults) Merge(other *Faults) {
 
 // Cache counts flow-result-cache activity: how many flow simulations were
 // skipped because a cached result was served (Hits), how many entries were
-// looked up but absent (Misses), how many stored entries were rejected as
-// corrupt or unreadable and fell back to simulation (Errors), and the entry
-// bytes moved in each direction. All fields are host-side resource counters:
-// they never influence simulated behaviour, and a warm cache reports the
-// same experiment output with most of the simulation work replaced by Hits.
+// looked up but absent (Misses), how many concurrent lookups were collapsed
+// onto an in-flight computation of the same key (Dedups), how many stored
+// entries were rejected as corrupt or unreadable and fell back to simulation
+// (Errors), how many entries were evicted to honour the size bound
+// (Evictions), and the entry bytes moved in each direction. All fields are
+// host-side resource counters: they never influence simulated behaviour, and
+// a warm cache reports the same experiment output with most of the
+// simulation work replaced by Hits.
 type Cache struct {
 	Hits         int64 `json:"hits"`
 	Misses       int64 `json:"misses"`
+	Dedups       int64 `json:"dedups"`
 	Errors       int64 `json:"errors"`
+	Evictions    int64 `json:"evictions"`
 	BytesRead    int64 `json:"bytes_read"`
 	BytesWritten int64 `json:"bytes_written"`
 }
@@ -284,7 +333,9 @@ type Cache struct {
 func (c *Cache) Merge(other *Cache) {
 	c.Hits += other.Hits
 	c.Misses += other.Misses
+	c.Dedups += other.Dedups
 	c.Errors += other.Errors
+	c.Evictions += other.Evictions
 	c.BytesRead += other.BytesRead
 	c.BytesWritten += other.BytesWritten
 }
@@ -348,4 +399,62 @@ func (c *Campaign) Counters() (int64, Kernel, TCP, Net, Faults) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.FlowCount, c.Kernel, c.TCP, c.Net, c.Faults
+}
+
+// Merge folds another campaign's totals into c, so a long-running service
+// can aggregate per-job campaigns into a process-wide total. Like AddFlow,
+// bit-identical float aggregates require a fixed merge order across calls.
+func (c *Campaign) Merge(other *Campaign) {
+	if other == nil || other == c {
+		return
+	}
+	// Snapshot other under its own lock first: locking both at once could
+	// deadlock if two campaigns ever merged into each other concurrently.
+	snap := other.snapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.FlowCount += snap.FlowCount
+	c.Kernel.Merge(&snap.Kernel)
+	c.TCP.Merge(&snap.TCP)
+	c.Net.Merge(&snap.Net)
+	c.Faults.Merge(&snap.Faults)
+	c.WallNS += snap.WallNS
+}
+
+// campaignSnapshot is a self-contained copy of a campaign's aggregate
+// fields (no lock, unlike Campaign itself).
+type campaignSnapshot struct {
+	FlowCount int64
+	Kernel    Kernel
+	TCP       TCP
+	Net       Net
+	Faults    Faults
+	WallNS    int64
+}
+
+// snapshot returns a locked, self-contained copy of the campaign's
+// aggregate fields (histogram storage is deep-copied: a plain struct copy
+// would share its count slices with the live campaign).
+func (c *Campaign) snapshot() campaignSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := campaignSnapshot{
+		FlowCount: c.FlowCount,
+		Kernel:    c.Kernel,
+		TCP:       c.TCP,
+		Net:       c.Net,
+		Faults:    c.Faults,
+		WallNS:    c.WallNS,
+	}
+	snap.TCP.CwndHist = cloneHist(c.TCP.CwndHist)
+	snap.TCP.BackoffHist = cloneHist(c.TCP.BackoffHist)
+	return snap
+}
+
+// cloneHist deep-copies a histogram's storage.
+func cloneHist(h Hist) Hist {
+	return Hist{
+		Bounds: append([]float64(nil), h.Bounds...),
+		Counts: append([]int64(nil), h.Counts...),
+	}
 }
