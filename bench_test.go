@@ -358,8 +358,9 @@ func (h *benchHandler) Fire() {
 }
 
 // BenchmarkTimerRescheduleChurn measures the sender.armTimer pattern: one
-// long-lived timer rearmed on every ACK. Reschedule keeps the timer's heap
-// slot in place instead of allocating a replacement per rearm.
+// long-lived timer rearmed on every ACK. Reschedule re-slots the timer in
+// place — usually without even moving it between wheel slots — instead of
+// allocating a replacement per rearm.
 func BenchmarkTimerRescheduleChurn(b *testing.B) {
 	b.ReportAllocs()
 	s := sim.New()
@@ -390,9 +391,9 @@ func (d *rescheduleDriver) Fire() {
 	}
 }
 
-// BenchmarkCancelHeavy measures the Stop-heavy workload that used to leak
-// cancelled entries into the heap until their deadline: schedule a far-out
-// timer, cancel it, repeat. Lazy-deletion compaction keeps the heap small.
+// BenchmarkCancelHeavy measures the Stop-heavy workload: schedule a far-out
+// timer, cancel it, repeat. Stop unlinks the timer from its wheel slot in
+// O(1), so cancelled events never accumulate.
 func BenchmarkCancelHeavy(b *testing.B) {
 	b.ReportAllocs()
 	s := sim.New()
@@ -404,6 +405,58 @@ func BenchmarkCancelHeavy(b *testing.B) {
 		b.Fatalf("Pending() = %d after cancelling everything, want 0", got)
 	}
 	s.Run()
+}
+
+// nopHandler is an empty pooled-event callback for pure kernel benchmarks.
+type nopHandler struct{}
+
+func (*nopHandler) Fire() {}
+
+// BenchmarkRunBatchDispatch measures dense batched dispatch: rounds of 256
+// events submitted into one wheel tick and drained by RunBatch — the shape a
+// window-sized TCP burst produces. After warmup the path is allocation-free.
+func BenchmarkRunBatchDispatch(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New()
+	h := &nopHandler{}
+	const round = 256
+	for i := 0; i < round; i++ {
+		s.ScheduleFire(time.Millisecond, h) // warm the event pool
+	}
+	s.Run()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += round {
+		for i := 0; i < round; i++ {
+			s.ScheduleFire(time.Millisecond, h)
+		}
+		for s.RunBatch() > 0 {
+		}
+	}
+}
+
+// BenchmarkCascadeFarFuture measures coarse-level placement plus cascade
+// cost: each event is scheduled five minutes ahead, so it parks two wheel
+// levels up and is redistributed twice before firing.
+func BenchmarkCascadeFarFuture(b *testing.B) {
+	b.ReportAllocs()
+	s := sim.New()
+	h := &farHandler{s: s, n: b.N}
+	b.ResetTimer()
+	s.ScheduleFire(5*time.Minute, h)
+	s.Run()
+}
+
+// farHandler reschedules itself n times, five virtual minutes out each time.
+type farHandler struct {
+	s    *sim.Simulator
+	n, i int
+}
+
+func (h *farHandler) Fire() {
+	h.i++
+	if h.i < h.n {
+		h.s.ScheduleFire(5*time.Minute, h)
+	}
 }
 
 // BenchmarkRunFlowStreaming measures one full 30-second HSR flow reduced

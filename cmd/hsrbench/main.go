@@ -6,7 +6,7 @@
 //
 //	hsrbench [-quick] [-seed N] [-duration 120s] [-flows N] [-jobs N]
 //	         [-timeout D] [-run name,...] [-progress] [-metrics out.json]
-//	         [-cache DIR] [-cache-max-bytes N]
+//	         [-cache DIR] [-cache-max-bytes N] [-bench-json out.json]
 //	         [-cpuprofile f] [-memprofile f] [-version]
 //
 // Experiment names: table1, fig1, fig2, fig3, fig4, fig6, fig10, fig12,
@@ -69,6 +69,7 @@ func run(args []string) error {
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "bound the cache directory's entry bytes, evicting oldest entries first (0 = unbounded)")
 	materialize := fs.Bool("materialize", false, "force the legacy materialize-then-analyze flow pipeline (cross-check mode; output must be byte-identical to the streaming default)")
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry report (kernel/TCP/link/fault counters, per-task resources) to this file")
+	benchJSON := fs.String("bench-json", "", "run the performance snapshot (cold/warm quick campaign, single-flow wall and allocations, kernel event rate), write it as JSON to this file, and exit without running experiments")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file (taken at exit, after a GC)")
 	version := fs.Bool("version", false, "print version and exit")
@@ -77,6 +78,27 @@ func run(args []string) error {
 	}
 	if *version {
 		fmt.Println(buildinfo.Line("hsrbench"))
+		return nil
+	}
+	if *benchJSON != "" {
+		snap, err := experiments.RunBenchSnapshot(experiments.BenchOptions{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			return fmt.Errorf("bench-json: %w", err)
+		}
+		werr := snap.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("bench-json: %w", werr)
+		}
+		fmt.Fprintf(os.Stderr, "hsrbench: campaign %d flows cold %.0fms warm %.0fms; flow %.2fms, %.0f allocs, %.2fM events/s; wrote %s\n",
+			snap.CampaignFlows, snap.ColdCampaignWallMS, snap.WarmCampaignWallMS,
+			snap.SingleFlowWallMS, snap.AllocsPerFlow, snap.KernelEventsPerSec/1e6, *benchJSON)
 		return nil
 	}
 	if *cpuprofile != "" {

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/cellular"
+	"repro/internal/dataset"
+	"repro/internal/railway"
+	"repro/internal/tcp"
+	"repro/internal/telemetry"
+)
+
+// BenchSnapshot is the machine-readable performance snapshot hsrbench
+// -bench-json writes: the wall-clock and allocation numbers the performance
+// docs quote, in one JSON object so regressions are diffable across
+// commits. Wall-clock fields are machine-dependent; the allocation and
+// kernel-event counts are deterministic for a seed.
+type BenchSnapshot struct {
+	Tool       string `json:"tool"`
+	Version    string `json:"version"`
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	// Quick-scale Table I campaign (sequential), run twice in-process:
+	// cold is the first run on a fresh heap, warm the second with the
+	// runtime's caches and pools populated.
+	CampaignFlows      int     `json:"campaign_flows"`
+	ColdCampaignWallMS float64 `json:"cold_campaign_wall_ms"`
+	WarmCampaignWallMS float64 `json:"warm_campaign_wall_ms"`
+
+	// Warmed single-flow measurements (China Mobile LTE, cruise window).
+	SingleFlowDurationS float64 `json:"single_flow_duration_s"`
+	SingleFlowWallMS    float64 `json:"single_flow_wall_ms"` // best of the measured runs
+	AllocsPerFlow       float64 `json:"allocs_per_flow"`
+	KernelEventsPerFlow int64   `json:"kernel_events_per_flow"`
+	KernelEventsPerSec  float64 `json:"kernel_events_per_sec"`
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *BenchSnapshot) WriteJSON(w io.Writer) error {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	_, err = w.Write(blob)
+	return err
+}
+
+// BenchOptions scales the snapshot campaign; zero fields take the defaults
+// noted on each field (the scale the checked-in snapshots use).
+type BenchOptions struct {
+	Seed                 int64         // campaign and flow base seed
+	CampaignFlowDuration time.Duration // default 45s
+	CampaignFlowsPerRow  int           // default 4 (quick scale)
+	FlowDuration         time.Duration // default 30s single-flow length
+	FlowRuns             int           // default 5 measured single-flow runs
+}
+
+func (o BenchOptions) withDefaults() BenchOptions {
+	if o.CampaignFlowDuration <= 0 {
+		o.CampaignFlowDuration = 45 * time.Second
+	}
+	if o.CampaignFlowsPerRow <= 0 {
+		o.CampaignFlowsPerRow = 4
+	}
+	if o.FlowDuration <= 0 {
+		o.FlowDuration = 30 * time.Second
+	}
+	if o.FlowRuns <= 0 {
+		o.FlowRuns = 5
+	}
+	return o
+}
+
+// benchScenario builds the canonical single-flow benchmark scenario: a
+// cruise-window China Mobile LTE flow, the same shape the dataset package's
+// allocation gate and the kernel profile use.
+func benchScenario(seed int64, d time.Duration) (dataset.Scenario, error) {
+	trip, err := railway.NewTrip(railway.BeijingTianjin, railway.DefaultProfile)
+	if err != nil {
+		return dataset.Scenario{}, err
+	}
+	start, _ := trip.CruiseWindow()
+	return dataset.Scenario{
+		ID:           "bench-flow",
+		Operator:     cellular.ChinaMobileLTE,
+		Trip:         trip,
+		TripOffset:   start,
+		FlowDuration: d,
+		Seed:         seed,
+		TCP:          tcp.DefaultConfig(),
+		Scenario:     "hsr",
+	}, nil
+}
+
+// RunBenchSnapshot measures the snapshot. Call it at process start (as
+// hsrbench -bench-json does) so the cold campaign really runs on a cold
+// heap; everything after the first campaign is deliberately warmed.
+func RunBenchSnapshot(opt BenchOptions) (*BenchSnapshot, error) {
+	opt = opt.withDefaults()
+	snap := &BenchSnapshot{
+		Tool:                "hsrbench",
+		Version:             buildinfo.Version(),
+		Seed:                opt.Seed,
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		SingleFlowDurationS: opt.FlowDuration.Seconds(),
+	}
+
+	// Campaign phase: identical sequential runs, cold then warm.
+	campaign := func() (int, time.Duration, error) {
+		start := time.Now()
+		camp, err := dataset.RunCampaign(dataset.CampaignConfig{
+			Seed:         opt.Seed,
+			FlowDuration: opt.CampaignFlowDuration,
+			FlowsPerRow:  opt.CampaignFlowsPerRow,
+			Parallelism:  1,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		return len(camp.Metrics()), time.Since(start), nil
+	}
+	flows, cold, err := campaign()
+	if err != nil {
+		return nil, fmt.Errorf("bench: cold campaign: %w", err)
+	}
+	_, warm, err := campaign()
+	if err != nil {
+		return nil, fmt.Errorf("bench: warm campaign: %w", err)
+	}
+	snap.CampaignFlows = flows
+	snap.ColdCampaignWallMS = float64(cold) / float64(time.Millisecond)
+	snap.WarmCampaignWallMS = float64(warm) / float64(time.Millisecond)
+
+	// Single-flow phase: warm the pipeline's pools, then measure FlowRuns
+	// flows with distinct seeds (so the work is real, not cached), tracking
+	// the best wall, the exact malloc count, and the kernel event totals.
+	runFlow := func(seed int64) (time.Duration, int64, error) {
+		sc, err := benchScenario(seed, opt.FlowDuration)
+		if err != nil {
+			return 0, 0, err
+		}
+		tel := telemetry.NewFlow()
+		sc.Telemetry = tel
+		start := time.Now()
+		if _, _, err := dataset.RunFlowMetrics(sc); err != nil {
+			return 0, 0, err
+		}
+		return time.Since(start), tel.Kernel.Events, nil
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := runFlow(opt.Seed + int64(1000+i)); err != nil {
+			return nil, fmt.Errorf("bench: warmup flow: %w", err)
+		}
+	}
+	var ms0, ms1 runtime.MemStats
+	var best time.Duration
+	var totalWall time.Duration
+	var totalEvents int64
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < opt.FlowRuns; i++ {
+		wall, events, err := runFlow(opt.Seed + int64(2000+i))
+		if err != nil {
+			return nil, fmt.Errorf("bench: measured flow: %w", err)
+		}
+		if best == 0 || wall < best {
+			best = wall
+		}
+		totalWall += wall
+		totalEvents += events
+	}
+	runtime.ReadMemStats(&ms1)
+	snap.SingleFlowWallMS = float64(best) / float64(time.Millisecond)
+	snap.AllocsPerFlow = float64(ms1.Mallocs-ms0.Mallocs) / float64(opt.FlowRuns)
+	snap.KernelEventsPerFlow = totalEvents / int64(opt.FlowRuns)
+	if totalWall > 0 {
+		snap.KernelEventsPerSec = float64(totalEvents) / totalWall.Seconds()
+	}
+	return snap, nil
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestRunBenchSnapshot runs the snapshot at a tiny scale and checks the
+// deterministic fields are populated and the JSON round-trips.
+func TestRunBenchSnapshot(t *testing.T) {
+	snap, err := RunBenchSnapshot(BenchOptions{
+		Seed:                 1,
+		CampaignFlowDuration: 5 * time.Second,
+		CampaignFlowsPerRow:  1,
+		FlowDuration:         5 * time.Second,
+		FlowRuns:             2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Tool != "hsrbench" || snap.Seed != 1 {
+		t.Errorf("snapshot identity = %q seed %d", snap.Tool, snap.Seed)
+	}
+	if snap.CampaignFlows <= 0 {
+		t.Errorf("CampaignFlows = %d, want > 0", snap.CampaignFlows)
+	}
+	if snap.ColdCampaignWallMS <= 0 || snap.WarmCampaignWallMS <= 0 {
+		t.Errorf("campaign walls = %v / %v, want > 0", snap.ColdCampaignWallMS, snap.WarmCampaignWallMS)
+	}
+	if snap.SingleFlowWallMS <= 0 {
+		t.Errorf("SingleFlowWallMS = %v, want > 0", snap.SingleFlowWallMS)
+	}
+	if snap.KernelEventsPerFlow <= 0 || snap.KernelEventsPerSec <= 0 {
+		t.Errorf("kernel rates = %d events, %v/s, want > 0", snap.KernelEventsPerFlow, snap.KernelEventsPerSec)
+	}
+	if snap.AllocsPerFlow <= 0 {
+		t.Errorf("AllocsPerFlow = %v, want > 0", snap.AllocsPerFlow)
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.CampaignFlows != snap.CampaignFlows || back.KernelEventsPerFlow != snap.KernelEventsPerFlow {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, snap)
+	}
+}

@@ -161,28 +161,68 @@ func (l *Link) QueueDepth() time.Duration {
 // never called and Send reports the drop cause. The caller observes drops
 // synchronously, which the trace recorder uses to log ground-truth losses.
 func (l *Link) Send(size int, deliver Handler) (bool, DropKind) {
+	b := l.BeginBurst(size)
+	return b.Send(deliver)
+}
+
+// Burst is a batched submission handle: it amortizes the per-packet
+// admission arithmetic of Send — the clock read and the (possibly
+// fault-scaled) serialization time — across a run of same-size packets
+// offered at a single virtual instant, the shape the TCP sender's window
+// fill produces. Everything statefully per-packet (queue admission, delay
+// sampling, channel loss draws, FIFO clamping, delivery scheduling) still
+// happens per Send in submission order, so a burst of n packets is
+// byte-identical to n plain Sends. A Burst is only valid at the instant it
+// was begun; Send panics if virtual time has moved on.
+type Burst struct {
+	l      *Link
+	now    time.Duration
+	size   int
+	txTime time.Duration // resolved on first Send; 0 while unresolved or rate-unlimited
+}
+
+// BeginBurst starts a batched submission of size-byte packets at the current
+// virtual time. The serialization time is resolved lazily on the first Send,
+// so beginning a burst that submits nothing costs two field reads.
+func (l *Link) BeginBurst(size int) Burst {
 	if size <= 0 {
 		panic(fmt.Sprintf("netem: Send with non-positive size %d", size))
 	}
+	return Burst{l: l, now: l.simulator.Now(), size: size}
+}
+
+// Send offers one packet of the burst; semantics match Link.Send.
+func (b *Burst) Send(deliver Handler) (bool, DropKind) {
 	if deliver == nil {
 		panic("netem: Send with nil deliver callback")
 	}
+	l := b.l
+	now := b.now
+	if l.simulator.Now() != now {
+		panic(fmt.Sprintf("netem: Burst begun at %v used at %v", now, l.simulator.Now()))
+	}
 	l.stats.Offered++
-	now := l.simulator.Now()
 
 	departure := now
 	if l.cfg.Rate > 0 {
-		rate := l.cfg.Rate
-		if l.cfg.RateScale != nil {
-			f := l.cfg.RateScale(now)
-			if f < minRateScale {
-				f = minRateScale
+		txTime := b.txTime
+		if txTime == 0 {
+			// First packet of the burst: resolve the effective line rate at
+			// this instant. RateScale is a pure function of virtual time, so
+			// one evaluation serves the whole burst.
+			rate := l.cfg.Rate
+			if l.cfg.RateScale != nil {
+				f := l.cfg.RateScale(now)
+				if f < minRateScale {
+					f = minRateScale
+				}
+				rate *= f
 			}
-			rate *= f
-		}
-		txTime := time.Duration(float64(size*8) / rate * float64(time.Second))
-		if txTime <= 0 {
-			txTime = time.Nanosecond
+			txTime = time.Duration(float64(b.size*8) / rate * float64(time.Second))
+			if txTime <= 0 {
+				txTime = time.Nanosecond
+			}
+			b.txTime = txTime
 		}
 		start := now
 		if l.nextFree > start {

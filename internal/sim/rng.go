@@ -16,9 +16,9 @@ const (
 	StreamDelay
 	StreamHandoff
 	StreamWorkload
-	StreamFaultData  // fault-injected data-direction loss draws
-	StreamFaultAck   // fault-injected ACK-direction loss draws
-	StreamFaultStorm // fault-injected handoff-storm outage placement
+	StreamFaultData         // fault-injected data-direction loss draws
+	StreamFaultAck          // fault-injected ACK-direction loss draws
+	StreamFaultStorm        // fault-injected handoff-storm outage placement
 	StreamUser       Stream = 1000
 )
 

@@ -1,27 +1,34 @@
 // Package sim implements a deterministic discrete-event simulation kernel:
-// a virtual clock, an event heap with stable FIFO ordering for simultaneous
-// events, cancellable timers, and seeded random-number streams.
+// a virtual clock, a hierarchical timing wheel with stable FIFO ordering for
+// simultaneous events, cancellable timers, and seeded random-number streams.
 //
 // Every other substrate (link emulation, TCP endpoints, mobility) is driven
 // by a Simulator so that a whole experiment is a single-threaded,
 // reproducible computation: the same seed always produces the same packet
 // trace.
 //
+// The scheduler is a four-level timing wheel over tick-quantized virtual
+// time (2^20 ns ≈ 1.05 ms per tick at the finest level, each coarser level
+// 256× wider). Events keep their exact nanosecond timestamps; the wheel only
+// buckets them, and each advance drains the earliest occupied slot into a
+// dense, (at, seq)-sorted due batch, so the global fire order is exactly the
+// order a comparison-based queue would produce. Insertion, cancellation and
+// rescheduling are O(1) — timers live on intrusive per-slot lists and are
+// unlinked directly — and the per-tick batches feed RunBatch, the dense
+// dispatch loop the hot simulation paths run on.
+//
 // The kernel is allocation-conscious. Fire-and-forget events scheduled
 // through ScheduleFire/AtFire draw their event objects from a per-simulator
 // free list and return them after firing, so the per-packet hot path
-// (link deliveries) allocates nothing in steady state. Cancelled timers are
-// removed lazily: Stop only marks the entry dead, and the heap is compacted
-// once dead entries outnumber live ones, so cancel-heavy workloads (RTO
-// timers that almost never fire) stay O(live) rather than accumulating
-// garbage until the dead entries' deadlines pass. Long-lived timers avoid
-// the Stop+Schedule churn entirely via Timer.Reschedule, which moves the
-// existing heap entry in place.
+// (link deliveries) allocates nothing in steady state. Long-lived timers
+// avoid Stop+Schedule churn via Timer.Reschedule, which re-slots the timer
+// in place — usually without even moving it between wheel slots.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
+	"slices"
 	"time"
 
 	"repro/internal/telemetry"
@@ -35,18 +42,54 @@ type Handler interface {
 	Fire()
 }
 
-// compactMinHeap is the heap size below which lazy-deletion compaction is
-// not worth the bookkeeping.
-const compactMinHeap = 64
+// Timing-wheel geometry. The finest tick is 2^tickShift nanoseconds; each of
+// the wheelLevels levels spans wheelSlots ticks of the level below, so the
+// wheel directly addresses 2^(tickShift+levels*bits) ns ≈ 52 days of virtual
+// time. Events beyond that are parked in the farthest top-level slot and
+// re-cascade when reached (their exact timestamp lives on the Timer).
+const (
+	tickShift   = 20 // 2^20 ns ≈ 1.05 ms per finest-level tick
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+)
+
+// Timer placement states, stored in Timer.level: >= 0 is a wheel level.
+const (
+	timerUnqueued = -1 // fired, stopped, or never scheduled
+	timerInDue    = -2 // sitting in the sorted due batch
+)
+
+// dueEntry is one slot of the dense due batch: the timers of the tick being
+// dispatched, sorted by (at, seq). The gen snapshot detects entries
+// invalidated by Stop/Reschedule after the batch was formed; they are
+// skipped lazily at dispatch.
+type dueEntry struct {
+	at  time.Duration
+	seq uint64
+	gen uint64
+	t   *Timer
+}
 
 // Simulator owns the virtual clock and the pending event queue. The zero
 // value is not usable; create one with New.
 type Simulator struct {
-	now    time.Duration
-	events eventHeap
-	seq    uint64
-	live   int    // non-cancelled entries currently in the heap
-	free   *Timer // free list of recycled fire-and-forget events
+	now  time.Duration
+	seq  uint64
+	live int    // scheduled, not-yet-fired, not-cancelled events
+	free *Timer // free list of recycled fire-and-forget events
+
+	// cursor is the wheel's current tick: every event with a due tick at or
+	// before it has been moved into the due batch (or fired); everything in
+	// the wheel is strictly ahead of it. It can run ahead of now>>tickShift —
+	// the clock advances to exact event timestamps, the cursor to drained
+	// slot boundaries.
+	cursor     int64
+	wheelCount int // timers linked into wheel slots
+	due        []dueEntry
+	dueHead    int  // next due entry to dispatch
+	draining   bool // advance() is redistributing a slot (defer due sorting)
 
 	budget    Budget
 	executed  int64
@@ -57,6 +100,10 @@ type Simulator struct {
 	// every update below is guarded by one nil check, so the disabled path
 	// costs a predictable branch and zero allocations.
 	tel *telemetry.Kernel
+
+	levelCount [wheelLevels]int
+	occupied   [wheelLevels][wheelSlots / 64]uint64
+	wheel      [wheelLevels][wheelSlots]*Timer
 }
 
 // SetTelemetry attaches a kernel metrics sink (nil detaches). Updates are
@@ -93,10 +140,10 @@ func (s *Simulator) Exhausted() bool { return s.exhausted }
 
 // SetInvariantChecks toggles the kernel's self-check mode: after every
 // executed event the clock and live-event counter are verified, and the
-// whole heap (ordering, index fields, live accounting) is audited
-// periodically. Violations panic — the mode exists to turn silent kernel
-// corruption into an immediate, attributable failure during stress
-// campaigns, not to be recovered from.
+// whole wheel (slot placement, occupancy bitmaps, live accounting, due-batch
+// ordering) is audited periodically. Violations panic — the mode exists to
+// turn silent kernel corruption into an immediate, attributable failure
+// during stress campaigns, not to be recovered from.
 func (s *Simulator) SetInvariantChecks(on bool) { s.selfCheck = on }
 
 // New returns a Simulator with the clock at zero and no pending events.
@@ -111,9 +158,12 @@ func (s *Simulator) Now() time.Duration { return s.now }
 // events. It is O(1): the kernel maintains a live-event counter.
 func (s *Simulator) Pending() int { return s.live }
 
-// heapLen returns the raw heap size including lazily-deleted entries
-// (diagnostics and tests).
-func (s *Simulator) heapLen() int { return len(s.events) }
+// queuedLen returns the number of physically queued entries — wheel timers
+// plus undispatched due entries, including ones invalidated by Stop — for
+// diagnostics and tests. Unlike the lazy-deletion heap this kernel replaced,
+// stopped timers are unlinked immediately, so queuedLen can only exceed
+// Pending by stale due entries of the tick currently being dispatched.
+func (s *Simulator) queuedLen() int { return s.wheelCount + len(s.due) - s.dueHead }
 
 // Schedule runs fn after delay of virtual time. A zero delay fires the event
 // at the current time but strictly after all previously scheduled events for
@@ -135,7 +185,7 @@ func (s *Simulator) At(t time.Duration, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: At with nil callback")
 	}
-	ev := &Timer{s: s, at: t, fn: fn}
+	ev := &Timer{s: s, at: t, fn: fn, level: timerUnqueued}
 	s.push(ev)
 	return ev
 }
@@ -162,7 +212,7 @@ func (s *Simulator) AtFire(t time.Duration, h Handler) {
 	}
 	ev := s.free
 	if ev == nil {
-		ev = &Timer{s: s}
+		ev = &Timer{s: s, level: timerUnqueued}
 		if s.tel != nil {
 			s.tel.PoolMisses++
 		}
@@ -180,25 +230,287 @@ func (s *Simulator) AtFire(t time.Duration, h Handler) {
 	s.push(ev)
 }
 
-// push inserts an event, stamping the FIFO tiebreaker.
+// push inserts a new event, stamping the FIFO tiebreaker.
 func (s *Simulator) push(ev *Timer) {
 	ev.seq = s.seq
 	s.seq++
 	s.live++
-	heap.Push(&s.events, ev)
+	s.place(ev)
 	if s.tel != nil {
 		s.tel.Scheduled++
-		if d := int64(len(s.events)); d > s.tel.MaxHeapDepth {
-			s.tel.MaxHeapDepth = d
+		if d := int64(s.live); d > s.tel.MaxPending {
+			s.tel.MaxPending = d
 		}
 	}
+}
+
+// tickOf quantizes a timestamp to a wheel tick.
+func tickOf(t time.Duration) int64 { return int64(t) >> tickShift }
+
+// placement returns the wheel coordinates for an event due at dueTick,
+// which must be strictly after the cursor. Levels are compared in
+// tick-number space shifted to the level's granularity — not by raw tick
+// distance — so two events a full rotation apart can never alias into one
+// slot. Far-future events park in the farthest top-level slot and re-cascade
+// when the cursor reaches it.
+func (s *Simulator) placement(dueTick int64) (level, slot int) {
+	for l := 0; ; l++ {
+		shift := uint(l * wheelBits)
+		diff := (dueTick >> shift) - (s.cursor >> shift)
+		if diff < wheelSlots || l == wheelLevels-1 {
+			if diff > wheelMask {
+				diff = wheelMask
+			}
+			return l, int(((s.cursor >> shift) + diff) & wheelMask)
+		}
+	}
+}
+
+// place files a (seq-stamped) timer: into the due batch when its tick is not
+// ahead of the cursor, into a wheel slot otherwise.
+func (s *Simulator) place(t *Timer) {
+	if tick := tickOf(t.at); tick > s.cursor {
+		level, slot := s.placement(tick)
+		s.link(t, level, slot)
+		return
+	}
+	s.dueAdd(t)
+}
+
+// link puts t at the head of a wheel slot's intrusive list. Order within a
+// slot is irrelevant: the slot is sorted by (at, seq) when drained.
+func (s *Simulator) link(t *Timer, level, slot int) {
+	head := s.wheel[level][slot]
+	t.next = head
+	t.prev = nil
+	if head != nil {
+		head.prev = t
+	}
+	s.wheel[level][slot] = t
+	t.level, t.slot = int16(level), int16(slot)
+	s.occupied[level][slot>>6] |= 1 << (uint(slot) & 63)
+	s.levelCount[level]++
+	s.wheelCount++
+}
+
+// unlink removes t from its wheel slot in O(1).
+func (s *Simulator) unlink(t *Timer) {
+	level, slot := int(t.level), int(t.slot)
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		s.wheel[level][slot] = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	}
+	t.next, t.prev = nil, nil
+	if s.wheel[level][slot] == nil {
+		s.occupied[level][slot>>6] &^= 1 << (uint(slot) & 63)
+	}
+	s.levelCount[level]--
+	s.wheelCount--
+	t.level = timerUnqueued
+}
+
+// dueAdd appends t to the due batch. While a slot is draining the batch is
+// sorted once at the end; outside a drain (an event scheduled for the
+// current tick, e.g. zero delay) the entry is placed by binary search so the
+// batch stays dispatchable in (at, seq) order. The freshly stamped seq is
+// larger than every queued one, so equal timestamps land after their elders.
+func (s *Simulator) dueAdd(t *Timer) {
+	t.level = timerInDue
+	e := dueEntry{at: t.at, seq: t.seq, gen: t.gen, t: t}
+	if s.draining {
+		s.due = append(s.due, e)
+		return
+	}
+	pending := s.due[s.dueHead:]
+	i, _ := slices.BinarySearchFunc(pending, e, cmpDue)
+	s.due = append(s.due, dueEntry{})
+	pos := s.dueHead + i
+	copy(s.due[pos+1:], s.due[pos:])
+	s.due[pos] = e
+}
+
+func cmpDue(a, b dueEntry) int {
+	switch {
+	case a.at != b.at:
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
+}
+
+// nextOccupied returns the circular distance (>= lo) from slot `from` to the
+// nearest occupied slot on level l, or -1 when the level is empty in that
+// range. The occupancy bitmaps make this a handful of word scans.
+func (s *Simulator) nextOccupied(l, from, lo int) int {
+	occ := &s.occupied[l]
+	start := (from + lo) & wheelMask
+	if w := occ[start>>6] >> (uint(start) & 63); w != 0 {
+		return (start + bits.TrailingZeros64(w) - from) & wheelMask
+	}
+	for i := 1; i <= wheelSlots/64; i++ {
+		idx := ((start >> 6) + i) & (wheelSlots/64 - 1)
+		if w := occ[idx]; w != 0 {
+			return (idx<<6 + bits.TrailingZeros64(w) - from) & wheelMask
+		}
+	}
+	return -1
+}
+
+// advance moves the cursor to the earliest occupied slot boundary and drains
+// every slot that begins there, top level first: coarse slots redistribute
+// into finer ones (a cascade), finest-level and current-tick events join the
+// due batch, which is then sorted into dispatch order.
+func (s *Simulator) advance() {
+	best := int64(-1)
+	for l := wheelLevels - 1; l >= 0; l-- {
+		if s.levelCount[l] == 0 {
+			continue
+		}
+		shift := uint(l * wheelBits)
+		coarse := s.cursor >> shift
+		lo := 1
+		if l == 0 {
+			// The cursor's own finest slot can hold events placed before a
+			// coarse jump landed exactly on it; distance 0 finds them.
+			lo = 0
+		}
+		d := s.nextOccupied(l, int(coarse&wheelMask), lo)
+		if d < 0 {
+			continue
+		}
+		if base := (coarse + int64(d)) << shift; best < 0 || base < best {
+			best = base
+		}
+	}
+	if best < 0 {
+		panic("sim: internal: advance on an empty wheel")
+	}
+	s.cursor = best
+	s.draining = true
+	var maxSlot int
+	for l := wheelLevels - 1; l >= 0; l-- {
+		shift := uint(l * wheelBits)
+		slot := int((s.cursor >> shift) & wheelMask)
+		head := s.wheel[l][slot]
+		if head == nil {
+			continue
+		}
+		// A non-empty slot at the cursor's own coordinates always begins at
+		// the cursor (coarse levels only become current via an aligned jump),
+		// so everything in it is due for redistribution now.
+		s.wheel[l][slot] = nil
+		s.occupied[l][slot>>6] &^= 1 << (uint(slot) & 63)
+		n := 0
+		for t := head; t != nil; {
+			next := t.next
+			t.next, t.prev = nil, nil
+			t.level = timerUnqueued
+			n++
+			s.place(t)
+			t = next
+		}
+		s.levelCount[l] -= n
+		s.wheelCount -= n
+		if n > maxSlot {
+			maxSlot = n
+		}
+		if s.tel != nil && l > 0 {
+			s.tel.Cascades += int64(n)
+		}
+	}
+	s.draining = false
+	if len(s.due) > 1 {
+		slices.SortFunc(s.due, cmpDue)
+	}
+	if s.tel != nil {
+		if int64(maxSlot) > s.tel.MaxSlot {
+			s.tel.MaxSlot = int64(maxSlot)
+		}
+		if n := int64(len(s.due)); n > 0 {
+			s.tel.Batches++
+			s.tel.BatchEvents += n
+			if n > s.tel.MaxBatch {
+				s.tel.MaxBatch = n
+			}
+		}
+	}
+}
+
+// refill returns the earliest live event without consuming it, advancing the
+// wheel as needed, or nil when the queue is empty. Stale due entries
+// (stopped or rescheduled after the batch formed) are skipped here.
+func (s *Simulator) refill() *Timer {
+	for {
+		for s.dueHead < len(s.due) {
+			e := &s.due[s.dueHead]
+			if e.t.gen == e.gen {
+				return e.t
+			}
+			s.dueHead++
+		}
+		if s.dueHead > 0 {
+			s.due = s.due[:0]
+			s.dueHead = 0
+		}
+		if s.wheelCount == 0 {
+			return nil
+		}
+		s.advance()
+	}
+}
+
+// fire executes one event, advancing the clock to its timestamp.
+func (s *Simulator) fire(t *Timer) {
+	t.gen++
+	t.level = timerUnqueued
+	s.now = t.at
+	s.live--
+	s.executed++
+	if s.tel != nil {
+		s.tel.Events++
+	}
+	t.fired = true
+	if h := t.h; h != nil {
+		// Fire-and-forget event: recycle before invoking so the handler
+		// can immediately reuse the slot for follow-up events.
+		s.recycle(t)
+		h.Fire()
+	} else {
+		t.fn()
+	}
+	if s.selfCheck {
+		s.checkInvariants()
+	}
+}
+
+// refuses reports (and records) whether the budget refuses to execute an
+// event with timestamp at.
+func (s *Simulator) refuses(at time.Duration) bool {
+	if s.budget.MaxEvents > 0 && s.executed >= s.budget.MaxEvents {
+		s.exhausted = true
+		return true
+	}
+	if s.budget.MaxVirtualTime > 0 && at > s.budget.MaxVirtualTime {
+		s.exhausted = true
+		return true
+	}
+	return false
 }
 
 // recycle returns a pooled fire-and-forget event to the free list.
 func (s *Simulator) recycle(ev *Timer) {
 	ev.h = nil
 	ev.fn = nil
-	ev.index = -1
 	ev.freeNext = s.free
 	s.free = ev
 }
@@ -207,44 +519,49 @@ func (s *Simulator) recycle(ev *Timer) {
 // its timestamp. It reports whether an event was executed (false means the
 // queue is empty, or the run budget is exhausted — see Exhausted).
 func (s *Simulator) Step() bool {
-	ev := s.peek() // drains lazily-deleted entries off the top
-	if ev == nil {
+	t := s.refill()
+	if t == nil {
 		return false
 	}
-	if s.budget.MaxEvents > 0 && s.executed >= s.budget.MaxEvents {
-		s.exhausted = true
+	if s.refuses(t.at) {
 		return false
 	}
-	if s.budget.MaxVirtualTime > 0 && ev.at > s.budget.MaxVirtualTime {
-		s.exhausted = true
-		return false
-	}
-	heap.Pop(&s.events)
-	ev.index = -1
-	s.now = ev.at
-	s.live--
-	s.executed++
-	if s.tel != nil {
-		s.tel.Events++
-	}
-	ev.fired = true
-	if h := ev.h; h != nil {
-		// Fire-and-forget event: recycle before invoking so the handler
-		// can immediately reuse the slot for follow-up events.
-		s.recycle(ev)
-		h.Fire()
-	} else {
-		ev.fn()
-	}
-	if s.selfCheck {
-		s.checkInvariants()
-	}
+	s.dueHead++
+	s.fire(t)
 	return true
+}
+
+// RunBatch executes the next dense batch of due events — one wheel tick's
+// worth, in (at, seq) order, including events their handlers schedule back
+// into the same tick — and returns how many fired. Zero means the queue is
+// empty or the budget refused (see Exhausted). The batch loop dispatches
+// straight off the sorted due array, so per-event scheduling overhead is a
+// bounds check and a generation compare; Run is a loop over RunBatch.
+func (s *Simulator) RunBatch() int {
+	if s.refill() == nil {
+		return 0
+	}
+	n := 0
+	for s.dueHead < len(s.due) {
+		e := &s.due[s.dueHead]
+		t := e.t
+		if t.gen != e.gen {
+			s.dueHead++
+			continue
+		}
+		if s.refuses(t.at) {
+			break
+		}
+		s.dueHead++
+		s.fire(t)
+		n++
+	}
+	return n
 }
 
 // Run executes events until the queue is empty or the budget is exhausted.
 func (s *Simulator) Run() {
-	for s.Step() {
+	for s.RunBatch() > 0 {
 	}
 }
 
@@ -254,107 +571,112 @@ func (s *Simulator) Run() {
 // clock past the last executed event.
 func (s *Simulator) RunUntil(deadline time.Duration) {
 	for {
-		ev := s.peek()
-		if ev == nil || ev.at > deadline {
+		t := s.refill()
+		if t == nil || t.at > deadline {
 			break
 		}
-		if !s.Step() {
+		if s.refuses(t.at) {
 			return // budget exhausted; leave the clock where it stopped
 		}
+		s.dueHead++
+		s.fire(t)
 	}
 	if s.now < deadline {
 		s.now = deadline
 	}
+	if s.wheelCount == 0 && s.dueHead >= len(s.due) {
+		// Nothing queued: fast-forward the cursor so post-deadline schedules
+		// slot at fine granularity instead of cascading up from tick zero.
+		s.cursor = tickOf(s.now)
+	}
 }
 
-// invariantAuditPeriod is how many executed events separate full-heap
+// invariantAuditPeriod is how many executed events separate full-wheel
 // audits in self-check mode; the cheap per-event checks run every Step.
 const invariantAuditPeriod = 4096
 
 // checkInvariants verifies kernel state in self-check mode. Every event it
 // bounds the live counter; every invariantAuditPeriod events it audits the
-// whole heap: index fields, (at, seq) heap ordering, live accounting, and
-// that no queued event predates the clock.
+// whole wheel: slot placement, occupancy bitmaps, level counters, due-batch
+// ordering, live accounting, and that no queued event predates the clock.
 func (s *Simulator) checkInvariants() {
-	if s.live < 0 || s.live > len(s.events) {
-		panic(fmt.Sprintf("sim: invariant violation: live counter %d outside [0, %d]", s.live, len(s.events)))
+	if s.live < 0 || s.live > s.queuedLen() {
+		panic(fmt.Sprintf("sim: invariant violation: live counter %d outside [0, %d]", s.live, s.queuedLen()))
 	}
 	if s.executed%invariantAuditPeriod != 0 {
 		return
 	}
 	live := 0
-	for i, ev := range s.events {
-		if ev.index != i {
-			panic(fmt.Sprintf("sim: invariant violation: event at heap slot %d has index %d", i, ev.index))
-		}
-		if !ev.cancelled {
-			live++
-			if ev.at < s.now {
-				panic(fmt.Sprintf("sim: invariant violation: live event at %v predates clock %v", ev.at, s.now))
+	for l := 0; l < wheelLevels; l++ {
+		shift := uint(l * wheelBits)
+		count := 0
+		for slot := 0; slot < wheelSlots; slot++ {
+			n := 0
+			for t := s.wheel[l][slot]; t != nil; t = t.next {
+				n++
+				if t.cancelled || t.fired {
+					panic(fmt.Sprintf("sim: invariant violation: dead timer linked at level %d slot %d", l, slot))
+				}
+				if int(t.level) != l || int(t.slot) != slot {
+					panic(fmt.Sprintf("sim: invariant violation: timer coordinates (%d,%d) linked at (%d,%d)", t.level, t.slot, l, slot))
+				}
+				tick := tickOf(t.at)
+				if tick <= s.cursor {
+					panic(fmt.Sprintf("sim: invariant violation: wheel timer due tick %d not ahead of cursor %d", tick, s.cursor))
+				}
+				if t.at < s.now {
+					panic(fmt.Sprintf("sim: invariant violation: live event at %v predates clock %v", t.at, s.now))
+				}
+				if l < wheelLevels-1 && int((tick>>shift)&wheelMask) != slot {
+					panic(fmt.Sprintf("sim: invariant violation: due tick %d misfiled in level %d slot %d", tick, l, slot))
+				}
+				live++
 			}
+			if occupied := s.occupied[l][slot>>6]&(1<<(uint(slot)&63)) != 0; occupied != (n > 0) {
+				panic(fmt.Sprintf("sim: invariant violation: occupancy bit for level %d slot %d is %v with %d timers", l, slot, occupied, n))
+			}
+			count += n
 		}
-		if parent := (i - 1) / 2; i > 0 && s.events.Less(i, parent) {
-			panic(fmt.Sprintf("sim: invariant violation: heap order broken between slots %d and %d", parent, i))
+		if count != s.levelCount[l] {
+			panic(fmt.Sprintf("sim: invariant violation: level %d counter %d but %d timers linked", l, s.levelCount[l], count))
 		}
+	}
+	prev := -1
+	for i := s.dueHead; i < len(s.due); i++ {
+		e := &s.due[i]
+		if prev >= 0 && cmpDue(s.due[prev], *e) > 0 {
+			panic(fmt.Sprintf("sim: invariant violation: due batch order broken between entries %d and %d", prev, i))
+		}
+		prev = i
+		if e.t.gen != e.gen {
+			continue // stale: invalidated by Stop/Reschedule
+		}
+		if e.at < s.now {
+			panic(fmt.Sprintf("sim: invariant violation: due event at %v predates clock %v", e.at, s.now))
+		}
+		live++
 	}
 	if live != s.live {
 		panic(fmt.Sprintf("sim: invariant violation: live counter %d but %d live events queued", s.live, live))
 	}
 }
 
-// peek returns the earliest live event without removing it, or nil.
-func (s *Simulator) peek() *Timer {
-	for len(s.events) > 0 {
-		if !s.events[0].cancelled {
-			return s.events[0]
-		}
-		ev := heap.Pop(&s.events).(*Timer)
-		ev.index = -1
-	}
-	return nil
-}
-
-// maybeCompact rebuilds the heap without its lazily-deleted entries once
-// they outnumber the live ones. Amortized O(1) per Stop: each compaction is
-// O(n) but halves the heap, and at least n/2 Stops separate compactions.
-func (s *Simulator) maybeCompact() {
-	if len(s.events) < compactMinHeap || len(s.events)-s.live <= s.live {
-		return
-	}
-	if s.tel != nil {
-		s.tel.Compactions++
-	}
-	kept := s.events[:0]
-	for _, ev := range s.events {
-		if ev.cancelled {
-			ev.index = -1
-			continue
-		}
-		kept = append(kept, ev)
-	}
-	for i := len(kept); i < len(s.events); i++ {
-		s.events[i] = nil
-	}
-	s.events = kept
-	for i, ev := range s.events {
-		ev.index = i
-	}
-	heap.Init(&s.events)
-}
-
 // Timer is a handle to a scheduled event. It can be cancelled before firing
 // with Stop and moved to a new deadline — before or after firing — with
 // Reschedule.
 type Timer struct {
-	s         *Simulator
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	h         Handler
-	index     int // heap index, maintained by eventHeap; -1 when not queued
-	cancelled bool
-	fired     bool
-	freeNext  *Timer // free-list link (pooled fire-and-forget events only)
+	s          *Simulator
+	at         time.Duration
+	seq        uint64
+	gen        uint64 // bumped on every placement change; validates due entries
+	fn         func()
+	h          Handler
+	next, prev *Timer // intrusive wheel-slot list links
+	level      int16  // wheel level, timerInDue, or timerUnqueued
+	slot       int16
+	cancelled  bool
+	fired      bool
+	freeNext   *Timer // free-list link (pooled fire-and-forget events only)
 }
 
 // At returns the virtual time the timer is (or was) scheduled to fire.
@@ -362,29 +684,37 @@ func (t *Timer) At() time.Duration { return t.at }
 
 // Stop cancels the timer. It reports whether the cancellation prevented the
 // timer from firing (false if it already fired or was already stopped).
-// The heap entry is deleted lazily; the callback is retained so the timer
-// can be revived with Reschedule.
+// Cancellation is O(1): a wheel timer is unlinked from its slot directly, a
+// due-batch entry is invalidated and skipped at dispatch. The callback is
+// retained so the timer can be revived with Reschedule.
 func (t *Timer) Stop() bool {
 	if t.fired || t.cancelled {
 		return false
 	}
 	t.cancelled = true
-	t.s.live--
-	if t.s.tel != nil {
-		t.s.tel.TimerStops++
+	s := t.s
+	s.live--
+	if s.tel != nil {
+		s.tel.TimerStops++
 	}
-	t.s.maybeCompact()
+	if t.level >= 0 {
+		s.unlink(t)
+	} else if t.level == timerInDue {
+		t.gen++
+		t.level = timerUnqueued
+	}
 	return true
 }
 
 // Active reports whether the timer is still scheduled to fire.
 func (t *Timer) Active() bool { return !t.fired && !t.cancelled }
 
-// Reschedule moves the timer to fire at now+delay, reusing its callback
-// and, when possible, its existing heap entry. It works on active timers
-// (the entry is moved in place), on stopped ones, and on fired ones (both
-// are revived), so periodic timers avoid the Stop+Schedule allocate-per-arm
-// churn entirely. Reschedule panics on a negative delay.
+// Reschedule moves the timer to fire at now+delay, reusing its callback and
+// its kernel state. It works on active timers (re-slotted in place — when
+// the new deadline maps to the timer's current wheel slot not even that),
+// on stopped ones, and on fired ones (both are revived), so periodic timers
+// avoid the Stop+Schedule allocate-per-arm churn entirely. Reschedule panics
+// on a negative delay.
 func (t *Timer) Reschedule(delay time.Duration) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: Reschedule with negative delay %v", delay))
@@ -400,55 +730,31 @@ func (t *Timer) Reschedule(delay time.Duration) {
 		s.tel.TimerReschedules++
 	}
 	switch {
-	case t.index >= 0 && !t.cancelled:
-		// Active and queued: move the existing entry.
-		heap.Fix(&s.events, t.index)
-	case t.index >= 0:
-		// Stopped but its lazily-deleted entry still occupies a heap slot:
-		// revive it in place.
-		t.cancelled = false
-		s.live++
-		heap.Fix(&s.events, t.index)
-	default:
-		// Fired, or stopped and already compacted away: reinsert.
-		t.cancelled = false
+	case t.fired || t.cancelled:
+		// Revive: fire/Stop left the timer unqueued.
 		t.fired = false
+		t.cancelled = false
 		s.live++
-		heap.Push(&s.events, t)
+		if s.tel != nil && int64(s.live) > s.tel.MaxPending {
+			s.tel.MaxPending = int64(s.live)
+		}
+		s.place(t)
+	case t.level == timerInDue:
+		// Invalidate the sorted entry and re-place under the new stamp.
+		t.gen++
+		s.place(t)
+	default:
+		// Active in a wheel slot: skip the relink when the new deadline
+		// lands in the same slot (the common per-ACK RTO rearm).
+		if tick := tickOf(t.at); tick > s.cursor {
+			if level, slot := s.placement(tick); level == int(t.level) && slot == int(t.slot) {
+				if s.tel != nil {
+					s.tel.RearmsInPlace++
+				}
+				return
+			}
+		}
+		s.unlink(t)
+		s.place(t)
 	}
-	t.fired = false
-}
-
-// eventHeap orders timers by (at, seq) so simultaneous events fire in
-// scheduling order.
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Timer)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
 }

@@ -266,33 +266,33 @@ func TestPendingCounter(t *testing.T) {
 
 func TestCancelledEventsDoNotAccumulate(t *testing.T) {
 	// The cancelled-event leak regression test: stopping far-future timers
-	// over and over must not grow the heap — lazy deletion compacts once
-	// dead entries outnumber live ones.
+	// over and over must not grow the queue — a stopped wheel timer is
+	// unlinked from its slot immediately, so only the survivor remains.
 	s := New()
 	keep := s.Schedule(time.Hour, func() {})
 	const churn = 100_000
 	for i := 0; i < churn; i++ {
 		s.Schedule(time.Hour, func() {}).Stop()
 	}
-	if got := s.heapLen(); got > 2*compactMinHeap {
-		t.Fatalf("heap holds %d entries after %d cancels, want <= %d", got, churn, 2*compactMinHeap)
+	if got := s.queuedLen(); got != 1 {
+		t.Fatalf("queue holds %d entries after %d cancels, want 1", got, churn)
 	}
 	if s.Pending() != 1 {
 		t.Fatalf("Pending = %d, want 1", s.Pending())
 	}
 	if !keep.Active() {
-		t.Fatal("surviving timer lost by compaction")
+		t.Fatal("surviving timer lost by cancellation churn")
 	}
 }
 
-func TestCompactionPreservesOrder(t *testing.T) {
+func TestCancelChurnPreservesOrder(t *testing.T) {
 	s := New()
 	var order []int
 	var cancel []*Timer
 	for i := 0; i < 500; i++ {
 		i := i
 		s.Schedule(time.Duration(i)*time.Millisecond, func() { order = append(order, i) })
-		// Interleave doomed timers to force compactions mid-build.
+		// Interleave doomed timers so every slot sees mid-build unlinks.
 		cancel = append(cancel, s.Schedule(time.Duration(i)*time.Millisecond, func() { t.Error("cancelled timer fired") }))
 	}
 	for _, tm := range cancel {
@@ -304,7 +304,7 @@ func TestCompactionPreservesOrder(t *testing.T) {
 	}
 	for i := range order {
 		if order[i] != i {
-			t.Fatalf("order[%d] = %d after compaction", i, order[i])
+			t.Fatalf("order[%d] = %d after cancellation churn", i, order[i])
 		}
 	}
 }
@@ -357,14 +357,14 @@ func TestRescheduleStoppedTimer(t *testing.T) {
 	}
 }
 
-func TestRescheduleStoppedTimerAfterCompaction(t *testing.T) {
-	// Stop a timer, force a compaction that evicts its heap entry, then
-	// revive it: Reschedule must reinsert rather than heap.Fix a stale index.
+func TestRescheduleStoppedTimerAfterChurn(t *testing.T) {
+	// Stop a timer, churn the queue with unrelated schedule/stop cycles,
+	// then revive it: Reschedule must re-place the unlinked timer cleanly.
 	s := New()
 	n := 0
 	tm := s.Schedule(time.Millisecond, func() { n++ })
 	tm.Stop()
-	for i := 0; i < 4*compactMinHeap; i++ {
+	for i := 0; i < 256; i++ {
 		s.Schedule(time.Hour, func() {}).Stop()
 	}
 	tm.Reschedule(2 * time.Millisecond)
@@ -628,7 +628,8 @@ func TestInvariantChecksPassOnNormalWorkload(t *testing.T) {
 				timers[0].Reschedule(d)
 			}
 		}
-		// Drain periodically so the heap sees pops interleaved with pushes.
+		// Drain periodically so the wheel sees advances interleaved with
+		// insertions.
 		if i%64 == 63 {
 			for j := 0; j < 32; j++ {
 				if !s.Step() {

@@ -59,8 +59,11 @@ func TestKernelTelemetryCounters(t *testing.T) {
 	if k.PoolMisses != 1 || k.PoolHits != 9 {
 		t.Errorf("PoolMisses/PoolHits = %d/%d, want 1/9", k.PoolMisses, k.PoolHits)
 	}
-	if k.MaxHeapDepth < 1 {
-		t.Errorf("MaxHeapDepth = %d, want >= 1", k.MaxHeapDepth)
+	if k.MaxPending < 1 {
+		t.Errorf("MaxPending = %d, want >= 1", k.MaxPending)
+	}
+	if k.Batches < 1 || k.BatchEvents < k.Batches || k.MaxBatch < 1 {
+		t.Errorf("batch counters = %d/%d/%d, want all positive", k.Batches, k.BatchEvents, k.MaxBatch)
 	}
 	if rate := k.PoolHitRate(); rate != 0.9 {
 		t.Errorf("PoolHitRate = %v, want 0.9", rate)

@@ -2,6 +2,7 @@ package tcp
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/netem"
@@ -52,6 +53,12 @@ type Conn struct {
 	path      *netem.Path
 	cfg       Config
 	rec       trace.Recorder
+
+	// fwdLink is path.Forward downcast once at New: when the forward
+	// direction is a plain Link, the sender's window fill submits its
+	// segments through one netem.Burst instead of per-packet Sends. Nil for
+	// chained or fault-staged paths, which keep the per-packet interface.
+	fwdLink *netem.Link
 
 	// tel is the optional per-flow telemetry sink; nil (the default) keeps
 	// every instrumented path at a single predictable branch with zero
@@ -156,6 +163,9 @@ func New(simulator *sim.Simulator, path *netem.Path, cfg Config, rec trace.Recor
 		return nil, err
 	}
 	c := &Conn{simulator: simulator, path: path, cfg: cfg, rec: rec}
+	if l, ok := path.Forward.(*netem.Link); ok {
+		c.fwdLink = l
+	}
 	c.snd = sender{
 		c:        c,
 		cwnd:     cfg.InitialCwnd,
@@ -365,20 +375,55 @@ func (s *sender) effWindow() float64 {
 	return w
 }
 
-// trySend transmits segments while the effective window allows. Segments
-// below sndMax are go-back-N retransmissions and are always allowed; new
-// data is only offered before the flow deadline.
-func (s *sender) trySend() {
-	for float64(s.inflight()) < s.effWindow() {
-		if s.sndNxt == s.sndMax {
-			if s.now() >= s.c.deadline {
-				break
-			}
-			if s.c.segLimit > 0 && s.sndMax >= s.c.segLimit {
-				break
+// sendable returns how many segments the window fill will transmit right
+// now: the iterations the per-segment loop would run before the effective
+// window closes or availability ends. Segments below sndMax are go-back-N
+// retransmissions and are always allowed; new data is only offered before
+// the flow deadline and under the segment limit. Nothing in the count's
+// inputs changes while the segments go out (transmission is synchronous and
+// advances no virtual time), so it can be computed up front and the whole
+// run submitted as one burst.
+func (s *sender) sendable() int64 {
+	w := s.effWindow()
+	if float64(s.inflight()) >= w {
+		return 0
+	}
+	n := int64(math.Ceil(w)) - s.inflight()
+	avail := s.sndMax - s.sndNxt
+	if s.now() < s.c.deadline && (s.c.segLimit == 0 || s.sndMax < s.c.segLimit) {
+		fresh := n - avail
+		if s.c.segLimit > 0 {
+			if lim := s.c.segLimit - s.sndMax; fresh > lim {
+				fresh = lim
 			}
 		}
-		s.transmit(s.sndNxt)
+		if fresh > 0 {
+			avail += fresh
+		}
+	}
+	if n > avail {
+		n = avail
+	}
+	return n
+}
+
+// trySend transmits segments while the effective window allows. On a plain
+// forward link the whole window fill is submitted through one netem.Burst,
+// amortizing per-packet admission arithmetic; the per-segment bookkeeping,
+// trace events and RTO arming are unchanged either way.
+func (s *sender) trySend() {
+	n := s.sendable()
+	if n <= 0 {
+		return
+	}
+	var burst netem.Burst
+	var b *netem.Burst
+	if link := s.c.fwdLink; link != nil {
+		burst = link.BeginBurst(s.c.cfg.MSS + s.c.cfg.HeaderBytes)
+		b = &burst
+	}
+	for ; n > 0; n-- {
+		s.transmitVia(b, s.sndNxt)
 		s.sndNxt++
 		if s.sndNxt > s.sndMax {
 			s.sndMax = s.sndNxt
@@ -389,6 +434,11 @@ func (s *sender) trySend() {
 // transmit puts one segment on the forward link and arms the RTO timer if it
 // is not running.
 func (s *sender) transmit(seq int64) {
+	s.transmitVia(nil, seq)
+}
+
+// transmitVia is transmit with an optional open burst to submit through.
+func (s *sender) transmitVia(b *netem.Burst, seq int64) {
 	txNo := s.sent[seq].txNo + 1
 	s.sent[seq] = sendInfo{at: s.now(), txNo: txNo}
 	s.stats.DataSent++
@@ -399,9 +449,13 @@ func (s *sender) transmit(seq int64) {
 		At: s.now(), Type: trace.EvDataSend,
 		Seq: seq, Ack: -1, TransmitNo: txNo, Cwnd: s.cwnd,
 	})
-	size := s.c.cfg.MSS + s.c.cfg.HeaderBytes
 	ev := s.c.getDataEvent(seq, txNo)
-	ok, _ := s.c.path.Forward.Send(size, ev)
+	var ok bool
+	if b != nil {
+		ok, _ = b.Send(ev)
+	} else {
+		ok, _ = s.c.path.Forward.Send(s.c.cfg.MSS+s.c.cfg.HeaderBytes, ev)
+	}
 	if s.c.tel != nil && s.inTimeoutRecovery && txNo > 1 {
 		s.c.tel.RecoveryRetransmits++
 		if !ok {

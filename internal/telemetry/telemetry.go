@@ -117,16 +117,33 @@ func (d *Dist) UnmarshalJSON(raw []byte) error {
 
 // Kernel collects event-kernel metrics for one simulation (or, after
 // merging, a whole campaign). Events counts executed events; Scheduled
-// counts heap insertions including Reschedule re-arms; PoolHits/PoolMisses
-// track the fire-and-forget event free list; MaxHeapDepth is the peak raw
-// heap size including lazily-deleted entries.
+// counts timing-wheel insertions (not Reschedule re-arms); PoolHits/
+// PoolMisses track the fire-and-forget event free list; the wheel counters
+// (Cascades, RearmsInPlace, Batches, MaxBatch, MaxSlot) describe scheduler
+// health: how often events were redistributed from coarse wheel levels, how
+// often a periodic timer re-armed without moving, and how dense the per-tick
+// dispatch batches ran.
 type Kernel struct {
-	Events           int64 `json:"events"`
-	Scheduled        int64 `json:"scheduled"`
-	PoolHits         int64 `json:"pool_hits"`
-	PoolMisses       int64 `json:"pool_misses"`
-	MaxHeapDepth     int64 `json:"max_heap_depth"`
-	Compactions      int64 `json:"compactions"`
+	Events     int64 `json:"events"`
+	Scheduled  int64 `json:"scheduled"`
+	PoolHits   int64 `json:"pool_hits"`
+	PoolMisses int64 `json:"pool_misses"`
+	// MaxPending is the peak number of scheduled, not-yet-fired events.
+	MaxPending int64 `json:"max_pending"`
+	// Cascades counts events redistributed from a coarse wheel level toward
+	// the finest one as virtual time advanced past their slot.
+	Cascades int64 `json:"cascades"`
+	// RearmsInPlace counts Reschedule calls that kept the timer in its
+	// current wheel slot, skipping the unlink/relink entirely.
+	RearmsInPlace int64 `json:"rearms_in_place"`
+	// Batches counts non-empty per-tick dispatch batches; BatchEvents is the
+	// events dispatched through them (BatchEvents/Batches = mean density).
+	Batches     int64 `json:"batches"`
+	BatchEvents int64 `json:"batch_events"`
+	// MaxBatch is the largest single dispatch batch; MaxSlot the largest
+	// single wheel-slot occupancy observed while draining.
+	MaxBatch         int64 `json:"max_batch"`
+	MaxSlot          int64 `json:"max_slot_occupancy"`
 	TimerStops       int64 `json:"timer_stops"`
 	TimerReschedules int64 `json:"timer_reschedules"`
 	// VirtualNS is the total virtual time simulated, in nanoseconds.
@@ -159,16 +176,25 @@ func (k *Kernel) BudgetHeadroom() float64 {
 	return h
 }
 
-// Merge folds other into k: counters sum, MaxHeapDepth takes the maximum.
+// Merge folds other into k: counters sum, the Max* gauges take the maximum.
 func (k *Kernel) Merge(other *Kernel) {
 	k.Events += other.Events
 	k.Scheduled += other.Scheduled
 	k.PoolHits += other.PoolHits
 	k.PoolMisses += other.PoolMisses
-	if other.MaxHeapDepth > k.MaxHeapDepth {
-		k.MaxHeapDepth = other.MaxHeapDepth
+	if other.MaxPending > k.MaxPending {
+		k.MaxPending = other.MaxPending
 	}
-	k.Compactions += other.Compactions
+	k.Cascades += other.Cascades
+	k.RearmsInPlace += other.RearmsInPlace
+	k.Batches += other.Batches
+	k.BatchEvents += other.BatchEvents
+	if other.MaxBatch > k.MaxBatch {
+		k.MaxBatch = other.MaxBatch
+	}
+	if other.MaxSlot > k.MaxSlot {
+		k.MaxSlot = other.MaxSlot
+	}
 	k.TimerStops += other.TimerStops
 	k.TimerReschedules += other.TimerReschedules
 	k.VirtualNS += other.VirtualNS
