@@ -7,14 +7,27 @@
 //
 // Usage:
 //
-//	hsrserved [-addr :8096] [-workers N] [-queue N] [-flow-parallelism N]
+//	hsrserved [-addr :8096] [-role single|worker|coordinator]
+//	          [-fleet URL,URL,...] [-unit-flows N] [-unit-timeout D]
+//	          [-unit-retries N] [-heartbeat-interval D] [-hedge-after D]
+//	          [-workers N] [-queue N] [-flow-parallelism N]
 //	          [-dag-jobs N] [-cache DIR] [-cache-max-bytes N]
 //	          [-max-flow-duration D] [-job-timeout D] [-drain-timeout D]
-//	          [-version]
+//	          [-stream-write-timeout D] [-version]
 //
 // Endpoints: POST /v1/jobs (submit, streams NDJSON), GET /v1/experiments
-// (the catalog), GET /healthz (JSON liveness + version), GET /metrics
-// (text exposition of server, cache and campaign counters).
+// (the catalog), GET /healthz (JSON liveness + version), GET /readyz
+// (readiness: 503 while draining; queue occupancy and worker-fleet health),
+// GET /metrics (text exposition of server, cache, campaign and fleet
+// counters).
+//
+// Roles: "single" (default) runs everything in-process. "worker" is the
+// same server, conventionally pointed at by a coordinator, which sends it
+// flow-range unit jobs. "coordinator" (-fleet required) fans campaign and
+// experiment jobs out over the worker fleet and reassembles results
+// byte-identically to a single-node run — with per-unit retries, worker
+// health tracking, straggler hedging and a local fallback that finishes the
+// campaign even with every worker lost (see docs/SERVICE.md).
 //
 // Admission control: at most -workers jobs run concurrently and at most
 // -queue wait; beyond that, submissions fail fast with 429 + Retry-After.
@@ -31,11 +44,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/dataset"
+	"repro/internal/dist"
 	"repro/internal/serve"
 )
 
@@ -49,6 +64,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hsrserved", flag.ContinueOnError)
 	addr := fs.String("addr", ":8096", "listen address")
+	role := fs.String("role", "single", "node role: single, worker or coordinator")
+	fleet := fs.String("fleet", "", "comma-separated worker base URLs (coordinator role)")
+	unitFlows := fs.Int("unit-flows", 16, "flows per distributed work unit (coordinator role)")
+	unitTimeout := fs.Duration("unit-timeout", time.Minute, "per-unit remote deadline before retry (coordinator role)")
+	unitRetries := fs.Int("unit-retries", 3, "remote attempts per unit before local fallback (coordinator role)")
+	heartbeat := fs.Duration("heartbeat-interval", 2*time.Second, "worker health-probe period (coordinator role)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "duplicate straggler units after this long; 0 disables (coordinator role)")
 	workers := fs.Int("workers", 2, "jobs executing concurrently")
 	queue := fs.Int("queue", 8, "jobs accepted but not yet running before submissions get 429")
 	flowPar := fs.Int("flow-parallelism", 0, "concurrent flow simulations per job (0 = GOMAXPROCS)")
@@ -58,6 +80,7 @@ func run(args []string) error {
 	maxFlowDur := fs.Duration("max-flow-duration", 10*time.Minute, "reject jobs asking for longer simulated flows")
 	jobTimeout := fs.Duration("job-timeout", 15*time.Minute, "per-job deadline cap (and default when the job names none)")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long a shutdown signal waits for running jobs before exiting anyway")
+	streamWriteTimeout := fs.Duration("stream-write-timeout", 30*time.Second, "per-write deadline on NDJSON streams; a slower client's stream aborts and its job is cancelled")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,10 +94,11 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "hsrserved: "+format+"\n", a...)
 	}
 	cfg := serve.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		FlowParallelism: *flowPar,
-		DAGJobs:         *dagJobs,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		FlowParallelism:    *flowPar,
+		DAGJobs:            *dagJobs,
+		StreamWriteTimeout: *streamWriteTimeout,
 		Limits: serve.Limits{
 			MaxFlowDuration: *maxFlowDur,
 			MaxTimeout:      *jobTimeout,
@@ -91,6 +115,37 @@ func run(args []string) error {
 		}
 		cfg.Cache = cache
 	}
+
+	switch *role {
+	case "single", "worker":
+		if *fleet != "" {
+			return fmt.Errorf("-fleet requires -role coordinator")
+		}
+	case "coordinator":
+		urls := splitFleet(*fleet)
+		if len(urls) == 0 {
+			return fmt.Errorf("-role coordinator needs -fleet with at least one worker URL")
+		}
+		coord, err := dist.New(dist.Config{
+			Workers:           urls,
+			UnitFlows:         *unitFlows,
+			UnitTimeout:       *unitTimeout,
+			MaxAttempts:       *unitRetries,
+			HeartbeatInterval: *heartbeat,
+			HedgeAfter:        *hedgeAfter,
+			Seed:              time.Now().UnixNano(), // jitter only; never touches results
+			Logf:              logf,
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		cfg.Runner = coord.RunCampaign
+		cfg.Fleet = coord.FleetHealth
+		cfg.FleetCounters = coord.Counters
+	default:
+		return fmt.Errorf("unknown -role %q (single, worker or coordinator)", *role)
+	}
 	srv := serve.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -104,7 +159,7 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	logf("listening on %s (workers=%d queue=%d, version %s)", ln.Addr(), *workers, *queue, buildinfo.Version())
+	logf("listening on %s (role=%s workers=%d queue=%d, version %s)", ln.Addr(), *role, *workers, *queue, buildinfo.Version())
 
 	select {
 	case err := <-errc:
@@ -124,4 +179,15 @@ func run(args []string) error {
 	srv.Drain()
 	logf("drained, exiting")
 	return nil
+}
+
+// splitFleet parses the -fleet flag into worker URLs.
+func splitFleet(s string) []string {
+	var urls []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			urls = append(urls, strings.TrimRight(part, "/"))
+		}
+	}
+	return urls
 }

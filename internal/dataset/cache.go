@@ -99,10 +99,15 @@ func OpenFlowCacheVersion(dir, version string) (*FlowCache, error) {
 }
 
 // CachedFlow is one cache entry's payload: everything a metrics-only run
-// needs from a flow simulation.
+// needs from a flow simulation. Telemetry optionally carries the flow's
+// exact telemetry bundle in wire form — entries written by distributed
+// work-unit execution include it so a re-executed unit restores the same
+// campaign counters bit for bit; entries written by plain flow runs omit it
+// (and decode compatibly either way).
 type CachedFlow struct {
-	Metrics *analysis.FlowMetrics `json:"metrics"`
-	Stats   tcp.Stats             `json:"stats"`
+	Metrics   *analysis.FlowMetrics `json:"metrics"`
+	Stats     tcp.Stats             `json:"stats"`
+	Telemetry *telemetry.FlowState  `json:"telemetry,omitempty"`
 }
 
 // cacheKey is the canonical serialization hashed into an entry's address.
@@ -229,6 +234,54 @@ func (c *FlowCache) GetOrCompute(sc Scenario, compute func() (CachedFlow, error)
 	}
 	c.flightMu.Lock()
 	delete(c.flight, key)
+	c.flightMu.Unlock()
+	close(call.done)
+	return call.ent, false, call.err
+}
+
+// GetOrComputeFull is GetOrCompute for callers that need a telemetry-bearing
+// entry (distributed work-unit execution): a cached entry without a Telemetry
+// section is treated as a miss — compute runs and its (telemetry-complete)
+// result overwrites the thinner entry, upgrading it for future unit runs.
+// Because entries are content-addressed over everything that determines the
+// flow's outcome, the recompute is bit-identical to the original, so the
+// overwrite changes nothing a metrics-only reader can observe. In-flight
+// dedup is namespaced apart from GetOrCompute's so a full computation never
+// adopts a concurrent metrics-only result (which would lack telemetry).
+func (c *FlowCache) GetOrComputeFull(sc Scenario, compute func() (CachedFlow, error)) (CachedFlow, bool, error) {
+	key, err := c.key(sc)
+	if err != nil {
+		c.errors.Add(1)
+		ent, cerr := compute()
+		return ent, false, cerr
+	}
+	if ent, ok := c.getKey(key); ok && ent.Telemetry != nil {
+		return ent, true, nil
+	}
+	flightKey := "full:" + key
+	c.flightMu.Lock()
+	if call, inflight := c.flight[flightKey]; inflight {
+		c.flightMu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return CachedFlow{}, false, call.err
+		}
+		c.dedups.Add(1)
+		return call.ent, true, nil
+	}
+	call := &flightCall{done: make(chan struct{})}
+	if c.flight == nil {
+		c.flight = make(map[string]*flightCall)
+	}
+	c.flight[flightKey] = call
+	c.flightMu.Unlock()
+
+	call.ent, call.err = compute()
+	if call.err == nil {
+		c.putKey(key, call.ent)
+	}
+	c.flightMu.Lock()
+	delete(c.flight, flightKey)
 	c.flightMu.Unlock()
 	close(call.done)
 	return call.ent, false, call.err

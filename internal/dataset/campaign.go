@@ -120,9 +120,22 @@ func (c *Campaign) Metrics() []*analysis.FlowMetrics {
 	return out
 }
 
-// RunCampaign simulates every flow of the campaign (concurrently, each in
-// its own deterministic simulation) and reduces the traces to metrics.
-func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
+// PlannedFlow is one flow of a campaign's deterministic plan: its position
+// in campaign order, its Table I row, and the fully-built scenario. The
+// plan is a pure function of the CampaignConfig — every node planning the
+// same config derives the same flows with the same seeds, which is what
+// lets a coordinator shard a campaign by flow index and workers rebuild
+// their assigned scenarios independently.
+type PlannedFlow struct {
+	Index    int
+	Row      TableRow
+	Scenario Scenario
+}
+
+// PlanCampaign derives the campaign's flow plan without simulating
+// anything: the Table I rows expanded to per-flow scenarios with their
+// deterministic seeds, IDs and trip offsets, in campaign order.
+func PlanCampaign(cfg CampaignConfig) ([]PlannedFlow, error) {
 	if cfg.FlowDuration <= 0 {
 		return nil, fmt.Errorf("dataset: campaign flow duration %v must be positive", cfg.FlowDuration)
 	}
@@ -140,13 +153,7 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	type job struct {
-		idx int
-		sc  Scenario
-		row TableRow
-	}
-	var jobs []job
+	var plan []PlannedFlow
 	flowIdx := 0
 	for rowIdx, row := range TableI() {
 		flows := row.Flows
@@ -166,9 +173,19 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 				Scenario:     scenarioName,
 				Faults:       cfg.Faults,
 			}
-			jobs = append(jobs, job{idx: flowIdx, sc: sc, row: row})
+			plan = append(plan, PlannedFlow{Index: flowIdx, Row: row, Scenario: sc})
 			flowIdx++
 		}
+	}
+	return plan, nil
+}
+
+// RunCampaign simulates every flow of the campaign (concurrently, each in
+// its own deterministic simulation) and reduces the traces to metrics.
+func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
+	jobs, err := PlanCampaign(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	results := make([]FlowResult, len(jobs))
@@ -186,28 +203,28 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 	var wg sync.WaitGroup
 	for _, j := range jobs {
 		if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
-			errs[j.idx] = fmt.Errorf("flow %s: %w", j.sc.ID, cfg.Ctx.Err())
+			errs[j.Index] = fmt.Errorf("flow %s: %w", j.Scenario.ID, cfg.Ctx.Err())
 			continue
 		}
 		j := j
 		if flows != nil {
-			flows[j.idx] = telemetry.NewFlow()
-			j.sc.Telemetry = flows[j.idx]
+			flows[j.Index] = telemetry.NewFlow()
+			j.Scenario.Telemetry = flows[j.Index]
 		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			m, hit, err := runCampaignFlow(cfg, j.sc)
+			m, hit, err := runCampaignFlow(cfg, j.Scenario)
 			if err != nil {
-				errs[j.idx] = fmt.Errorf("flow %s: %w", j.sc.ID, err)
+				errs[j.Index] = fmt.Errorf("flow %s: %w", j.Scenario.ID, err)
 			} else {
-				results[j.idx] = FlowResult{Row: j.row, Metrics: m}
+				results[j.Index] = FlowResult{Row: j.Row, Metrics: m}
 				if hit && flows != nil {
 					// Served from the cache: no simulation ran, so this
 					// flow has no kernel/TCP/link counters to merge.
-					flows[j.idx] = nil
+					flows[j.Index] = nil
 				}
 			}
 			if cfg.Progress != nil {
@@ -232,6 +249,23 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 		}
 	}
 	return &Campaign{Config: cfg, Results: results}, nil
+}
+
+// RunFlowFull simulates one flow with a fresh telemetry bundle attached and
+// returns a telemetry-complete cache entry: metrics, endpoint stats, and the
+// flow's exact telemetry state in wire form. It is the compute function for
+// distributed work-unit execution, where every flow must contribute its
+// kernel/TCP/link counters to the coordinator's campaign totals even when
+// the metrics themselves could have been served from a thinner cache entry.
+func RunFlowFull(sc Scenario) (CachedFlow, error) {
+	tel := telemetry.NewFlow()
+	sc.Telemetry = tel
+	m, st, err := RunFlowMetrics(sc)
+	if err != nil {
+		return CachedFlow{}, err
+	}
+	state := tel.State()
+	return CachedFlow{Metrics: m, Stats: st, Telemetry: &state}, nil
 }
 
 // runCampaignFlow produces one campaign flow's metrics through the

@@ -1,0 +1,177 @@
+// Package chaostest is a deterministic failure-injection harness for the
+// distributed campaign layer. A seeded Schedule decides, per worker and per
+// request ordinal, whether that request passes, dies before reaching the
+// worker (kill), hangs until the caller's deadline (stall), loses its
+// response mid-stream (truncate), or is merely delayed (slow). The decisions
+// are a pure function of (seed, worker, ordinal), so a failing schedule
+// replays exactly; the interleavings they provoke are timing-dependent by
+// nature, which is precisely the point — the coordinator's output must be
+// byte-identical under every one of them.
+package chaostest
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Action is what the chaos transport does to one request.
+type Action int
+
+const (
+	Pass     Action = iota // deliver untouched
+	Kill                   // fail immediately, as a dropped connection would
+	Stall                  // hang until the request context expires
+	Truncate               // deliver headers, then break the body mid-stream
+	Slow                   // deliver after a short fixed delay
+)
+
+func (a Action) String() string {
+	switch a {
+	case Pass:
+		return "pass"
+	case Kill:
+		return "kill"
+	case Stall:
+		return "stall"
+	case Truncate:
+		return "truncate"
+	case Slow:
+		return "slow"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Schedule maps (worker, request ordinal) to an Action, deterministically
+// from Seed and the probability knobs. Probabilities are evaluated in
+// order kill, stall, truncate, slow; the remainder passes.
+type Schedule struct {
+	Seed                     int64
+	KillP, StallP, TruncateP float64
+	SlowP                    float64
+}
+
+// describe names the schedule for subtests and failure messages.
+func (s *Schedule) describe() string {
+	return fmt.Sprintf("seed=%d-kill=%v-stall=%v-trunc=%v-slow=%v",
+		s.Seed, s.KillP, s.StallP, s.TruncateP, s.SlowP)
+}
+
+// splitmix64 is the usual 64-bit finalizer-based generator step.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Action decides what happens to worker w's n-th request.
+func (s *Schedule) Action(w, n int) Action {
+	h := splitmix64(uint64(s.Seed)*0x9e3779b97f4a7c15 + uint64(w)<<32 + uint64(n))
+	u := float64(h>>11) / float64(1<<53) // uniform in [0, 1)
+	for _, c := range []struct {
+		p float64
+		a Action
+	}{{s.KillP, Kill}, {s.StallP, Stall}, {s.TruncateP, Truncate}, {s.SlowP, Slow}} {
+		if u < c.p {
+			return c.a
+		}
+		u -= c.p
+	}
+	return Pass
+}
+
+// Transport injects the schedule's failures into a coordinator's HTTP
+// client. Worker identity is the request host; ordinals count that host's
+// requests (heartbeats included — a chaotic network does not spare health
+// probes).
+type Transport struct {
+	Inner http.RoundTripper
+	Sched *Schedule
+	// SlowDelay is the Slow action's added latency; the zero value means
+	// no artificial delay (Slow degenerates to Pass).
+	SlowDelay func()
+
+	mu      sync.Mutex
+	workers map[string]int
+	counts  map[string]*atomic.Int64
+
+	injected atomic.Int64
+}
+
+// Injected counts requests that did not pass untouched.
+func (t *Transport) Injected() int64 { return t.injected.Load() }
+
+// decide assigns the request its action.
+func (t *Transport) decide(host string) Action {
+	t.mu.Lock()
+	if t.workers == nil {
+		t.workers = make(map[string]int)
+		t.counts = make(map[string]*atomic.Int64)
+	}
+	w, ok := t.workers[host]
+	if !ok {
+		w = len(t.workers)
+		t.workers[host] = w
+		t.counts[host] = &atomic.Int64{}
+	}
+	n := t.counts[host]
+	t.mu.Unlock()
+	return t.Sched.Action(w, int(n.Add(1)-1))
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	switch t.decide(req.URL.Host) {
+	case Kill:
+		t.injected.Add(1)
+		return nil, fmt.Errorf("chaostest: connection to %s killed", req.URL.Host)
+	case Stall:
+		t.injected.Add(1)
+		<-req.Context().Done()
+		return nil, fmt.Errorf("chaostest: request to %s stalled: %w", req.URL.Host, req.Context().Err())
+	case Truncate:
+		t.injected.Add(1)
+		resp, err := inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncatedBody{inner: resp.Body}
+		return resp, nil
+	case Slow:
+		t.injected.Add(1)
+		if t.SlowDelay != nil {
+			t.SlowDelay()
+		}
+		return inner.RoundTrip(req)
+	}
+	return inner.RoundTrip(req)
+}
+
+// truncatedBody delivers a little of the response, then fails the stream —
+// the shape of a worker dying mid-answer.
+type truncatedBody struct {
+	inner io.ReadCloser
+	read  int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	const keep = 64 // enough for a partial first line, never a full result
+	if b.read >= keep {
+		return 0, fmt.Errorf("chaostest: response truncated mid-stream")
+	}
+	if len(p) > keep-b.read {
+		p = p[:keep-b.read]
+	}
+	n, err := b.inner.Read(p)
+	b.read += n
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.inner.Close() }

@@ -1,0 +1,92 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/faults"
+	"repro/internal/serve"
+)
+
+// runUnitOn executes one unit on one worker: a unit job POSTed to the
+// worker's /v1/jobs, the NDJSON stream read to its terminal line, the
+// unit payload returned. The whole exchange runs under the per-unit
+// deadline — a worker that stalls mid-stream (accepted the job, stopped
+// making progress) times out the same as one that never answered.
+func (c *Coordinator) runUnitOn(r *run, w *worker, u *unit) ([]serve.UnitFlow, error) {
+	ctx, cancel := context.WithTimeout(r.ctx, c.cfg.UnitTimeout)
+	defer cancel()
+
+	spec := serve.JobSpec{
+		Kind: serve.KindUnit,
+		Unit: &serve.UnitSpec{
+			Seed:        r.cfg.Seed,
+			Duration:    serve.Duration(r.cfg.FlowDuration),
+			FlowsPerRow: r.cfg.FlowsPerRow,
+			Stationary:  r.cfg.Stationary,
+			Faults:      faultsDSL(r.cfg.Faults),
+			Start:       u.start,
+			End:         u.end,
+		},
+		TimeoutMS: c.cfg.UnitTimeout.Milliseconds(),
+	}
+	body, err := json.Marshal(&spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return nil, fmt.Errorf("dist: worker %s: status %d: %s", w.url, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var terminal *serve.Event
+	for sc.Scan() {
+		var e serve.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("dist: worker %s: bad event line: %w", w.url, err)
+		}
+		if e.Event == "result" || e.Event == "error" {
+			terminal = &e
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dist: worker %s: stream: %w", w.url, err)
+	}
+	if terminal == nil {
+		return nil, fmt.Errorf("dist: worker %s: stream ended without a terminal event", w.url)
+	}
+	if terminal.Event == "error" {
+		return nil, fmt.Errorf("dist: worker %s: %s", w.url, terminal.Error)
+	}
+	if terminal.Unit == nil || len(terminal.Unit.Flows) != u.end-u.start {
+		return nil, fmt.Errorf("dist: worker %s: malformed unit result for [%d, %d)", w.url, u.start, u.end)
+	}
+	return terminal.Unit.Flows, nil
+}
+
+// faultsDSL renders a campaign's fault schedule back to the wire DSL the
+// unit spec carries (empty when none).
+func faultsDSL(s *faults.Schedule) string {
+	if s == nil {
+		return ""
+	}
+	return s.String()
+}

@@ -67,7 +67,19 @@ type Config struct {
 	// per finished flow (per campaign) from worker goroutines and must be
 	// safe for concurrent use.
 	Progress func(done, total int)
+	// Runner, when non-nil, replaces dataset.RunCampaign for the two shared
+	// campaigns (HSR and stationary). This is how distributed execution plugs
+	// in: a coordinator installs its fan-out runner here and everything
+	// downstream of the campaigns — tables, figures, telemetry totals — is
+	// oblivious to where the flows actually simulated. A Runner must honor
+	// the full CampaignConfig contract, in particular merging telemetry in
+	// campaign flow order so its output is byte-identical to the local path.
+	Runner CampaignRunner
 }
+
+// CampaignRunner executes one synthetic measurement campaign. The default is
+// dataset.RunCampaign; internal/dist provides a coordinator-backed one.
+type CampaignRunner func(dataset.CampaignConfig) (*dataset.Campaign, error)
 
 // Default is the full-scale configuration: the complete 255-flow Table I
 // campaign with 120-second flows. It takes a few CPU-minutes.
@@ -142,7 +154,11 @@ func NewContextWith(ctx context.Context, cfg Config) (*Context, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	hsr, err := dataset.RunCampaign(dataset.CampaignConfig{
+	run := cfg.Runner
+	if run == nil {
+		run = dataset.RunCampaign
+	}
+	hsr, err := run(dataset.CampaignConfig{
 		Seed: cfg.Seed, FlowDuration: cfg.FlowDuration,
 		FlowsPerRow: cfg.FlowsPerRow, Parallelism: cfg.Parallelism,
 		Ctx: ctx, Telemetry: cfg.Telemetry, Progress: cfg.Progress,
@@ -151,7 +167,7 @@ func NewContextWith(ctx context.Context, cfg Config) (*Context, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: hsr campaign: %w", err)
 	}
-	stat, err := dataset.RunCampaign(dataset.CampaignConfig{
+	stat, err := run(dataset.CampaignConfig{
 		Seed: cfg.Seed + 5000, FlowDuration: cfg.FlowDuration,
 		FlowsPerRow: cfg.FlowsPerRow, Parallelism: cfg.Parallelism,
 		Stationary: true, Ctx: ctx, Telemetry: cfg.Telemetry, Progress: cfg.Progress,

@@ -47,6 +47,7 @@ const (
 	KindFlow       = "flow"       // one simulated flow -> metrics + endpoint stats
 	KindCampaign   = "campaign"   // the Table I HSR + stationary campaigns -> telemetry report
 	KindExperiment = "experiment" // named catalog experiments -> rendered sections + report
+	KindUnit       = "unit"       // one flow-range work unit of a distributed campaign
 )
 
 // JobSpec is the JSON body of a job submission. It mirrors the hsrbench
@@ -84,6 +85,53 @@ type JobSpec struct {
 	Scenario string `json:"scenario,omitempty"`
 	// Faults is a fault-schedule DSL string (docs/ROBUSTNESS.md).
 	Faults string `json:"faults,omitempty"`
+
+	// Unit is the work-unit payload of a "unit" job (distributed campaign
+	// execution; see internal/dist).
+	Unit *UnitSpec `json:"unit,omitempty"`
+}
+
+// UnitSpec describes one flow-range work unit of a campaign: the campaign
+// parameters every node derives the identical flow plan from, plus the
+// half-open [Start, End) range of plan indices this unit executes. Because
+// the plan is a pure function of the parameters, the coordinator and every
+// worker agree on which scenario each index names without shipping
+// scenarios over the wire.
+type UnitSpec struct {
+	// Seed is the campaign base seed (used verbatim — no default, the
+	// coordinator always sends it explicitly).
+	Seed int64 `json:"seed"`
+	// Duration is the simulated length of each flow.
+	Duration Duration `json:"duration"`
+	// FlowsPerRow overrides the Table I flow counts when positive.
+	FlowsPerRow int `json:"flows_per_row,omitempty"`
+	// Stationary selects the stationary baseline campaign.
+	Stationary bool `json:"stationary,omitempty"`
+	// Faults is the campaign's fault-schedule DSL string.
+	Faults string `json:"faults,omitempty"`
+	// Start and End bound the unit's plan indices, half-open.
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// campaignConfig maps the unit's campaign parameters onto the dataset
+// layer's config (execution knobs like Parallelism are the worker's own).
+func (u *UnitSpec) campaignConfig() (dataset.CampaignConfig, error) {
+	var sched *faults.Schedule
+	if u.Faults != "" {
+		var err error
+		sched, err = faults.Parse(u.Faults)
+		if err != nil {
+			return dataset.CampaignConfig{}, err
+		}
+	}
+	return dataset.CampaignConfig{
+		Seed:         u.Seed,
+		FlowDuration: time.Duration(u.Duration),
+		FlowsPerRow:  u.FlowsPerRow,
+		Stationary:   u.Stationary,
+		Faults:       sched,
+	}, nil
 }
 
 // Limits is the server's admission-control policy for job contents (the
@@ -114,6 +162,9 @@ func operatorByName(name string) (cellular.Operator, error) {
 // Validate checks the spec against the catalog, the shared scenario/TCP/
 // fault schemas, and the server's limits.
 func (s *JobSpec) Validate(lim Limits) error {
+	if s.Kind != KindUnit && s.Unit != nil {
+		return fmt.Errorf("serve: unit payload on a %s job", s.Kind)
+	}
 	switch s.Kind {
 	case KindFlow:
 		if len(s.Run) > 0 {
@@ -147,8 +198,31 @@ func (s *JobSpec) Validate(lim Limits) error {
 		if lim.MaxFlowsPerRow > 0 && cfg.FlowsPerRow > lim.MaxFlowsPerRow {
 			return fmt.Errorf("serve: flows_per_row %d exceeds the server limit %d", cfg.FlowsPerRow, lim.MaxFlowsPerRow)
 		}
+	case KindUnit:
+		if s.Unit == nil {
+			return fmt.Errorf("serve: unit jobs need a unit payload")
+		}
+		if len(s.Run) > 0 || s.Operator != "" || s.Scenario != "" || s.Faults != "" || s.ID != "" {
+			return fmt.Errorf("serve: unit jobs take only the unit payload")
+		}
+		u := s.Unit
+		if u.Duration <= 0 {
+			return fmt.Errorf("serve: unit duration %v must be positive", time.Duration(u.Duration))
+		}
+		if lim.MaxFlowDuration > 0 && time.Duration(u.Duration) > lim.MaxFlowDuration {
+			return fmt.Errorf("serve: unit duration %v exceeds the server limit %v", time.Duration(u.Duration), lim.MaxFlowDuration)
+		}
+		if lim.MaxFlowsPerRow > 0 && u.FlowsPerRow > lim.MaxFlowsPerRow {
+			return fmt.Errorf("serve: unit flows_per_row %d exceeds the server limit %d", u.FlowsPerRow, lim.MaxFlowsPerRow)
+		}
+		if u.Start < 0 || u.End <= u.Start {
+			return fmt.Errorf("serve: unit range [%d, %d) must be non-empty and non-negative", u.Start, u.End)
+		}
+		if _, err := u.campaignConfig(); err != nil {
+			return err
+		}
 	case "":
-		return fmt.Errorf("serve: job needs a kind (flow, campaign or experiment)")
+		return fmt.Errorf("serve: job needs a kind (flow, campaign, experiment or unit)")
 	default:
 		return fmt.Errorf("serve: unknown job kind %q", s.Kind)
 	}

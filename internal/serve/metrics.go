@@ -28,6 +28,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	x.Int("jobs_rejected_total", s.rejected.Load())
 	x.Int("jobs_completed_total", s.completed.Load())
 	x.Int("jobs_failed_total", s.failed.Load())
+	x.Int("streams_aborted_total", s.streamsAborted.Load())
+	if s.cfg.FleetCounters != nil {
+		f := s.cfg.FleetCounters()
+		x.Comment("distributed campaign fleet")
+		x.Fleet(&f)
+	}
 	if s.cfg.Cache != nil {
 		cc := s.cfg.Cache.Counters()
 		x.Comment("shared flow-result cache")

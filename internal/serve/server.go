@@ -12,6 +12,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -45,6 +47,33 @@ type Config struct {
 	Limits Limits
 	// Logf, when non-nil, receives one line per job lifecycle edge.
 	Logf func(format string, args ...any)
+	// StreamWriteTimeout bounds each NDJSON response write: a client that
+	// stops reading for longer aborts its stream (counted in
+	// streams_aborted_total) and cancels its job, instead of pinning a
+	// worker slot behind a dead socket. 0 means 30s.
+	StreamWriteTimeout time.Duration
+	// Runner, when non-nil, replaces dataset.RunCampaign for campaign and
+	// experiment jobs — this is how a coordinator node routes the shared
+	// campaigns through its worker fleet (internal/dist) while the job
+	// surface stays identical to single-node.
+	Runner experiments.CampaignRunner
+	// Fleet, when non-nil, reports the coordinator's per-worker health for
+	// /readyz. Nil means this node has no fleet (single or worker role).
+	Fleet func() []FleetWorker
+	// FleetCounters, when non-nil, snapshots the coordinator's distributed
+	// execution counters for /metrics and for job reports.
+	FleetCounters func() telemetry.Fleet
+}
+
+// FleetWorker is one worker's health as seen by a coordinator, rendered in
+// /readyz.
+type FleetWorker struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// ConsecutiveFails counts heartbeat failures since the last success.
+	ConsecutiveFails int `json:"consecutive_fails,omitempty"`
+	// UnitsDone counts units this worker completed successfully.
+	UnitsDone int64 `json:"units_done"`
 }
 
 // Server is the HTTP service. Create with New, mount via Handler, stop with
@@ -57,11 +86,12 @@ type Server struct {
 	draining atomic.Bool
 	jobSeq   atomic.Int64
 
-	submitted atomic.Int64
-	accepted  atomic.Int64
-	rejected  atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
+	submitted      atomic.Int64
+	accepted       atomic.Int64
+	rejected       atomic.Int64
+	completed      atomic.Int64
+	failed         atomic.Int64
+	streamsAborted atomic.Int64
 
 	// agg accumulates every job's campaign counters into one server-wide
 	// aggregate for /metrics.
@@ -88,6 +118,9 @@ func New(cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.StreamWriteTimeout <= 0 {
+		cfg.StreamWriteTimeout = 30 * time.Second
+	}
 	s := &Server{
 		cfg: cfg,
 		mux: http.NewServeMux(),
@@ -97,6 +130,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -125,6 +159,9 @@ type healthzBody struct {
 	JobsRunning   int64  `json:"jobs_running"`
 }
 
+// handleHealthz is the liveness probe: it always answers 200 while the
+// process is up — a draining server is still alive (it reports "draining"
+// in the body for humans). Readiness lives at /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	body := healthzBody{
 		Status:        "ok",
@@ -138,6 +175,56 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		body.Status = "draining"
 	}
 	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
+}
+
+// readyzBody is the /readyz JSON document.
+type readyzBody struct {
+	// Status is "ready", "degraded" (coordinator with no healthy workers —
+	// still serving, via local fallback) or "draining".
+	Status        string `json:"status"`
+	QueueDepth    int64  `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+	QueueFull     bool   `json:"queue_full"`
+	JobsRunning   int64  `json:"jobs_running"`
+	// Fleet is the coordinator's per-worker health; absent on single and
+	// worker nodes.
+	Fleet []FleetWorker `json:"fleet,omitempty"`
+}
+
+// handleReadyz is the readiness probe: 503 while draining (take the node
+// out of rotation; in-flight streams finish), 200 otherwise. The body adds
+// what a balancer or operator needs to weigh the node: queue occupancy and,
+// on a coordinator, the worker fleet's health. A coordinator whose whole
+// fleet is unhealthy is degraded, not unready — it still completes
+// campaigns through its local fallback.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	body := readyzBody{
+		Status:        "ready",
+		QueueDepth:    s.pl.depth(),
+		QueueCapacity: s.cfg.QueueDepth,
+		JobsRunning:   s.pl.active(),
+	}
+	body.QueueFull = body.QueueDepth >= int64(s.cfg.QueueDepth)
+	status := http.StatusOK
+	if s.cfg.Fleet != nil {
+		body.Fleet = s.cfg.Fleet()
+		healthy := 0
+		for _, wk := range body.Fleet {
+			if wk.Healthy {
+				healthy++
+			}
+		}
+		if len(body.Fleet) > 0 && healthy == 0 {
+			body.Status = "degraded"
+		}
+	}
+	if s.draining.Load() {
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(body)
 }
 
@@ -211,11 +298,29 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Job-Id", jobID)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
+	alive := true
 	writeEvent := func(e Event) {
-		// A failed write means the client is gone; keep draining the stream
-		// so the worker's sends never back up.
-		_ = enc.Encode(e)
+		if !alive {
+			return
+		}
+		// Each write runs under its own deadline: a client that stops
+		// reading cannot hold this handler (and its worker slot) hostage —
+		// after one timeout the stream aborts, the job's context is
+		// cancelled, and the loop below keeps draining events so the worker
+		// finishes promptly either way. SetWriteDeadline is best-effort
+		// (test recorders don't support it); a plain write error means the
+		// client is gone and aborts the same way.
+		_ = rc.SetWriteDeadline(time.Now().Add(s.cfg.StreamWriteTimeout))
+		if err := enc.Encode(e); err != nil {
+			alive = false
+			s.streamsAborted.Add(1)
+			st.abort()
+			cancel()
+			s.cfg.Logf("job %s stream aborted: %v", jobID, err)
+			return
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -238,6 +343,8 @@ func (s *Server) runJob(ctx context.Context, jobID string, spec *JobSpec, st *st
 	switch spec.Kind {
 	case KindFlow:
 		terminal = s.runFlowJob(spec)
+	case KindUnit:
+		terminal = s.runUnitJob(ctx, spec, st)
 	default:
 		terminal = s.runScheduledJob(ctx, spec, st, start)
 	}
@@ -276,12 +383,85 @@ func (s *Server) runFlowJob(spec *JobSpec) Event {
 	return Event{Event: "result", Status: "ok", Flow: &ent, Cached: shared}
 }
 
+// runUnitJob executes one flow-range work unit of a distributed campaign:
+// it re-derives the campaign's flow plan from the unit's parameters (the
+// plan is a pure function of them, so it matches the coordinator's), then
+// simulates the unit's index range with telemetry attached to every flow.
+// Results go through the telemetry-complete cache path when a cache is
+// configured, so a reassigned or hedged duplicate of this unit re-serves
+// bit-identical payloads from disk instead of simulating again.
+func (s *Server) runUnitJob(ctx context.Context, spec *JobSpec, st *stream) Event {
+	cfg, err := spec.Unit.campaignConfig()
+	if err != nil {
+		return Event{Event: "error", Status: "error", Error: err.Error()}
+	}
+	plan, err := dataset.PlanCampaign(cfg)
+	if err != nil {
+		return Event{Event: "error", Status: "error", Error: err.Error()}
+	}
+	start, end := spec.Unit.Start, spec.Unit.End
+	if end > len(plan) {
+		return Event{Event: "error", Status: "error",
+			Error: fmt.Sprintf("serve: unit range [%d, %d) exceeds the campaign's %d flows", start, end, len(plan))}
+	}
+	res := &UnitResult{Start: start, End: end, Flows: make([]UnitFlow, end-start)}
+	errs := make([]error, end-start)
+	par := s.cfg.FlowParallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	var done, hits atomic.Int64
+	for i := start; i < end; i++ {
+		if ctx.Err() != nil {
+			errs[i-start] = fmt.Errorf("flow %s: %w", plan[i].Scenario.ID, ctx.Err())
+			continue
+		}
+		j := plan[i]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var ent dataset.CachedFlow
+			var hit bool
+			var err error
+			if s.cfg.Cache != nil {
+				ent, hit, err = s.cfg.Cache.GetOrComputeFull(j.Scenario, func() (dataset.CachedFlow, error) {
+					return dataset.RunFlowFull(j.Scenario)
+				})
+			} else {
+				ent, err = dataset.RunFlowFull(j.Scenario)
+			}
+			if err != nil {
+				errs[j.Index-start] = fmt.Errorf("flow %s: %w", j.Scenario.ID, err)
+				return
+			}
+			if hit {
+				hits.Add(1)
+			}
+			res.Flows[j.Index-start] = UnitFlow{Index: j.Index, Flow: ent, Cached: hit}
+			st.tryEmit(Event{Event: "flows", Done: int(done.Add(1)), Total: end - start})
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Event{Event: "error", Status: "error", Error: err.Error()}
+		}
+	}
+	res.CacheHits = int(hits.Load())
+	return Event{Event: "result", Status: "ok", Unit: res}
+}
+
 // runScheduledJob executes a campaign or experiment job through the shared
 // catalog and reports exactly like hsrbench -metrics.
 func (s *Server) runScheduledJob(ctx context.Context, spec *JobSpec, st *stream, start time.Time) Event {
 	cfg := spec.experimentsConfig()
 	cfg.Parallelism = s.cfg.FlowParallelism
 	cfg.Cache = s.cfg.Cache
+	cfg.Runner = s.cfg.Runner
 	camp := telemetry.NewCampaign()
 	cfg.Telemetry = camp
 	cfg.Progress = func(done, total int) {
@@ -316,6 +496,10 @@ func (s *Server) runScheduledJob(ctx context.Context, spec *JobSpec, st *stream,
 		cc = &c
 	}
 	rep := experiments.MetricsReport("hsrserved", cfg.Seed, camp, cc, results, start)
+	if s.cfg.FleetCounters != nil {
+		f := s.cfg.FleetCounters()
+		rep.Fleet = &f
+	}
 	s.agg.Merge(camp)
 
 	sum := Summary{}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"sync"
+
 	"repro/internal/dataset"
 	"repro/internal/telemetry"
 )
@@ -38,6 +40,29 @@ type Event struct {
 	// Cached reports that a flow job's result came from the shared cache or
 	// a deduplicated concurrent computation.
 	Cached bool `json:"cached,omitempty"`
+	// Unit is a unit job's terminal payload: the executed flow range with
+	// telemetry-complete per-flow results.
+	Unit *UnitResult `json:"unit,omitempty"`
+}
+
+// UnitResult is the terminal payload of a unit job.
+type UnitResult struct {
+	// Start and End echo the executed plan range.
+	Start int `json:"start"`
+	End   int `json:"end"`
+	// Flows holds one entry per plan index in [Start, End), in plan order.
+	Flows []UnitFlow `json:"flows"`
+	// CacheHits counts flows served from telemetry-complete cache entries
+	// (or deduplicated against a concurrent identical computation).
+	CacheHits int `json:"cache_hits,omitempty"`
+}
+
+// UnitFlow is one flow of a unit result: its global plan index and the full
+// cache-entry payload (metrics, endpoint stats, exact telemetry state).
+type UnitFlow struct {
+	Index  int                `json:"index"`
+	Flow   dataset.CachedFlow `json:"flow"`
+	Cached bool               `json:"cached,omitempty"`
 }
 
 // Summary counts a scheduled job's task outcomes.
@@ -55,16 +80,26 @@ type TaskOutput struct {
 
 // stream carries a job's events from the worker goroutine to the HTTP
 // handler. Progress events are best-effort (dropped when the reader lags);
-// terminal events always land — the buffer is sized so the worker never
-// blocks on a slow or gone client.
+// terminal events always land while the client is reading — and once the
+// handler declares the client gone (abort), every send becomes a no-op so
+// the worker can never wedge behind a dead stream.
 type stream struct {
-	ch chan Event
+	ch        chan Event
+	aborted   chan struct{}
+	abortOnce sync.Once
 }
 
 func newStream() *stream {
 	// 256 buffered events absorb any full catalog run (19 experiments + the
 	// shared tasks + per-campaign flow batches) without the worker blocking.
-	return &stream{ch: make(chan Event, 256)}
+	return &stream{ch: make(chan Event, 256), aborted: make(chan struct{})}
+}
+
+// abort marks the client gone: emit stops blocking, tryEmit keeps dropping.
+// Called by the HTTP handler after a failed or timed-out response write;
+// safe to call more than once and concurrently with sends.
+func (s *stream) abort() {
+	s.abortOnce.Do(func() { close(s.aborted) })
 }
 
 // tryEmit sends a progress event, dropping it when the buffer is full.
@@ -78,9 +113,14 @@ func (s *stream) tryEmit(e Event) {
 // emit sends an event that must not be lost (terminal lines). The buffer
 // outsizes any event sequence that can precede a terminal line, so this
 // never blocks in practice; the send is still on the buffered channel, not
-// the client socket, so a gone client cannot wedge the worker.
+// the client socket. If the buffer ever were full — a stalled client whose
+// handler is stuck inside a response write can stop draining for up to one
+// write deadline — the abort path unblocks the worker.
 func (s *stream) emit(e Event) {
-	s.ch <- e
+	select {
+	case s.ch <- e:
+	case <-s.aborted:
+	}
 }
 
 // close ends the stream; the handler's range loop terminates.

@@ -60,6 +60,34 @@ func (r *Running) Merge(other *Running) {
 	}
 }
 
+// RunningState is the exact internal state of a Running accumulator, with
+// JSON tags for wire transport. Go's encoding/json renders float64 values in
+// their shortest round-trippable form, so a state marshalled to JSON and
+// parsed back restores the accumulator bit for bit — unlike the summarized
+// (mean, std) form, whose inverse mappings round. Distributed campaign
+// execution ships per-flow accumulators across workers in this form so the
+// merged aggregates stay byte-identical to a single-node run.
+type RunningState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Sum  float64 `json:"sum"`
+}
+
+// State returns the accumulator's exact internal state.
+func (r *Running) State() RunningState {
+	return RunningState{N: r.n, Mean: r.mean, M2: r.m2, Min: r.min, Max: r.max, Sum: r.sum}
+}
+
+// RestoreRunning reconstructs an accumulator from a State snapshot, bit for
+// bit: Restore(State(r)) behaves exactly like r for every further Add and
+// Merge.
+func RestoreRunning(s RunningState) Running {
+	return Running{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max, sum: s.Sum}
+}
+
 // N returns the number of samples added.
 func (r *Running) N() int { return r.n }
 

@@ -65,6 +65,22 @@ func (e *TextExposer) Cache(c *Cache) {
 	e.Int("cache_written_bytes_total", c.BytesWritten)
 }
 
+// Fleet emits the distributed-campaign coordinator counters.
+func (e *TextExposer) Fleet(f *Fleet) {
+	e.Int("fleet_workers", f.Workers)
+	e.Int("fleet_units_total", f.Units)
+	e.Int("fleet_units_dispatched_total", f.UnitsDispatched)
+	e.Int("fleet_units_completed_total", f.UnitsCompleted)
+	e.Int("fleet_units_local_total", f.UnitsLocal)
+	e.Int("fleet_retries_total", f.Retries)
+	e.Int("fleet_reassignments_total", f.Reassignments)
+	e.Int("fleet_hedges_total", f.Hedges)
+	e.Int("fleet_duplicate_results_total", f.DuplicateResults)
+	e.Int("fleet_workers_lost_total", f.WorkersLost)
+	e.Int("fleet_workers_readmitted_total", f.WorkersReadmitted)
+	e.Int("fleet_degraded_campaigns_total", f.Degraded)
+}
+
 // Campaign emits the deterministic counter sections of a campaign
 // aggregate: flow count, kernel, endpoint, link and fault totals.
 func (e *TextExposer) Campaign(c *Campaign) {

@@ -50,7 +50,12 @@ type Report struct {
 	Campaign *Campaign `json:"campaign,omitempty"`
 	// Cache reports flow-result-cache activity (hsrbench -cache); nil when
 	// no cache was configured.
-	Cache     *Cache       `json:"cache,omitempty"`
+	Cache *Cache `json:"cache,omitempty"`
+	// Fleet reports distributed-campaign activity (shards, retries,
+	// reassignments, degraded mode) when the run executed on a coordinator;
+	// nil for single-node runs. Like Resources it is host-side accounting:
+	// the campaign counters above stay byte-identical with or without it.
+	Fleet     *Fleet       `json:"fleet,omitempty"`
 	Tasks     []TaskReport `json:"tasks"`
 	Resources Resources    `json:"resources"`
 }

@@ -99,6 +99,18 @@ func (d Dist) MarshalJSON() ([]byte, error) {
 	return json.Marshal(distSummary{d.r.N(), d.r.Mean(), std, d.r.Min(), d.r.Max()})
 }
 
+// State returns the distribution's exact accumulator state for wire
+// transport. Unlike the JSON summary (which is deliberately lossy and
+// read-only after a round trip), a state snapshot restored with RestoreDist
+// merges and accumulates exactly like the original — the distributed
+// campaign path depends on this to keep remote flows byte-identical to
+// local ones. A parsed (read-only) Dist has no accumulator to snapshot and
+// returns the zero state.
+func (d *Dist) State() stats.RunningState { return d.r.State() }
+
+// RestoreDist reconstructs a live distribution from a State snapshot.
+func RestoreDist(s stats.RunningState) Dist { return Dist{r: stats.RestoreRunning(s)} }
+
 // UnmarshalJSON restores a distribution written by MarshalJSON as a
 // read-only summary; see the parsed field for the round-trip contract.
 func (d *Dist) UnmarshalJSON(raw []byte) error {
@@ -384,6 +396,37 @@ func NewFlow() *Flow {
 	f := &Flow{}
 	f.TCP = *NewTCP()
 	return f
+}
+
+// FlowState is the exact wire form of a Flow bundle. The embedded Flow
+// carries every integer counter and histogram verbatim (both survive a JSON
+// round trip bit for bit), and CwndState carries the one floating-point
+// accumulator (TCP.Cwnd) in its exact internal representation, because the
+// Dist summary form is deliberately lossy. Restore reconstructs a Flow that
+// merges into a Campaign byte-identically to the original, which is what
+// lets a distributed campaign ship per-flow telemetry across workers and
+// still produce a report bit-identical to a single-node run.
+type FlowState struct {
+	Flow
+	CwndState stats.RunningState `json:"cwnd_state"`
+}
+
+// State snapshots the flow bundle into its exact wire form.
+func (f *Flow) State() FlowState {
+	s := FlowState{Flow: *f, CwndState: f.TCP.Cwnd.State()}
+	s.Flow.TCP.CwndHist = cloneHist(f.TCP.CwndHist)
+	s.Flow.TCP.BackoffHist = cloneHist(f.TCP.BackoffHist)
+	return s
+}
+
+// Restore reconstructs the flow bundle, replacing the lossy Cwnd summary
+// with the exact accumulator state.
+func (s *FlowState) Restore() *Flow {
+	f := s.Flow
+	f.TCP.Cwnd = RestoreDist(s.CwndState)
+	f.TCP.CwndHist = cloneHist(s.Flow.TCP.CwndHist)
+	f.TCP.BackoffHist = cloneHist(s.Flow.TCP.BackoffHist)
+	return &f
 }
 
 // Campaign aggregates Flow bundles into campaign totals. AddFlow is safe
