@@ -7,7 +7,8 @@
 //	hsrbench [-quick] [-seed N] [-duration 120s] [-flows N] [-jobs N]
 //	         [-timeout D] [-run name,...] [-progress] [-metrics out.json]
 //	         [-cache DIR] [-cache-max-bytes N] [-bench-json out.json]
-//	         [-cpuprofile f] [-memprofile f] [-version]
+//	         [-trace-out trace.json] [-cpuprofile f] [-memprofile f]
+//	         [-version]
 //
 // Experiment names: table1, fig1, fig2, fig3, fig4, fig6, fig10, fig12,
 // window, scalars, delack, ablation, backupq, eifel, sensitivity, variants,
@@ -44,6 +45,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/export"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 func main() {
@@ -70,6 +72,7 @@ func run(args []string) error {
 	materialize := fs.Bool("materialize", false, "force the legacy materialize-then-analyze flow pipeline (cross-check mode; output must be byte-identical to the streaming default)")
 	metricsPath := fs.String("metrics", "", "write a JSON telemetry report (kernel/TCP/link/fault counters, per-task resources) to this file")
 	benchJSON := fs.String("bench-json", "", "run the performance snapshot (cold/warm quick campaign, single-flow wall and allocations, kernel event rate), write it as JSON to this file, and exit without running experiments")
+	traceOut := fs.String("trace-out", "", "write the run's span trace (task, campaign and flow spans with wall and virtual timelines) to this file in the Perfetto/Chrome trace-event format")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file (taken at exit, after a GC)")
 	version := fs.Bool("version", false, "print version and exit")
@@ -160,6 +163,15 @@ func run(args []string) error {
 		cfg.Cache = cache
 	}
 	cfg.Materialize = *materialize
+	// Tracing is host-side instrumentation only: it never perturbs seeds,
+	// flow order or results, so output stays byte-identical with it on.
+	var traceRoot *tracing.Span
+	if *traceOut != "" {
+		tr := tracing.New(fmt.Sprintf("hsrbench-%d", cfg.Seed))
+		traceRoot = tr.StartSpan("", "run", "hsrbench")
+		cfg.Trace = tr
+		cfg.TraceParent = traceRoot.ID()
+	}
 	if *progress {
 		// Flow-level progress from the campaign workers: one line every ten
 		// flows (and the last), mutex-guarded because workers run in parallel.
@@ -262,6 +274,21 @@ func run(args []string) error {
 	results, err := experiments.RunDAGProgress(ctx, tasks, *jobs, onDone)
 	if err != nil {
 		return err
+	}
+	if *traceOut != "" {
+		traceRoot.End()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		werr := tracing.WriteTrace(f, cfg.Trace.Spans())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("trace-out: %w", werr)
+		}
+		fmt.Fprintf(os.Stderr, "hsrbench: wrote %d spans to %s\n", cfg.Trace.Len(), *traceOut)
 	}
 	// Partial results first: everything that completed renders in canonical
 	// order even when other branches failed or the deadline hit.

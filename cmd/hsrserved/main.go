@@ -13,13 +13,16 @@
 //	          [-workers N] [-queue N] [-flow-parallelism N]
 //	          [-dag-jobs N] [-cache DIR] [-cache-max-bytes N]
 //	          [-max-flow-duration D] [-job-timeout D] [-drain-timeout D]
-//	          [-stream-write-timeout D] [-version]
+//	          [-stream-write-timeout D] [-trace] [-trace-jobs N] [-pprof]
+//	          [-log-level debug|info|warn|error] [-version]
 //
 // Endpoints: POST /v1/jobs (submit, streams NDJSON), GET /v1/experiments
 // (the catalog), GET /healthz (JSON liveness + version), GET /readyz
 // (readiness: 503 while draining; queue occupancy and worker-fleet health),
 // GET /metrics (text exposition of server, cache, campaign and fleet
-// counters).
+// counters), GET /v1/jobs/{id}/trace (with -trace: a completed job's span
+// tree in the Perfetto/Chrome trace-event format) and, with -pprof, the
+// net/http/pprof surface under /debug/pprof/.
 //
 // Roles: "single" (default) runs everything in-process. "worker" is the
 // same server, conventionally pointed at by a coordinator, which sends it
@@ -51,6 +54,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/dataset"
 	"repro/internal/dist"
+	"repro/internal/logging"
 	"repro/internal/serve"
 )
 
@@ -81,6 +85,10 @@ func run(args []string) error {
 	jobTimeout := fs.Duration("job-timeout", 15*time.Minute, "per-job deadline cap (and default when the job names none)")
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long a shutdown signal waits for running jobs before exiting anyway")
 	streamWriteTimeout := fs.Duration("stream-write-timeout", 30*time.Second, "per-write deadline on NDJSON streams; a slower client's stream aborts and its job is cancelled")
+	trace := fs.Bool("trace", false, "record a span tree per job, served at GET /v1/jobs/{id}/trace (Perfetto-loadable; never perturbs results)")
+	traceJobs := fs.Int("trace-jobs", 64, "completed-job traces retained for /v1/jobs/{id}/trace")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (opt-in profiling surface)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,9 +98,11 @@ func run(args []string) error {
 		return nil
 	}
 
-	logf := func(format string, a ...any) {
-		fmt.Fprintf(os.Stderr, "hsrserved: "+format+"\n", a...)
+	level, err := logging.ParseLevel(*logLevel)
+	if err != nil {
+		return err
 	}
+	log := logging.New(os.Stderr, level, "svc", "hsrserved")
 	cfg := serve.Config{
 		Workers:            *workers,
 		QueueDepth:         *queue,
@@ -103,7 +113,10 @@ func run(args []string) error {
 			MaxFlowDuration: *maxFlowDur,
 			MaxTimeout:      *jobTimeout,
 		},
-		Logf: logf,
+		Log:         log,
+		Trace:       *trace,
+		TraceJobs:   *traceJobs,
+		EnablePprof: *pprofFlag,
 	}
 	if *cacheDir != "" {
 		cache, err := dataset.OpenFlowCache(*cacheDir)
@@ -134,7 +147,7 @@ func run(args []string) error {
 			HeartbeatInterval: *heartbeat,
 			HedgeAfter:        *hedgeAfter,
 			Seed:              time.Now().UnixNano(), // jitter only; never touches results
-			Logf:              logf,
+			Log:               log.With("comp", "dist"),
 		})
 		if err != nil {
 			return err
@@ -159,7 +172,8 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	logf("listening on %s (role=%s workers=%d queue=%d, version %s)", ln.Addr(), *role, *workers, *queue, buildinfo.Version())
+	log.Info("listening", "addr", ln.Addr(), "role", *role, "workers", *workers,
+		"queue", *queue, "version", buildinfo.Version())
 
 	select {
 	case err := <-errc:
@@ -167,7 +181,7 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately
-	logf("shutdown signal: draining (timeout %v)", *drainTimeout)
+	log.Info("shutdown signal: draining", "timeout", *drainTimeout)
 	srv.StartDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -177,7 +191,8 @@ func run(args []string) error {
 		return err
 	}
 	srv.Drain()
-	logf("drained, exiting")
+	// CI's distributed smoke greps for this exact message.
+	log.Info("drained, exiting")
 	return nil
 }
 

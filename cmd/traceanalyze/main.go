@@ -5,6 +5,12 @@
 // Usage:
 //
 //	traceanalyze [-models] trace1.hsrt trace2.jsonl ...
+//	traceanalyze -spans [-top K] trace.json ...
+//
+// With -spans the inputs are span traces (from hsrbench -trace-out or
+// GET /v1/jobs/{id}/trace) and the output is a critical-path summary:
+// per-kind totals, the top-K slowest distributed units with their retry and
+// hedge attempt waterfalls, and a queue-wait versus compute breakdown.
 package main
 
 import (
@@ -45,6 +51,8 @@ func run(args []string) error {
 	models := fs.Bool("models", false, "also evaluate the Padhye and enhanced models")
 	gaps := fs.Bool("gaps", false, "also report ACK silences (the sender-side view of ACK burst loss)")
 	events := fs.Int("events", 0, "print the first N packet events of each trace as a timeline")
+	spans := fs.Bool("spans", false, "treat the inputs as span traces (hsrbench -trace-out / GET /v1/jobs/{id}/trace) and print a critical-path summary instead of packet metrics")
+	topK := fs.Int("top", 5, "with -spans: how many slowest units to detail")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +64,9 @@ func run(args []string) error {
 	files := fs.Args()
 	if len(files) == 0 {
 		return fmt.Errorf("no trace files given")
+	}
+	if *spans {
+		return runSpans(files, *topK)
 	}
 
 	t := export.NewTable("flow", "op", "scenario", "pps", "Mbps", "p_d", "p_a", "q", "RTT",

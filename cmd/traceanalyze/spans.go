@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/export"
+	"repro/internal/tracing"
+)
+
+// runSpans is the -spans mode: read span traces, print a critical-path
+// summary — per-kind totals, the slowest units with their attempt
+// waterfalls, and where the time went (queue wait vs compute).
+func runSpans(files []string, topK int) error {
+	var spans []tracing.SpanRecord
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		batch, err := tracing.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		spans = append(spans, batch...)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans in the given trace files")
+	}
+	if err := tracing.Validate(spans); err != nil {
+		fmt.Fprintf(os.Stderr, "traceanalyze: warning: span tree is not well formed: %v\n", err)
+	}
+
+	byID := make(map[string]tracing.SpanRecord, len(spans))
+	children := make(map[string][]tracing.SpanRecord)
+	for _, s := range spans {
+		byID[s.ID] = s
+		if s.Parent != "" {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	for id := range children {
+		tracing.ByStart(children[id])
+	}
+
+	durMS := func(s tracing.SpanRecord) float64 { return float64(s.EndNS-s.StartNS) / 1e6 }
+
+	// Per-kind totals.
+	type kindAgg struct {
+		kind    string
+		count   int
+		totalMS float64
+		maxMS   float64
+	}
+	agg := map[string]*kindAgg{}
+	for _, s := range spans {
+		a := agg[s.Kind]
+		if a == nil {
+			a = &kindAgg{kind: s.Kind}
+			agg[s.Kind] = a
+		}
+		a.count++
+		d := durMS(s)
+		a.totalMS += d
+		if d > a.maxMS {
+			a.maxMS = d
+		}
+	}
+	kinds := make([]*kindAgg, 0, len(agg))
+	for _, a := range agg {
+		kinds = append(kinds, a)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i].totalMS > kinds[j].totalMS })
+	kt := export.NewTable("kind", "spans", "total", "mean", "max")
+	for _, a := range kinds {
+		kt.AddRow(a.kind, fmt.Sprintf("%d", a.count),
+			fmt.Sprintf("%.1fms", a.totalMS),
+			fmt.Sprintf("%.1fms", a.totalMS/float64(a.count)),
+			fmt.Sprintf("%.1fms", a.maxMS))
+	}
+	fmt.Printf("%d spans across %d kind(s)\n\n%s\n", len(spans), len(kinds), kt.Render())
+
+	// Queue-wait vs compute breakdown: where the fleet's wall time went.
+	// queue-wait and compute are leaf measurements; flow wall time minus its
+	// compute children is cache/serialization overhead.
+	var queueMS, computeMS, flowMS, cacheMS float64
+	for _, s := range spans {
+		switch s.Kind {
+		case "queue-wait":
+			queueMS += durMS(s)
+		case "compute":
+			computeMS += durMS(s)
+		case "flow":
+			flowMS += durMS(s)
+		case "cache":
+			cacheMS += durMS(s)
+		}
+	}
+	if queueMS > 0 || computeMS > 0 {
+		total := queueMS + computeMS
+		pct := func(v float64) string {
+			if total == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f%%", 100*v/total)
+		}
+		bt := export.NewTable("where", "total", "share")
+		bt.AddRow("queue wait", fmt.Sprintf("%.1fms", queueMS), pct(queueMS))
+		bt.AddRow("compute", fmt.Sprintf("%.1fms", computeMS), pct(computeMS))
+		fmt.Printf("queue wait vs compute (of %.1fms accounted)\n%s\n", total, bt.Render())
+		if flowMS > 0 {
+			fmt.Printf("flow wall %.1fms, cache path %.1fms\n\n", flowMS, cacheMS)
+		}
+	}
+
+	// Top-K slowest distributed units, with their attempt waterfalls —
+	// retries and hedges appear as sibling attempts under one unit.
+	var units []tracing.SpanRecord
+	for _, s := range spans {
+		if s.Kind == "unit" {
+			units = append(units, s)
+		}
+	}
+	if len(units) == 0 {
+		return nil
+	}
+	sort.Slice(units, func(i, j int) bool {
+		di, dj := units[i].EndNS-units[i].StartNS, units[j].EndNS-units[j].StartNS
+		if di != dj {
+			return di > dj
+		}
+		return units[i].ID < units[j].ID
+	})
+	if topK > len(units) {
+		topK = len(units)
+	}
+	base := spans[0].StartNS
+	for _, s := range spans {
+		if s.StartNS < base {
+			base = s.StartNS
+		}
+	}
+	fmt.Printf("top %d slowest units (of %d)\n", topK, len(units))
+	for _, u := range units[:topK] {
+		attempts := children[u.ID]
+		hedged := ""
+		if u.Attrs["hedged"] == "true" {
+			hedged = " hedged"
+		}
+		fmt.Printf("  %s  %.1fms  %d attempt(s)%s\n", u.Name, durMS(u), len(attempts), hedged)
+		for _, a := range attempts {
+			if a.Kind != "attempt" {
+				continue
+			}
+			outcome := a.Attrs["outcome"]
+			if outcome == "" {
+				outcome = "?"
+			}
+			fmt.Printf("    +%8.1fms  %-10s %8.1fms  worker=%s outcome=%s\n",
+				float64(a.StartNS-base)/1e6, a.Name, durMS(a), a.Attrs["worker"], outcome)
+		}
+	}
+	// Waterfall of every retried or hedged unit not already shown above.
+	var multi []tracing.SpanRecord
+	for _, u := range units[topK:] {
+		n := 0
+		for _, a := range children[u.ID] {
+			if a.Kind == "attempt" {
+				n++
+			}
+		}
+		if n >= 2 {
+			multi = append(multi, u)
+		}
+	}
+	if len(multi) > 0 {
+		names := make([]string, len(multi))
+		for i, u := range multi {
+			names[i] = u.Name
+		}
+		fmt.Printf("  (%d more unit(s) with retried or hedged attempts: %s)\n",
+			len(multi), strings.Join(names, ", "))
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/railway"
 	"repro/internal/tcp"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // TableRow is one row of the paper's Table I.
@@ -83,6 +85,12 @@ type CampaignConfig struct {
 	// total. It is called from worker goroutines and must be safe for
 	// concurrent use.
 	Progress func(done, total int)
+	// Trace, when non-nil, records one span per flow (wall interval, plus
+	// the simulated-time interval when telemetry is attached) under
+	// TraceParent. Tracing is strictly host-side observation: it never
+	// perturbs seeds, flow order or results.
+	Trace       *tracing.Trace
+	TraceParent string
 }
 
 // FlowResult pairs a flow's metrics with its Table I row.
@@ -216,9 +224,16 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			var sp *tracing.Span
+			if cfg.Trace != nil {
+				sp = cfg.Trace.StartSpan(cfg.TraceParent, "flow", j.Scenario.ID)
+				sp.SetAttr("index", strconv.Itoa(j.Index))
+				sp.SetAttr("operator", j.Row.Operator.Name)
+			}
 			m, hit, err := runCampaignFlow(cfg, j.Scenario)
 			if err != nil {
 				errs[j.Index] = fmt.Errorf("flow %s: %w", j.Scenario.ID, err)
+				sp.SetAttr("error", err.Error())
 			} else {
 				results[j.Index] = FlowResult{Row: j.Row, Metrics: m}
 				if hit && flows != nil {
@@ -226,6 +241,13 @@ func RunCampaign(cfg CampaignConfig) (*Campaign, error) {
 					// flow has no kernel/TCP/link counters to merge.
 					flows[j.Index] = nil
 				}
+			}
+			if sp != nil {
+				sp.SetAttr("cached", strconv.FormatBool(hit))
+				if flows != nil && flows[j.Index] != nil {
+					sp.SetVirtual(0, flows[j.Index].Kernel.VirtualNS)
+				}
+				sp.End()
 			}
 			if cfg.Progress != nil {
 				cfg.Progress(int(done.Add(1)), len(jobs))

@@ -1,0 +1,105 @@
+package chaostest
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/dist"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/tracing"
+)
+
+// TestByteIdentityWithTracingUnderChaos turns tracing on under a kill-heavy
+// schedule: the campaign's counters and per-flow metrics must stay
+// byte-identical to the single-node reference, and the stitched span tree —
+// retries, ejections, local fallback and all — must still validate.
+func TestByteIdentityWithTracingUnderChaos(t *testing.T) {
+	cfg := dataset.CampaignConfig{Seed: 33, FlowDuration: 2 * time.Second, FlowsPerRow: 2}
+
+	ref := telemetry.NewCampaign()
+	refCfg := cfg
+	refCfg.Telemetry = ref
+	refCamp, err := dataset.RunCampaign(refCfg)
+	if err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+	refBytes := countersJSON(t, ref)
+
+	var servers []*httptest.Server
+	for j := 0; j < 2; j++ {
+		srv := serve.New(serve.Config{Workers: 2, QueueDepth: 8})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() { ts.Close(); srv.Drain() })
+		servers = append(servers, ts)
+	}
+	sched := Schedule{Seed: 6, KillP: 0.35}
+	chaos := &Transport{Sched: &sched}
+	c, err := dist.New(dist.Config{
+		Workers:           []string{servers[0].URL, servers[1].URL},
+		UnitFlows:         1,
+		UnitTimeout:       time.Second,
+		MaxAttempts:       3,
+		BackoffBase:       5 * time.Millisecond,
+		BackoffMax:        50 * time.Millisecond,
+		HeartbeatInterval: 50 * time.Millisecond,
+		FailAfter:         3,
+		HedgeAfter:        2 * time.Second,
+		Seed:              sched.Seed,
+		HTTPClient:        &http.Client{Transport: chaos},
+	})
+	if err != nil {
+		t.Fatalf("new coordinator: %v", err)
+	}
+	defer c.Close()
+
+	trc := tracing.New("chaos-trace")
+	root := trc.StartSpan("", "campaign", "campaign:chaos")
+	got := telemetry.NewCampaign()
+	dcfg := cfg
+	dcfg.Telemetry = got
+	dcfg.Trace = trc
+	dcfg.TraceParent = root.ID()
+	camp, err := c.RunCampaign(dcfg)
+	if err != nil {
+		t.Fatalf("traced campaign under %s: %v", sched.describe(), err)
+	}
+	root.End()
+
+	if a, b := refBytes, countersJSON(t, got); string(a) != string(b) {
+		t.Fatalf("counters diverged with tracing on under chaos:\n%s\nvs\n%s", a, b)
+	}
+	for i := range camp.Results {
+		a, _ := json.Marshal(camp.Results[i].Metrics)
+		b, _ := json.Marshal(refCamp.Results[i].Metrics)
+		if string(a) != string(b) {
+			t.Fatalf("flow %d metrics diverged with tracing on under chaos", i)
+		}
+	}
+
+	spans := trc.Spans()
+	if err := tracing.Validate(spans); err != nil {
+		t.Fatalf("stitched trace under chaos not well formed: %v", err)
+	}
+	units, attempts := 0, 0
+	for _, s := range spans {
+		switch s.Kind {
+		case "unit":
+			units++
+		case "attempt":
+			attempts++
+		}
+	}
+	f := c.Counters()
+	if int64(units) != f.Units {
+		t.Fatalf("%d unit spans for %d units", units, f.Units)
+	}
+	if attempts < units {
+		t.Fatalf("%d attempt spans for %d units", attempts, units)
+	}
+	t.Logf("chaos+tracing: injected=%d spans=%d fleet=%+v", chaos.Injected(), len(spans), f)
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/serve"
+	"repro/internal/tracing"
 )
 
 // runUnitOn executes one unit on one worker: a unit job POSTed to the
@@ -18,7 +19,13 @@ import (
 // unit payload returned. The whole exchange runs under the per-unit
 // deadline — a worker that stalls mid-stream (accepted the job, stopped
 // making progress) times out the same as one that never answered.
-func (c *Coordinator) runUnitOn(r *run, w *worker, u *unit) ([]serve.UnitFlow, error) {
+//
+// When the campaign is traced, parentSpanID (the coordinator-side attempt
+// span) rides along as the job's trace context; the worker then records its
+// own job/flow/cache spans into the same trace and ships the batch back on
+// the terminal event — returned here for stitching, and empty on error
+// (a failed or timed-out exchange has no batch to ship).
+func (c *Coordinator) runUnitOn(r *run, w *worker, u *unit, parentSpanID string) ([]serve.UnitFlow, []tracing.SpanRecord, error) {
 	ctx, cancel := context.WithTimeout(r.ctx, c.cfg.UnitTimeout)
 	defer cancel()
 
@@ -35,23 +42,26 @@ func (c *Coordinator) runUnitOn(r *run, w *worker, u *unit) ([]serve.UnitFlow, e
 		},
 		TimeoutMS: c.cfg.UnitTimeout.Milliseconds(),
 	}
+	if r.tr != nil {
+		spec.Trace = &serve.TraceContext{ID: r.tr.ID(), Parent: parentSpanID}
+	}
 	body, err := json.Marshal(&spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
-		return nil, fmt.Errorf("dist: worker %s: status %d: %s", w.url, resp.StatusCode, bytes.TrimSpace(msg))
+		return nil, nil, fmt.Errorf("dist: worker %s: status %d: %s", w.url, resp.StatusCode, bytes.TrimSpace(msg))
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -60,7 +70,7 @@ func (c *Coordinator) runUnitOn(r *run, w *worker, u *unit) ([]serve.UnitFlow, e
 	for sc.Scan() {
 		var e serve.Event
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("dist: worker %s: bad event line: %w", w.url, err)
+			return nil, nil, fmt.Errorf("dist: worker %s: bad event line: %w", w.url, err)
 		}
 		if e.Event == "result" || e.Event == "error" {
 			terminal = &e
@@ -68,18 +78,18 @@ func (c *Coordinator) runUnitOn(r *run, w *worker, u *unit) ([]serve.UnitFlow, e
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dist: worker %s: stream: %w", w.url, err)
+		return nil, nil, fmt.Errorf("dist: worker %s: stream: %w", w.url, err)
 	}
 	if terminal == nil {
-		return nil, fmt.Errorf("dist: worker %s: stream ended without a terminal event", w.url)
+		return nil, nil, fmt.Errorf("dist: worker %s: stream ended without a terminal event", w.url)
 	}
 	if terminal.Event == "error" {
-		return nil, fmt.Errorf("dist: worker %s: %s", w.url, terminal.Error)
+		return nil, terminal.Spans, fmt.Errorf("dist: worker %s: %s", w.url, terminal.Error)
 	}
 	if terminal.Unit == nil || len(terminal.Unit.Flows) != u.end-u.start {
-		return nil, fmt.Errorf("dist: worker %s: malformed unit result for [%d, %d)", w.url, u.start, u.end)
+		return nil, terminal.Spans, fmt.Errorf("dist: worker %s: malformed unit result for [%d, %d)", w.url, u.start, u.end)
 	}
-	return terminal.Unit.Flows, nil
+	return terminal.Unit.Flows, terminal.Spans, nil
 }
 
 // faultsDSL renders a campaign's fault schedule back to the wire DSL the

@@ -34,8 +34,10 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/logging"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // Config configures a Coordinator. Workers is required; every other field
@@ -70,8 +72,10 @@ type Config struct {
 	// Seed seeds the retry jitter (timing only — results never depend on
 	// it).
 	Seed int64
-	// Logf, when non-nil, receives one line per dispatch edge.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives one structured line per dispatch edge
+	// (unit range, worker URL, attempt and trace IDs as fields). Nil logs
+	// nothing.
+	Log *logging.Logger
 	// HTTPClient, when non-nil, overrides the fleet transport (tests inject
 	// chaos here).
 	HTTPClient *http.Client
@@ -142,9 +146,6 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.FailAfter <= 0 {
 		cfg.FailAfter = 2
-	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
 	}
 	c := &Coordinator{
 		cfg:    cfg,
@@ -236,7 +237,7 @@ func (c *Coordinator) heartbeat(w *worker) {
 			if !w.healthy.Swap(true) {
 				c.workersReadmitted.Add(1)
 				w.wasLost.Store(false)
-				c.cfg.Logf("dist: worker %s readmitted", w.url)
+				c.cfg.Log.Info("worker readmitted", "worker", w.url)
 			}
 			continue
 		}
@@ -244,7 +245,7 @@ func (c *Coordinator) heartbeat(w *worker) {
 			if w.healthy.Swap(false) {
 				c.workersLost.Add(1)
 				w.wasLost.Store(true)
-				c.cfg.Logf("dist: worker %s ejected after %d failed heartbeats", w.url, w.fails.Load())
+				c.cfg.Log.Warn("worker ejected", "worker", w.url, "fails", w.fails.Load())
 			}
 		}
 	}
@@ -294,6 +295,9 @@ type unit struct {
 	flows      []serve.UnitFlow
 	err        error
 	mu         sync.Mutex // guards flows/err writes before the CAS publishes
+	// span is the unit's trace span (nil when the campaign is untraced),
+	// opened at planning and ended by the winning complete().
+	span *tracing.Span
 }
 
 // run is one campaign's dispatch state.
@@ -307,6 +311,9 @@ type run struct {
 	allDone   chan struct{}
 	doneFlows atomic.Int64
 	ctx       context.Context
+	// tr collects the campaign's spans (nil when untraced); worker-side span
+	// batches shipped on unit results are stitched into it.
+	tr *tracing.Trace
 }
 
 // complete publishes a unit result (first writer wins) and unblocks the
@@ -320,6 +327,13 @@ func (c *Coordinator) complete(r *run, u *unit, flows []serve.UnitFlow, err erro
 	}
 	u.flows, u.err = flows, err
 	u.mu.Unlock()
+	if u.span != nil {
+		if err != nil {
+			u.span.SetAttr("error", err.Error())
+		}
+		u.span.SetAttr("attempts", fmt.Sprintf("%d", u.attempts.Load()))
+		u.span.End()
+	}
 	c.unitsCompleted.Add(1)
 	if r.cfg.Progress != nil {
 		r.cfg.Progress(int(r.doneFlows.Add(int64(u.end-u.start))), len(r.plan))
@@ -345,7 +359,7 @@ func (c *Coordinator) RunCampaign(cfg dataset.CampaignConfig) (*dataset.Campaign
 	if err != nil {
 		return nil, err
 	}
-	r := &run{cfg: cfg, plan: plan, allDone: make(chan struct{}), ctx: cfg.Ctx}
+	r := &run{cfg: cfg, plan: plan, allDone: make(chan struct{}), ctx: cfg.Ctx, tr: cfg.Trace}
 	if r.ctx == nil {
 		r.ctx = context.Background()
 	}
@@ -356,6 +370,10 @@ func (c *Coordinator) RunCampaign(cfg dataset.CampaignConfig) (*dataset.Campaign
 		}
 		u := &unit{start: start, end: end}
 		u.lastWorker.Store("")
+		if r.tr != nil {
+			u.span = r.tr.StartSpan(cfg.TraceParent, "unit", fmt.Sprintf("unit[%d,%d)", start, end))
+			u.span.SetAttr("flows", fmt.Sprintf("%d", end-start))
+		}
 		r.units = append(r.units, u)
 	}
 	c.units.Add(int64(len(r.units)))
@@ -406,7 +424,7 @@ func (c *Coordinator) RunCampaign(cfg dataset.CampaignConfig) (*dataset.Campaign
 			if !sawDegraded {
 				sawDegraded = true
 				c.degraded.Add(1)
-				c.cfg.Logf("dist: no healthy workers; finishing campaign locally (degraded mode)")
+				c.cfg.Log.Warn("no healthy workers; finishing campaign locally", "mode", "degraded")
 			}
 			draining := true
 			for draining {
@@ -519,7 +537,10 @@ func (c *Coordinator) dispatchLoop(r *run, w *worker) {
 			time.AfterFunc(c.cfg.HedgeAfter, func() {
 				if hu.state.Load() == 0 {
 					c.hedges.Add(1)
-					c.cfg.Logf("dist: hedging straggler unit [%d, %d)", hu.start, hu.end)
+					// Attrs on an ended span are dropped, so this is safe to
+					// race against complete().
+					hu.span.SetAttr("hedged", "true")
+					c.cfg.Log.Info("hedging straggler unit", "unit", unitRange(hu))
 					select {
 					case r.pending <- hu:
 					default:
@@ -528,17 +549,32 @@ func (c *Coordinator) dispatchLoop(r *run, w *worker) {
 			})
 		}
 
-		flows, err := c.runUnitOn(r, w, u)
+		var asp *tracing.Span
+		if r.tr != nil {
+			asp = r.tr.StartSpan(u.span.ID(), "attempt", fmt.Sprintf("attempt %d", attempt))
+			asp.SetAttr("worker", w.url)
+			asp.SetAttr("attempt", fmt.Sprintf("%d", attempt))
+		}
+		flows, spans, err := c.runUnitOn(r, w, u, asp.ID())
+		// Stitch the worker's span batch even when this attempt lost the
+		// race: a duplicate execution is real work worth seeing.
+		r.tr.Add(spans...)
 		if err == nil {
+			asp.SetAttr("outcome", "ok")
+			asp.End()
 			if c.complete(r, u, flows, nil) {
 				w.unitsDone.Add(1)
 			}
 			continue
 		}
+		asp.SetAttr("outcome", "failed")
+		asp.SetAttr("error", err.Error())
+		asp.End()
 		if r.ctx.Err() != nil {
 			return
 		}
-		c.cfg.Logf("dist: unit [%d, %d) attempt %d on %s failed: %v", u.start, u.end, attempt, w.url, err)
+		c.cfg.Log.Warn("unit attempt failed", "unit", unitRange(u), "attempt", attempt,
+			"worker", w.url, "err", err)
 		if attempt >= c.cfg.MaxAttempts {
 			// Remote budget exhausted: the coordinator guarantees progress
 			// by executing the unit itself.
@@ -565,17 +601,43 @@ func (c *Coordinator) runUnitLocal(r *run, u *unit) {
 		return
 	}
 	c.unitsLocal.Add(1)
+	var asp *tracing.Span
+	if r.tr != nil {
+		asp = r.tr.StartSpan(u.span.ID(), "attempt", "attempt local")
+		asp.SetAttr("worker", "local")
+		asp.SetAttr("local", "true")
+	}
 	flows := make([]serve.UnitFlow, 0, u.end-u.start)
 	for i := u.start; i < u.end; i++ {
 		if r.ctx.Err() != nil {
+			asp.SetAttr("outcome", "canceled")
+			asp.End()
 			return
+		}
+		var fsp *tracing.Span
+		if asp != nil {
+			fsp = r.tr.StartSpan(asp.ID(), "flow", r.plan[i].Scenario.ID)
+			fsp.SetAttr("index", fmt.Sprintf("%d", i))
 		}
 		ent, err := dataset.RunFlowFull(r.plan[i].Scenario)
 		if err != nil {
+			fsp.SetAttr("error", err.Error())
+			fsp.End()
+			asp.SetAttr("outcome", "failed")
+			asp.End()
 			c.complete(r, u, nil, fmt.Errorf("dist: local flow %s: %w", r.plan[i].Scenario.ID, err))
 			return
 		}
+		if fsp != nil && ent.Telemetry != nil {
+			fsp.SetVirtual(0, ent.Telemetry.Kernel.VirtualNS)
+		}
+		fsp.End()
 		flows = append(flows, serve.UnitFlow{Index: i, Flow: ent})
 	}
+	asp.SetAttr("outcome", "ok")
+	asp.End()
 	c.complete(r, u, flows, nil)
 }
+
+// unitRange renders a unit's flow range for log fields: "[start,end)".
+func unitRange(u *unit) string { return fmt.Sprintf("[%d,%d)", u.start, u.end) }

@@ -1,0 +1,182 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/tracing"
+)
+
+// failFirstUnit kills the first N /v1/jobs requests at the transport, so
+// the campaign is guaranteed to retry units while heartbeats stay clean.
+type failFirstUnit struct {
+	n     int64
+	seen  atomic.Int64
+	inner http.RoundTripper
+}
+
+func (f *failFirstUnit) RoundTrip(req *http.Request) (*http.Response, error) {
+	if strings.HasSuffix(req.URL.Path, "/v1/jobs") && f.seen.Add(1) <= f.n {
+		return nil, fmt.Errorf("failFirstUnit: connection killed")
+	}
+	inner := f.inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return inner.RoundTrip(req)
+}
+
+// TestCoordinatorTraceStitching is the tentpole acceptance test in
+// miniature: a two-worker distributed campaign with one unit forced to
+// retry, traced end to end. The stitched trace must be one well-formed tree
+// where worker-side job spans parent under coordinator-side attempt spans,
+// the retried unit shows sibling attempts, and — the invariant everything
+// else rests on — campaign counters stay byte-identical to the untraced
+// single-node reference.
+func TestCoordinatorTraceStitching(t *testing.T) {
+	w1, _ := testWorker(t)
+	w2, _ := testWorker(t)
+	c, err := New(Config{
+		Workers:           []string{w1.URL, w2.URL},
+		UnitFlows:         3,
+		UnitTimeout:       30 * time.Second,
+		MaxAttempts:       4,
+		BackoffBase:       5 * time.Millisecond,
+		HeartbeatInterval: 10 * time.Second, // no probes mid-test: the kill must hit a unit POST
+		Seed:              6,
+		HTTPClient:        &http.Client{Transport: &failFirstUnit{n: 1}},
+	})
+	if err != nil {
+		t.Fatalf("new coordinator: %v", err)
+	}
+	defer c.Close()
+
+	cfg := quickCampaign(11)
+	refBytes, refCamp := reference(t, cfg)
+
+	tr := tracing.New("campaign-trace-test")
+	root := tr.StartSpan("", "campaign", "campaign:test")
+	got := telemetry.NewCampaign()
+	dcfg := cfg
+	dcfg.Telemetry = got
+	dcfg.Trace = tr
+	dcfg.TraceParent = root.ID()
+	camp, err := c.RunCampaign(dcfg)
+	if err != nil {
+		t.Fatalf("traced distributed campaign: %v", err)
+	}
+	root.End()
+
+	// Byte-identity with tracing on: the whole point of host-side spans.
+	if a, b := refBytes, countersJSON(t, got); string(a) != string(b) {
+		t.Fatalf("counters diverged with tracing on:\n%s\nvs\n%s", a, b)
+	}
+	for i := range camp.Results {
+		a, _ := json.Marshal(camp.Results[i].Metrics)
+		b, _ := json.Marshal(refCamp.Results[i].Metrics)
+		if string(a) != string(b) {
+			t.Fatalf("flow %d metrics diverged with tracing on:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+
+	spans := tr.Spans()
+	if err := tracing.Validate(spans); err != nil {
+		t.Fatalf("stitched trace not well formed: %v", err)
+	}
+	byID := map[string]tracing.SpanRecord{}
+	byKind := map[string][]tracing.SpanRecord{}
+	for _, s := range spans {
+		byID[s.ID] = s
+		byKind[s.Kind] = append(byKind[s.Kind], s)
+	}
+	f := c.Counters()
+	if got, want := int64(len(byKind["unit"])), f.Units; got != want {
+		t.Fatalf("%d unit spans, want %d", got, want)
+	}
+	for _, u := range byKind["unit"] {
+		if u.Parent != root.ID() {
+			t.Fatalf("unit span %s not parented under the campaign span", u.ID)
+		}
+	}
+	if len(byKind["attempt"]) <= len(byKind["unit"]) {
+		t.Fatalf("%d attempt spans over %d units — the forced retry left no sibling attempt",
+			len(byKind["attempt"]), len(byKind["unit"]))
+	}
+	// Every attempt parents under a unit span; the retried unit has >= 2.
+	perUnit := map[string]int{}
+	for _, a := range byKind["attempt"] {
+		p, ok := byID[a.Parent]
+		if !ok || p.Kind != "unit" {
+			t.Fatalf("attempt span %s parent %q is not a unit span", a.ID, a.Parent)
+		}
+		perUnit[a.Parent]++
+	}
+	retried := 0
+	for _, n := range perUnit {
+		if n >= 2 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Fatal("no unit with sibling attempt spans")
+	}
+	// Worker-side job spans join the same trace, parented under
+	// coordinator-side attempt spans — the cross-node propagation contract.
+	if len(byKind["job"]) == 0 {
+		t.Fatal("no worker-side job spans stitched into the trace")
+	}
+	coordNode := tr.Node()
+	for _, j := range byKind["job"] {
+		if j.Node == coordNode {
+			t.Fatalf("job span %s recorded on the coordinator node", j.ID)
+		}
+		if j.TraceID != tr.ID() {
+			t.Fatalf("job span trace ID %q, want %q", j.TraceID, tr.ID())
+		}
+		p, ok := byID[j.Parent]
+		if !ok || p.Kind != "attempt" {
+			t.Fatalf("worker job span %s parent %q is not an attempt span", j.ID, j.Parent)
+		}
+	}
+	// Worker queue-wait and flow spans made the trip too, flows carrying
+	// their virtual-time intervals.
+	if len(byKind["queue-wait"]) == 0 {
+		t.Fatal("no worker queue-wait spans in the stitched trace")
+	}
+	if len(byKind["flow"]) < len(refCamp.Results) {
+		t.Fatalf("%d flow spans for %d flows", len(byKind["flow"]), len(refCamp.Results))
+	}
+	for _, fl := range byKind["flow"] {
+		if !fl.Virtual || fl.VEndNS <= fl.VStartNS {
+			t.Fatalf("flow span without virtual interval: %+v", fl)
+		}
+	}
+	if f.Retries == 0 {
+		t.Fatalf("forced kill produced no retry: %+v", f)
+	}
+}
+
+// TestCoordinatorUntracedCampaignShipsNoContext pins the off switch: with no
+// Trace on the campaign config, unit jobs carry no trace context and the
+// coordinator records nothing.
+func TestCoordinatorUntracedCampaignShipsNoContext(t *testing.T) {
+	w1, srv := testWorker(t)
+	c, err := New(Config{
+		Workers:           []string{w1.URL},
+		UnitFlows:         8,
+		HeartbeatInterval: 10 * time.Second,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatalf("new coordinator: %v", err)
+	}
+	defer c.Close()
+	assertIdentical(t, c, quickCampaign(19))
+	_ = srv
+}

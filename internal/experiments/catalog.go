@@ -132,8 +132,22 @@ func NewCatalog(ctx context.Context, cfg Config, names []string, opt CatalogOpti
 	}
 
 	cat := &Catalog{cfg: cfg, opt: opt}
+	// addSpanned registers a task wrapped in a task span (a no-op when
+	// cfg.Trace is nil); the task body receives its own span ID so shared-
+	// state producers can parent their campaign spans beneath the task.
+	addSpanned := func(name string, deps []string, run func(parent string) (string, error)) {
+		cat.Tasks = append(cat.Tasks, Task{Name: name, Deps: deps, Run: func() (string, error) {
+			sp := cfg.Trace.StartSpan(cfg.TraceParent, "task", name)
+			out, err := run(sp.ID())
+			if err != nil {
+				sp.SetAttr("error", err.Error())
+			}
+			sp.End()
+			return out, err
+		}})
+	}
 	add := func(name string, deps []string, run func() (string, error)) {
-		cat.Tasks = append(cat.Tasks, Task{Name: name, Deps: deps, Run: run})
+		addSpanned(name, deps, func(string) (string, error) { return run() })
 	}
 	logf := opt.Logf
 	if logf == nil {
@@ -143,12 +157,16 @@ func NewCatalog(ctx context.Context, cfg Config, names []string, opt CatalogOpti
 	var ctxDep, fig1Dep []string
 	if needCtx {
 		ctxDep = []string{CampaignsTaskName}
-		add(CampaignsTaskName, nil, func() (string, error) {
+		addSpanned(CampaignsTaskName, nil, func(parent string) (string, error) {
 			logf("running campaigns (seed=%d, duration=%v, flowsPerRow=%d)...",
 				cfg.Seed, cfg.FlowDuration, cfg.FlowsPerRow)
 			start := time.Now()
+			ccfg := cfg
+			if ccfg.Trace != nil {
+				ccfg.TraceParent = parent
+			}
 			var err error
-			cat.ectx, err = NewContextWith(ctx, cfg)
+			cat.ectx, err = NewContextWith(ctx, ccfg)
 			if err != nil {
 				return "", err
 			}

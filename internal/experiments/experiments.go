@@ -31,6 +31,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/tcp"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // Config scales the experiments. The zero value is not valid; use Default
@@ -75,6 +76,13 @@ type Config struct {
 	// the full CampaignConfig contract, in particular merging telemetry in
 	// campaign flow order so its output is byte-identical to the local path.
 	Runner CampaignRunner
+	// Trace, when non-nil, records the run's span tree (internal/tracing):
+	// one task span per catalog task, one campaign span per shared campaign,
+	// and whatever the campaign runner records beneath them (per-flow spans
+	// locally; unit/attempt/worker spans through a coordinator). TraceParent
+	// is the span the tree hangs from. Tracing never perturbs results.
+	Trace       *tracing.Trace
+	TraceParent string
 }
 
 // CampaignRunner executes one synthetic measurement campaign. The default is
@@ -158,7 +166,23 @@ func NewContextWith(ctx context.Context, cfg Config) (*Context, error) {
 	if run == nil {
 		run = dataset.RunCampaign
 	}
-	hsr, err := run(dataset.CampaignConfig{
+	// runTraced wraps one shared campaign in a campaign span; the campaign
+	// config inherits the trace so the runner's flow (or unit dispatch)
+	// spans parent beneath it.
+	runTraced := func(name string, dcfg dataset.CampaignConfig) (*dataset.Campaign, error) {
+		sp := cfg.Trace.StartSpan(cfg.TraceParent, "campaign", name)
+		if cfg.Trace != nil {
+			dcfg.Trace = cfg.Trace
+			dcfg.TraceParent = sp.ID()
+		}
+		camp, err := run(dcfg)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+		return camp, err
+	}
+	hsr, err := runTraced("campaign:hsr", dataset.CampaignConfig{
 		Seed: cfg.Seed, FlowDuration: cfg.FlowDuration,
 		FlowsPerRow: cfg.FlowsPerRow, Parallelism: cfg.Parallelism,
 		Ctx: ctx, Telemetry: cfg.Telemetry, Progress: cfg.Progress,
@@ -167,7 +191,7 @@ func NewContextWith(ctx context.Context, cfg Config) (*Context, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: hsr campaign: %w", err)
 	}
-	stat, err := run(dataset.CampaignConfig{
+	stat, err := runTraced("campaign:stationary", dataset.CampaignConfig{
 		Seed: cfg.Seed + 5000, FlowDuration: cfg.FlowDuration,
 		FlowsPerRow: cfg.FlowsPerRow, Parallelism: cfg.Parallelism,
 		Stationary: true, Ctx: ctx, Telemetry: cfg.Telemetry, Progress: cfg.Progress,

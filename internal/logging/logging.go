@@ -1,0 +1,182 @@
+// Package logging is a tiny leveled, structured (key=value) logger for the
+// service and the distributed layer. Lines are one-per-event, machine-
+// greppable and joinable against trace IDs:
+//
+//	time=2026-08-08T09:15:04.112Z level=info msg="job accepted" job=job-3 kind=unit trace=job-17
+//
+// A nil *Logger is a valid no-op sink — callers log unconditionally and the
+// nil receiver swallows everything, the same gating discipline as
+// internal/telemetry and internal/tracing. Loggers are safe for concurrent
+// use; derived loggers (With) share the parent's writer and mutex.
+package logging
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int
+
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+// String returns the lowercase level token used on the wire.
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "debug"
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// ParseLevel maps a token ("debug", "info", "warn", "error") to its Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return Debug, nil
+	case "info", "":
+		return Info, nil
+	case "warn", "warning":
+		return Warn, nil
+	case "error":
+		return Error, nil
+	}
+	return Info, fmt.Errorf("logging: unknown level %q (debug, info, warn, error)", s)
+}
+
+// Logger writes leveled key=value lines. Create with New; derive scoped
+// loggers with With. The zero value is not usable — but a nil *Logger is,
+// as a no-op.
+type Logger struct {
+	mu   *sync.Mutex
+	w    io.Writer
+	min  Level
+	base string // preformatted " k=v" pairs bound by With/New
+	now  func() time.Time
+}
+
+// New builds a Logger writing to w, dropping lines below min. The optional
+// kv pairs are bound to every line (e.g. "svc", "hsrserved").
+func New(w io.Writer, min Level, kv ...any) *Logger {
+	l := &Logger{mu: &sync.Mutex{}, w: w, min: min, now: time.Now}
+	l.base = appendKV(nil, kv)
+	return l
+}
+
+// With returns a derived logger with extra key=value pairs bound to every
+// line. It shares the parent's writer, mutex and level. Nil-safe.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	d := *l
+	d.base = l.base + appendKV(nil, kv)
+	return &d
+}
+
+// Enabled reports whether lines at lv would be written. Nil-safe (false).
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.min }
+
+// Debug logs at debug level. Nil-safe.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(Debug, msg, kv) }
+
+// Info logs at info level. Nil-safe.
+func (l *Logger) Info(msg string, kv ...any) { l.log(Info, msg, kv) }
+
+// Warn logs at warn level. Nil-safe.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(Warn, msg, kv) }
+
+// Error logs at error level. Nil-safe.
+func (l *Logger) Error(msg string, kv ...any) { l.log(Error, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("time=")
+	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	b.WriteString(" msg=")
+	b.WriteString(quote(msg))
+	b.WriteString(l.base)
+	b.WriteString(appendKV(nil, kv))
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// appendKV renders kv pairs as " k=v" runs. An odd trailing value is kept
+// under the key "!MISSING" rather than dropped.
+func appendKV(_ []byte, kv []any) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		key, ok := "", false
+		if s, isStr := kv[i].(string); isStr {
+			key, ok = s, true
+		}
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		var val any = "!MISSING"
+		if i+1 < len(kv) {
+			val = kv[i+1]
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(formatValue(val))
+	}
+	return b.String()
+}
+
+// formatValue renders one value, quoting strings that would break the
+// key=value grammar.
+func formatValue(v any) string {
+	var s string
+	switch x := v.(type) {
+	case string:
+		s = x
+	case error:
+		s = x.Error()
+	case fmt.Stringer:
+		s = x.String()
+	default:
+		s = fmt.Sprint(x)
+	}
+	return quote(s)
+}
+
+// quote wraps s in Go quotes when it contains spaces, quotes, '=' or
+// control characters; plain tokens stay bare for readability.
+func quote(s string) string {
+	if s == "" {
+		return `""`
+	}
+	for _, r := range s {
+		if r <= ' ' || r == '"' || r == '=' || r == 0x7f {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}

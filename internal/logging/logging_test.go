@@ -1,0 +1,154 @@
+package logging
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixed pins the timestamp so line assertions are exact.
+func fixed(l *Logger) *Logger {
+	l.now = func() time.Time {
+		return time.Date(2026, 8, 8, 9, 15, 4, 112e6, time.UTC)
+	}
+	return l
+}
+
+func TestLineFormat(t *testing.T) {
+	var b strings.Builder
+	l := fixed(New(&b, Info, "svc", "hsrserved"))
+	l.Info("job accepted", "job", "job-3", "kind", "unit", "trace", "job-17")
+	want := `time=2026-08-08T09:15:04.112Z level=info msg="job accepted" svc=hsrserved job=job-3 kind=unit trace=job-17` + "\n"
+	if b.String() != want {
+		t.Fatalf("line:\n%q\nwant\n%q", b.String(), want)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, Warn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	out := b.String()
+	if strings.Contains(out, "level=debug") || strings.Contains(out, "level=info") {
+		t.Fatalf("below-min lines written:\n%s", out)
+	}
+	if !strings.Contains(out, "level=warn") || !strings.Contains(out, "level=error") {
+		t.Fatalf("warn/error lines missing:\n%s", out)
+	}
+	if l.Enabled(Info) || !l.Enabled(Error) {
+		t.Fatal("Enabled disagrees with the min level")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": Debug, "info": Info, "": Info, "WARN": Warn,
+		"warning": Warn, " error ": Error,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestWith(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, Info, "svc", "x")
+	d := l.With("comp", "dist")
+	d.Info("hello")
+	l.Info("parent untouched")
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if !strings.Contains(lines[0], "svc=x comp=dist") {
+		t.Fatalf("derived line missing bound pairs: %q", lines[0])
+	}
+	if strings.Contains(lines[1], "comp=dist") {
+		t.Fatalf("parent logger inherited the child's pairs: %q", lines[1])
+	}
+}
+
+func TestNilLogger(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x", "k", "v")
+	l.Warn("x")
+	l.Error("x")
+	if l.Enabled(Error) {
+		t.Fatal("nil logger claims to be enabled")
+	}
+	if l.With("k", "v") != nil {
+		t.Fatal("With on nil must stay nil")
+	}
+}
+
+func TestValueFormatting(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, Info)
+	l.Info("m",
+		"err", errors.New("boom: it = broke"),
+		"dur", 1500*time.Millisecond,
+		"n", 42,
+		"empty", "",
+		"odd")
+	out := b.String()
+	for _, want := range []string{
+		`err="boom: it = broke"`, // quoted: spaces and '='
+		"dur=1.5s",               // Stringer
+		"n=42",
+		`empty=""`,
+		"odd=!MISSING",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("line %q missing %q", out, want)
+		}
+	}
+}
+
+// TestConcurrentUse exercises the shared mutex across a parent and a derived
+// logger; run with -race this pins the locking contract.
+func TestConcurrentUse(t *testing.T) {
+	var b strings.Builder
+	var mu sync.Mutex
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	l := New(w, Info)
+	d := l.With("comp", "x")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Info("a")
+				d.Info("b")
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	mu.Unlock()
+	if len(lines) != 8*50*2 {
+		t.Fatalf("%d lines, want %d", len(lines), 8*50*2)
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "time=") {
+			t.Fatalf("interleaved line: %q", ln)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

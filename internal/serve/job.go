@@ -89,6 +89,22 @@ type JobSpec struct {
 	// Unit is the work-unit payload of a "unit" job (distributed campaign
 	// execution; see internal/dist).
 	Unit *UnitSpec `json:"unit,omitempty"`
+
+	// Trace, when present, is the submitter's trace context: the server
+	// records a span tree for the job under the given trace ID, parents the
+	// job span beneath Parent (a span on the submitting node), and ships the
+	// recorded spans back on the terminal event so the submitter can stitch
+	// them into one cross-node trace. This is how a coordinator's unit
+	// dispatch spans become the parents of worker-side job spans.
+	Trace *TraceContext `json:"trace,omitempty"`
+}
+
+// TraceContext propagates distributed-trace identity over /v1/jobs.
+type TraceContext struct {
+	// ID is the trace every span of this job joins.
+	ID string `json:"id"`
+	// Parent is the submitter-side span the job span parents under.
+	Parent string `json:"parent,omitempty"`
 }
 
 // UnitSpec describes one flow-range work unit of a campaign: the campaign
@@ -228,6 +244,9 @@ func (s *JobSpec) Validate(lim Limits) error {
 	}
 	if s.TimeoutMS < 0 {
 		return fmt.Errorf("serve: timeout_ms must be non-negative")
+	}
+	if s.Trace != nil && s.Trace.ID == "" {
+		return fmt.Errorf("serve: trace context needs a non-empty id")
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"net/http"
 
+	"repro/internal/buildinfo"
 	"repro/internal/telemetry"
 )
 
@@ -13,6 +14,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	x := telemetry.NewTextExposer(w, "hsrserved_")
 	x.Comment("hsrserved server state")
+	x.BuildInfo(buildinfo.Version())
 	x.Int("workers", int64(s.cfg.Workers))
 	x.Int("queue_depth", s.pl.depth())
 	x.Int("queue_capacity", int64(s.cfg.QueueDepth))
@@ -29,6 +31,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	x.Int("jobs_completed_total", s.completed.Load())
 	x.Int("jobs_failed_total", s.failed.Load())
 	x.Int("streams_aborted_total", s.streamsAborted.Load())
+	s.latMu.Lock()
+	qw, ud := s.queueWait, s.unitDur
+	s.latMu.Unlock()
+	x.Comment("job latency summaries (ms)")
+	x.Dist("job_queue_wait_ms", &qw)
+	x.Dist("unit_duration_ms", &ud)
 	if s.cfg.FleetCounters != nil {
 		f := s.cfg.FleetCounters()
 		x.Comment("distributed campaign fleet")
@@ -44,6 +52,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		x.Campaign(s.agg)
 	}
 	if err := x.Flush(); err != nil {
-		s.cfg.Logf("metrics write failed: %v", err)
+		s.cfg.Log.Warn("metrics write failed", "err", err)
 	}
 }

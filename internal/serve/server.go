@@ -12,7 +12,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,7 +22,9 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/logging"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // Config configures a Server. The zero value is usable: one worker, a
@@ -45,8 +49,21 @@ type Config struct {
 	// to MaxFlowDuration 10m, MaxTimeout 15m; MaxTimeout is also the
 	// default per-job deadline when a spec names none.
 	Limits Limits
-	// Logf, when non-nil, receives one line per job lifecycle edge.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives one structured line per job lifecycle
+	// edge (job/trace IDs on every line). Nil logs nothing.
+	Log *logging.Logger
+	// Trace records a span tree for every job (job, queue-wait, task,
+	// campaign, flow and cache spans), retained for TraceJobs completed jobs
+	// and served by GET /v1/jobs/{id}/trace. Independently of this flag, a
+	// job arriving with a trace context (JobSpec.Trace) is always traced and
+	// its spans ship back on the terminal event. Tracing never perturbs
+	// results — byte-identity holds with it on.
+	Trace bool
+	// TraceJobs bounds the per-job trace retention (default 64).
+	TraceJobs int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (opt-in: the
+	// profiling surface stays off unless the operator asks for it).
+	EnablePprof bool
 	// StreamWriteTimeout bounds each NDJSON response write: a client that
 	// stops reading for longer aborts its stream (counted in
 	// streams_aborted_total) and cancels its job, instead of pinning a
@@ -96,6 +113,14 @@ type Server struct {
 	// agg accumulates every job's campaign counters into one server-wide
 	// aggregate for /metrics.
 	agg *telemetry.Campaign
+
+	// traces retains completed jobs' span batches for /v1/jobs/{id}/trace.
+	traces *traceStore
+
+	// latMu guards the latency distributions scraped by /metrics.
+	latMu     sync.Mutex
+	queueWait telemetry.Dist // ms from admission to a worker picking the job up
+	unitDur   telemetry.Dist // ms of unit-job execution (the fleet's work grain)
 }
 
 // New builds a Server and starts its worker pool.
@@ -115,23 +140,36 @@ func New(cfg Config) *Server {
 	if cfg.Limits.MaxTimeout == 0 {
 		cfg.Limits.MaxTimeout = 15 * time.Minute
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
-	}
 	if cfg.StreamWriteTimeout <= 0 {
 		cfg.StreamWriteTimeout = 30 * time.Second
 	}
+	if cfg.TraceJobs < 1 {
+		cfg.TraceJobs = 64
+	}
 	s := &Server{
-		cfg: cfg,
-		mux: http.NewServeMux(),
-		pl:  newPool(cfg.Workers, cfg.QueueDepth),
-		agg: telemetry.NewCampaign(),
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		pl:     newPool(cfg.Workers, cfg.QueueDepth),
+		agg:    telemetry.NewCampaign(),
+		traces: newTraceStore(cfg.TraceJobs),
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		// Opt-in profiling surface: the index route covers the named
+		// profiles (heap, goroutine, block, mutex, ...); the four special
+		// handlers need explicit routes. Registered without a method so the
+		// pprof tool's POSTs (symbol) work too.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -267,6 +305,20 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 
 	jobID := fmt.Sprintf("job-%d", s.jobSeq.Add(1))
 	st := newStream()
+	// meta carries the admission timestamp (queue-wait measurement) and,
+	// when this job is traced, the trace collector plus the job root span —
+	// which starts at admission, so queue wait is inside the job span.
+	meta := &jobMeta{submitted: time.Now()}
+	if s.cfg.Trace || spec.Trace != nil {
+		traceID, parent := jobID, ""
+		if spec.Trace != nil {
+			traceID, parent = spec.Trace.ID, spec.Trace.Parent
+		}
+		meta.tr = tracing.New(traceID)
+		meta.root = meta.tr.StartSpanAt(parent, "job", jobID, meta.submitted)
+		meta.root.SetAttr("kind", spec.Kind)
+		meta.root.SetAttr("seed", strconv.FormatInt(spec.seed(), 10))
+	}
 	// The job runs under the request context plus the job deadline: a gone
 	// client or an expired deadline cancels the schedule, which skips
 	// unstarted tasks and reports the completed prefix.
@@ -280,7 +332,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if err := s.pl.submit(func() {
 		defer cancel()
 		defer st.close()
-		s.runJob(jobCtx, jobID, &spec, st)
+		s.runJob(jobCtx, jobID, &spec, st, meta)
 	}); err != nil {
 		cancel()
 		s.rejected.Add(1)
@@ -293,7 +345,11 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.accepted.Add(1)
-	s.cfg.Logf("job %s accepted: kind=%s seed=%d queue=%d", jobID, spec.Kind, spec.seed(), s.pl.depth())
+	kv := []any{"job", jobID, "kind", spec.Kind, "seed", spec.seed(), "queue", s.pl.depth()}
+	if meta.tr != nil {
+		kv = append(kv, "trace", meta.tr.ID())
+	}
+	s.cfg.Log.Info("job accepted", kv...)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Job-Id", jobID)
@@ -318,7 +374,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			s.streamsAborted.Add(1)
 			st.abort()
 			cancel()
-			s.cfg.Logf("job %s stream aborted: %v", jobID, err)
+			s.cfg.Log.Warn("stream aborted", "job", jobID, "err", err)
 			return
 		}
 		if flusher != nil {
@@ -336,36 +392,77 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// jobMeta carries per-job bookkeeping from admission to the worker
+// goroutine: the submission time (queue-wait measurement) and the optional
+// trace collector with the job's root span.
+type jobMeta struct {
+	submitted time.Time
+	tr        *tracing.Trace
+	root      *tracing.Span
+}
+
 // runJob executes one admitted job on a worker goroutine.
-func (s *Server) runJob(ctx context.Context, jobID string, spec *JobSpec, st *stream) {
+func (s *Server) runJob(ctx context.Context, jobID string, spec *JobSpec, st *stream, meta *jobMeta) {
 	start := time.Now()
+	queueWait := start.Sub(meta.submitted)
+	s.latMu.Lock()
+	s.queueWait.Add(float64(queueWait) / float64(time.Millisecond))
+	s.latMu.Unlock()
+	if meta.tr != nil {
+		qw := meta.tr.StartSpanAt(meta.root.ID(), "queue-wait", "queue-wait", meta.submitted)
+		qw.End()
+	}
 	var terminal Event
 	switch spec.Kind {
 	case KindFlow:
-		terminal = s.runFlowJob(spec)
+		terminal = s.runFlowJob(spec, meta)
 	case KindUnit:
-		terminal = s.runUnitJob(ctx, spec, st)
+		terminal = s.runUnitJob(ctx, spec, st, meta)
 	default:
-		terminal = s.runScheduledJob(ctx, spec, st, start)
+		terminal = s.runScheduledJob(ctx, spec, st, start, meta)
 	}
 	terminal.JobID = jobID
 	terminal.Version = buildinfo.Version()
 	terminal.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if spec.Kind == KindUnit {
+		s.latMu.Lock()
+		s.unitDur.Add(terminal.ElapsedMS)
+		s.latMu.Unlock()
+	}
 	if terminal.Event == "error" {
 		s.failed.Add(1)
 	} else {
 		s.completed.Add(1)
 	}
-	s.cfg.Logf("job %s %s: status=%s elapsed=%v", jobID, terminal.Event, terminal.Status,
-		time.Since(start).Round(time.Millisecond))
+	if meta.tr != nil {
+		meta.root.SetAttr("status", terminal.Status)
+		meta.root.End()
+		spans := meta.tr.Spans()
+		s.traces.put(jobID, spans)
+		if spec.Trace != nil {
+			// The submitter asked for this trace: ship the batch back on the
+			// terminal event so the coordinator can stitch it.
+			terminal.Spans = spans
+		}
+	}
+	kv := []any{"job", jobID, "event", terminal.Event, "status", terminal.Status,
+		"elapsed", time.Since(start).Round(time.Millisecond)}
+	if meta.tr != nil {
+		kv = append(kv, "trace", meta.tr.ID())
+	}
+	s.cfg.Log.Info("job finished", kv...)
 	st.emit(terminal)
 }
 
 // runFlowJob simulates (or serves from cache) one flow.
-func (s *Server) runFlowJob(spec *JobSpec) Event {
+func (s *Server) runFlowJob(spec *JobSpec, meta *jobMeta) Event {
 	sc, err := spec.flowScenario(s.cfg.Limits)
 	if err != nil {
 		return Event{Event: "error", Status: "error", Error: err.Error()}
+	}
+	var sp *tracing.Span
+	if meta.tr != nil {
+		sp = meta.tr.StartSpan(meta.root.ID(), "flow", sc.ID)
 	}
 	var ent dataset.CachedFlow
 	var shared bool
@@ -376,6 +473,13 @@ func (s *Server) runFlowJob(spec *JobSpec) Event {
 		})
 	} else {
 		ent.Metrics, ent.Stats, err = dataset.RunFlowMetrics(sc)
+	}
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.SetAttr("cached", strconv.FormatBool(shared))
+		sp.End()
 	}
 	if err != nil {
 		return Event{Event: "error", Status: "error", Error: err.Error()}
@@ -390,7 +494,7 @@ func (s *Server) runFlowJob(spec *JobSpec) Event {
 // Results go through the telemetry-complete cache path when a cache is
 // configured, so a reassigned or hedged duplicate of this unit re-serves
 // bit-identical payloads from disk instead of simulating again.
-func (s *Server) runUnitJob(ctx context.Context, spec *JobSpec, st *stream) Event {
+func (s *Server) runUnitJob(ctx context.Context, spec *JobSpec, st *stream, meta *jobMeta) Event {
 	cfg, err := spec.Unit.campaignConfig()
 	if err != nil {
 		return Event{Event: "error", Status: "error", Error: err.Error()}
@@ -403,6 +507,12 @@ func (s *Server) runUnitJob(ctx context.Context, spec *JobSpec, st *stream) Even
 	if end > len(plan) {
 		return Event{Event: "error", Status: "error",
 			Error: fmt.Sprintf("serve: unit range [%d, %d) exceeds the campaign's %d flows", start, end, len(plan))}
+	}
+	if meta.tr != nil {
+		meta.root.SetAttr("unit", fmt.Sprintf("[%d,%d)", start, end))
+		if spec.Unit.Faults != "" {
+			meta.root.SetAttr("faults", spec.Unit.Faults)
+		}
 	}
 	res := &UnitResult{Start: start, End: end, Flows: make([]UnitFlow, end-start)}
 	errs := make([]error, end-start)
@@ -424,22 +534,68 @@ func (s *Server) runUnitJob(ctx context.Context, spec *JobSpec, st *stream) Even
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			var fsp *tracing.Span
+			if meta.tr != nil {
+				fsp = meta.tr.StartSpan(meta.root.ID(), "flow", j.Scenario.ID)
+				fsp.SetAttr("index", strconv.Itoa(j.Index))
+				fsp.SetAttr("operator", j.Row.Operator.Name)
+			}
 			var ent dataset.CachedFlow
 			var hit bool
 			var err error
 			if s.cfg.Cache != nil {
+				var csp *tracing.Span
+				if fsp != nil {
+					csp = meta.tr.StartSpan(fsp.ID(), "cache", j.Scenario.ID)
+				}
 				ent, hit, err = s.cfg.Cache.GetOrComputeFull(j.Scenario, func() (dataset.CachedFlow, error) {
-					return dataset.RunFlowFull(j.Scenario)
+					var ksp *tracing.Span
+					if fsp != nil {
+						ksp = meta.tr.StartSpan(csp.ID(), "compute", j.Scenario.ID)
+					}
+					full, err := dataset.RunFlowFull(j.Scenario)
+					if ksp != nil {
+						if err == nil && full.Telemetry != nil {
+							ksp.SetVirtual(0, full.Telemetry.Kernel.VirtualNS)
+						}
+						ksp.End()
+					}
+					return full, err
 				})
+				if csp != nil {
+					csp.SetAttr("hit", strconv.FormatBool(hit))
+					csp.End()
+				}
 			} else {
+				var ksp *tracing.Span
+				if fsp != nil {
+					ksp = meta.tr.StartSpan(fsp.ID(), "compute", j.Scenario.ID)
+				}
 				ent, err = dataset.RunFlowFull(j.Scenario)
+				if ksp != nil {
+					if err == nil && ent.Telemetry != nil {
+						ksp.SetVirtual(0, ent.Telemetry.Kernel.VirtualNS)
+					}
+					ksp.End()
+				}
 			}
 			if err != nil {
+				if fsp != nil {
+					fsp.SetAttr("error", err.Error())
+					fsp.End()
+				}
 				errs[j.Index-start] = fmt.Errorf("flow %s: %w", j.Scenario.ID, err)
 				return
 			}
 			if hit {
 				hits.Add(1)
+			}
+			if fsp != nil {
+				fsp.SetAttr("cached", strconv.FormatBool(hit))
+				if ent.Telemetry != nil {
+					fsp.SetVirtual(0, ent.Telemetry.Kernel.VirtualNS)
+				}
+				fsp.End()
 			}
 			res.Flows[j.Index-start] = UnitFlow{Index: j.Index, Flow: ent, Cached: hit}
 			st.tryEmit(Event{Event: "flows", Done: int(done.Add(1)), Total: end - start})
@@ -457,11 +613,15 @@ func (s *Server) runUnitJob(ctx context.Context, spec *JobSpec, st *stream) Even
 
 // runScheduledJob executes a campaign or experiment job through the shared
 // catalog and reports exactly like hsrbench -metrics.
-func (s *Server) runScheduledJob(ctx context.Context, spec *JobSpec, st *stream, start time.Time) Event {
+func (s *Server) runScheduledJob(ctx context.Context, spec *JobSpec, st *stream, start time.Time, meta *jobMeta) Event {
 	cfg := spec.experimentsConfig()
 	cfg.Parallelism = s.cfg.FlowParallelism
 	cfg.Cache = s.cfg.Cache
 	cfg.Runner = s.cfg.Runner
+	if meta.tr != nil {
+		cfg.Trace = meta.tr
+		cfg.TraceParent = meta.root.ID()
+	}
 	camp := telemetry.NewCampaign()
 	cfg.Telemetry = camp
 	cfg.Progress = func(done, total int) {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/telemetry"
+	"repro/internal/tracing"
 )
 
 // Event is one NDJSON line of a job's response stream. The first line is
@@ -43,6 +44,10 @@ type Event struct {
 	// Unit is a unit job's terminal payload: the executed flow range with
 	// telemetry-complete per-flow results.
 	Unit *UnitResult `json:"unit,omitempty"`
+	// Spans is the job's recorded span batch, shipped on the terminal event
+	// when the submitter sent a trace context (JobSpec.Trace) — the
+	// coordinator stitches these under its own unit attempt spans.
+	Spans []tracing.SpanRecord `json:"spans,omitempty"`
 }
 
 // UnitResult is the terminal payload of a unit job.

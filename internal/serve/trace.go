@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+
+	"repro/internal/tracing"
+)
+
+// traceStore retains the span batches of recently-completed jobs for
+// GET /v1/jobs/{id}/trace: a bounded FIFO keyed by job ID, oldest evicted
+// first. It exists so an operator (or the CI smoke) can pull a finished
+// job's trace without having negotiated anything at submission time.
+type traceStore struct {
+	mu    sync.Mutex
+	cap   int
+	order []string
+	byJob map[string][]tracing.SpanRecord
+}
+
+func newTraceStore(capacity int) *traceStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &traceStore{cap: capacity, byJob: make(map[string][]tracing.SpanRecord)}
+}
+
+func (ts *traceStore) put(jobID string, spans []tracing.SpanRecord) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.byJob[jobID]; !ok {
+		ts.order = append(ts.order, jobID)
+		for len(ts.order) > ts.cap {
+			delete(ts.byJob, ts.order[0])
+			ts.order = ts.order[1:]
+		}
+	}
+	ts.byJob[jobID] = spans
+}
+
+func (ts *traceStore) get(jobID string) ([]tracing.SpanRecord, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	spans, ok := ts.byJob[jobID]
+	return spans, ok
+}
+
+// handleJobTrace serves a completed job's span trace in the Chrome/Perfetto
+// trace event format (one event per line; load the file as-is in
+// ui.perfetto.dev). 404 when the job is unknown, still running, was never
+// traced, or has aged out of the bounded retention window.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	spans, ok := s.traces.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "serve: no trace for this job (unknown, still running, untraced, or aged out)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := tracing.WriteTrace(w, spans); err != nil {
+		s.cfg.Log.Warn("trace write failed", "job", r.PathValue("id"), "err", err)
+	}
+}

@@ -54,6 +54,46 @@ func (e *TextExposer) Float(name string, v float64) {
 	_, e.err = fmt.Fprintf(e.w, "%s%s %s\n", e.prefix, name, strconv.FormatFloat(v, 'g', -1, 64))
 }
 
+// IntLabeled emits one integer-valued metric line with labels, given as
+// key, value pairs emitted in call order (so scrapes stay byte-identical).
+func (e *TextExposer) IntLabeled(name string, v int64, labels ...string) {
+	if e.err != nil {
+		return
+	}
+	if _, e.err = fmt.Fprintf(e.w, "%s%s{", e.prefix, name); e.err != nil {
+		return
+	}
+	for i := 0; i+1 < len(labels); i += 2 {
+		sep := ""
+		if i > 0 {
+			sep = ","
+		}
+		if _, e.err = fmt.Fprintf(e.w, "%s%s=%q", sep, labels[i], labels[i+1]); e.err != nil {
+			return
+		}
+	}
+	_, e.err = fmt.Fprintf(e.w, "} %d\n", v)
+}
+
+// BuildInfo emits the conventional build_info gauge — a constant 1 whose
+// version label carries the build — so dashboards can join fleet metrics
+// against deployed versions.
+func (e *TextExposer) BuildInfo(version string) {
+	e.IntLabeled("build_info", 1, "version", version)
+}
+
+// Dist emits a distribution as a Prometheus summary-style metric family:
+// _count and _sum always (so rates and averages derive server-side), _min
+// and _max when non-empty (NaN never leaks into the exposition).
+func (e *TextExposer) Dist(name string, d *Dist) {
+	e.Int(name+"_count", int64(d.N()))
+	e.Float(name+"_sum", d.Sum())
+	if d.N() > 0 {
+		e.Float(name+"_min", d.Min())
+		e.Float(name+"_max", d.Max())
+	}
+}
+
 // Cache emits the flow-result-cache counters.
 func (e *TextExposer) Cache(c *Cache) {
 	e.Int("cache_hits_total", c.Hits)

@@ -56,6 +56,68 @@ func TestTextExposerLines(t *testing.T) {
 	}
 }
 
+func TestTextExposerBuildInfoAndDist(t *testing.T) {
+	var d Dist
+	d.Add(2)
+	d.Add(10)
+	d.Add(6)
+
+	var b strings.Builder
+	e := NewTextExposer(&b, "svc_")
+	e.BuildInfo("v1.2.3")
+	e.IntLabeled("workers", 4, "role", "coordinator", "zone", "a")
+	e.Dist("job_queue_wait_ms", &d)
+	var empty Dist
+	e.Dist("unit_duration_ms", &empty)
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`svc_build_info{version="v1.2.3"} 1` + "\n",
+		`svc_workers{role="coordinator",zone="a"} 4` + "\n",
+		"svc_job_queue_wait_ms_count 3\n",
+		"svc_job_queue_wait_ms_sum 18\n",
+		"svc_job_queue_wait_ms_min 2\n",
+		"svc_job_queue_wait_ms_max 10\n",
+		"svc_unit_duration_ms_count 0\n",
+		"svc_unit_duration_ms_sum 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// An empty distribution must not leak NaN min/max lines.
+	if strings.Contains(out, "unit_duration_ms_min") || strings.Contains(out, "NaN") {
+		t.Errorf("empty distribution leaked min/max or NaN:\n%s", out)
+	}
+
+	// A JSON round trip (how reports carry distributions) must expose the
+	// same count/sum the live accumulator did.
+	var b2 strings.Builder
+	raw, err := d.MarshalJSON()
+	if err != nil {
+		t.Fatalf("marshal dist: %v", err)
+	}
+	var parsed Dist
+	if err := parsed.UnmarshalJSON(raw); err != nil {
+		t.Fatalf("unmarshal dist: %v", err)
+	}
+	e2 := NewTextExposer(&b2, "svc_")
+	e2.Dist("job_queue_wait_ms", &parsed)
+	if err := e2.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	for _, want := range []string{
+		"svc_job_queue_wait_ms_count 3\n",
+		"svc_job_queue_wait_ms_sum 18\n",
+	} {
+		if !strings.Contains(b2.String(), want) {
+			t.Errorf("parsed-dist exposition missing %q:\n%s", want, b2.String())
+		}
+	}
+}
+
 func TestCampaignMerge(t *testing.T) {
 	a, b := NewCampaign(), NewCampaign()
 	for i := 0; i < 3; i++ {

@@ -82,6 +82,24 @@ func (d *Dist) Max() float64 {
 	return d.r.Max()
 }
 
+// Min returns the smallest sample, or NaN when empty.
+func (d *Dist) Min() float64 {
+	if d.parsed != nil {
+		return d.parsed.Min
+	}
+	return d.r.Min()
+}
+
+// Sum returns the sum of all samples (0 when empty). A parsed (read-only)
+// summary reconstructs it as mean*n — exact up to float rounding, which is
+// fine for the Prometheus exposition it feeds.
+func (d *Dist) Sum() float64 {
+	if d.parsed != nil {
+		return d.parsed.Mean * float64(d.parsed.N)
+	}
+	return d.r.Sum()
+}
+
 // MarshalJSON emits {"n":0} for an empty distribution and a flat summary
 // object otherwise. NaN never leaks into the JSON: the standard deviation
 // of fewer than two samples is reported as 0.

@@ -1,0 +1,164 @@
+package tracing
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteTrace renders spans in the Chrome trace event format (the JSON array
+// flavor), one event per line, so the output is simultaneously:
+//
+//   - a valid single JSON document (jq '.' parses it),
+//   - line-oriented (grep/wc work on it like JSONL),
+//   - loadable as-is in Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Each node of the run becomes one "process" on the wall-clock timeline,
+// with one track per span kind; spans carrying a virtual-time interval are
+// additionally drawn on a separate per-node "virtual time" process whose
+// clock is the simulated one. Every wall event embeds its full native
+// SpanRecord under args.span, so ReadTrace round-trips losslessly.
+func WriteTrace(w io.Writer, spans []SpanRecord) error {
+	bw := bufio.NewWriter(w)
+
+	// Wall timestamps are emitted relative to the earliest span so the
+	// viewer opens at t=0 regardless of Unix epoch nanoseconds.
+	var base int64
+	for i, s := range spans {
+		if i == 0 || s.StartNS < base {
+			base = s.StartNS
+		}
+	}
+
+	// Deterministic process/track assignment: nodes in first-seen order,
+	// wall tracks per (node, kind) in first-seen order, one virtual track
+	// per virtual span.
+	nodePID := map[string]int{}
+	trackTID := map[string]int{}
+	var events []chromeEvent
+	meta := func(name string, pid, tid int, args map[string]any) {
+		events = append(events, chromeEvent{Name: name, Ph: "M", PID: pid, TID: tid, Args: args})
+	}
+	for i := range spans {
+		s := &spans[i]
+		pid, ok := nodePID[s.Node]
+		if !ok {
+			pid = 1 + len(nodePID)*2
+			nodePID[s.Node] = pid
+			meta("process_name", pid, 0, map[string]any{"name": fmt.Sprintf("node %s — wall clock", s.Node)})
+		}
+		tk := s.Node + "\x00" + s.Kind
+		tid, ok := trackTID[tk]
+		if !ok {
+			tid = 1 + len(trackTID)
+			trackTID[tk] = tid
+			meta("thread_name", pid, tid, map[string]any{"name": s.Kind})
+		}
+		dur := float64(s.EndNS-s.StartNS) / 1e3
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: s.Kind, Ph: "X",
+			TS: float64(s.StartNS-base) / 1e3, Dur: &dur,
+			PID: pid, TID: tid,
+			Args: map[string]any{"span": s},
+		})
+		if s.Virtual {
+			// The virtual timeline lives on a sibling process whose clock is
+			// simulated time; each span gets its own track since flow clocks
+			// all start at zero and would otherwise overlap on one track.
+			vpid := pid + 1
+			if _, ok := nodePID[s.Node+"\x00virtual"]; !ok {
+				nodePID[s.Node+"\x00virtual"] = vpid
+				meta("process_name", vpid, 0, map[string]any{"name": fmt.Sprintf("node %s — virtual time", s.Node)})
+			}
+			vtid := 1 + len(trackTID)
+			trackTID[s.ID+"\x00virtual"] = vtid
+			meta("thread_name", vpid, vtid, map[string]any{"name": s.Name})
+			vdur := float64(s.VEndNS-s.VStartNS) / 1e3
+			events = append(events, chromeEvent{
+				Name: s.Name + " (virtual)", Cat: "virtual", Ph: "X",
+				TS: float64(s.VStartNS) / 1e3, Dur: &vdur,
+				PID: vpid, TID: vtid,
+				Args: map[string]any{"span_id": s.ID},
+			})
+		}
+	}
+
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(raw); err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := bw.WriteString(sep); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a WriteTrace document back into its native spans,
+// skipping metadata events and the virtual-timeline duplicates. The
+// round trip WriteTrace → ReadTrace is lossless span for span.
+func ReadTrace(r io.Reader) ([]SpanRecord, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("tracing: trace file: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return nil, fmt.Errorf("tracing: trace file must be a JSON array of events, got %v", tok)
+	}
+	var spans []SpanRecord
+	for dec.More() {
+		var ev struct {
+			Ph   string `json:"ph"`
+			Args struct {
+				Span *SpanRecord `json:"span"`
+			} `json:"args"`
+		}
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("tracing: trace event: %w", err)
+		}
+		if ev.Ph == "X" && ev.Args.Span != nil {
+			spans = append(spans, *ev.Args.Span)
+		}
+	}
+	return spans, nil
+}
+
+// chromeEvent is one line of the Chrome trace event format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ByStart orders spans by wall start time (then ID, for determinism when
+// starts tie). Used by the analyzers; WriteTrace preserves recording order.
+func ByStart(spans []SpanRecord) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].StartNS != spans[j].StartNS {
+			return spans[i].StartNS < spans[j].StartNS
+		}
+		return spans[i].ID < spans[j].ID
+	})
+}

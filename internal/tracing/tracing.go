@@ -1,0 +1,234 @@
+// Package tracing records causally-linked span trees for distributed
+// campaign runs: coordinator → unit dispatch/retry/hedge attempts → worker
+// jobs → per-flow simulations → cache lookups, each span carrying a
+// wall-clock interval, an optional virtual-time (simulated) interval, and
+// free-form attributes.
+//
+// The package follows the same zero-overhead-when-off gating discipline as
+// internal/telemetry: components hold a *Trace that may be nil, every method
+// on a nil *Trace or nil *Span is a safe no-op, and span recording is
+// strictly host-side — it never draws from simulation RNGs, never reorders
+// flows, and therefore never perturbs results (the byte-identity tests run
+// with tracing on).
+//
+// Span IDs are globally unique across nodes: every collector prefixes its
+// IDs with a per-process random nonce, so a coordinator can stitch span
+// batches shipped back by workers (whose job IDs would otherwise collide
+// with its own) into one well-formed tree. Export is Chrome-trace /
+// Perfetto-compatible; see WriteTrace.
+package tracing
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span in wire form. Wall-clock times are Unix
+// nanoseconds from the recording node's clock; the virtual interval (present
+// when Virtual is true) is simulated time in nanoseconds from the flow's own
+// clock, which always starts at zero.
+type SpanRecord struct {
+	// TraceID groups every span of one traced run.
+	TraceID string `json:"trace"`
+	// ID is the span's globally-unique identifier (node nonce + sequence).
+	ID string `json:"id"`
+	// Parent is the parent span's ID; empty on a root span. Parents may live
+	// on another node (a worker job span's parent is a coordinator attempt
+	// span).
+	Parent string `json:"parent,omitempty"`
+	// Node identifies the recording process (the collector's nonce).
+	Node string `json:"node,omitempty"`
+	// Kind is the span taxonomy bucket: run, job, queue-wait, task,
+	// campaign, unit, attempt, flow, cache, compute.
+	Kind string `json:"kind"`
+	// Name is the human-facing label (job ID, flow ID, "attempt 2", ...).
+	Name string `json:"name"`
+	// StartNS and EndNS bound the wall-clock interval (Unix nanoseconds).
+	StartNS int64 `json:"start_ns"`
+	EndNS   int64 `json:"end_ns"`
+	// Virtual marks spans that also carry a simulated-time interval.
+	Virtual  bool  `json:"virtual,omitempty"`
+	VStartNS int64 `json:"vstart_ns,omitempty"`
+	VEndNS   int64 `json:"vend_ns,omitempty"`
+	// Attrs carries span attributes (worker URL, attempt number, cache
+	// hit/miss, flow index, fault schedule, ...).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Trace collects the spans of one traced run. Create with New; a nil *Trace
+// is a valid no-op collector. Safe for concurrent use.
+type Trace struct {
+	id   string
+	node string
+
+	mu    sync.Mutex
+	seq   uint64
+	spans []SpanRecord
+}
+
+// New creates a collector for one traced run. The trace ID groups the run's
+// spans; the collector's node nonce makes its span IDs unique across every
+// process participating in the run.
+func New(traceID string) *Trace {
+	var nonce [4]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		// Fall back to the only entropy left; uniqueness degrades gracefully
+		// to per-process wall time, which is what the nonce protects anyway.
+		now := time.Now().UnixNano()
+		for i := range nonce {
+			nonce[i] = byte(now >> (8 * i))
+		}
+	}
+	return &Trace{id: traceID, node: hex.EncodeToString(nonce[:])}
+}
+
+// ID returns the trace ID ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Node returns the collector's node nonce ("" on nil).
+func (t *Trace) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
+}
+
+// StartSpan opens a span starting now. parent may be empty (root span) or a
+// span ID from any node. Nil-safe: a nil receiver returns a nil *Span, on
+// which every method is a no-op.
+func (t *Trace) StartSpan(parent, kind, name string) *Span {
+	return t.StartSpanAt(parent, kind, name, time.Now())
+}
+
+// StartSpanAt is StartSpan with an explicit start time, for spans whose
+// interval began before the recording code ran (queue wait measured from
+// submission).
+func (t *Trace) StartSpanAt(parent, kind, name string, start time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.seq++
+	id := fmt.Sprintf("%s-%d", t.node, t.seq)
+	t.mu.Unlock()
+	return &Span{
+		t: t,
+		rec: SpanRecord{
+			TraceID: t.id,
+			ID:      id,
+			Parent:  parent,
+			Node:    t.node,
+			Kind:    kind,
+			Name:    name,
+			StartNS: start.UnixNano(),
+		},
+	}
+}
+
+// Add appends externally-recorded spans (a worker's batch shipped back on
+// the unit result stream) to the collection verbatim. Nil-safe.
+func (t *Trace) Add(spans ...SpanRecord) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, spans...)
+	t.mu.Unlock()
+}
+
+// Spans snapshots every finished span recorded so far, in completion order.
+// Nil-safe (nil slice).
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Len returns the number of finished spans. Nil-safe (0).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Span is an in-flight span handle. It records into its Trace on End; all
+// methods are nil-safe no-ops and safe for concurrent use (the hedging
+// timer may set attributes while the dispatch goroutine ends the span).
+type Span struct {
+	t    *Trace
+	mu   sync.Mutex
+	done bool
+	rec  SpanRecord
+}
+
+// ID returns the span's ID ("" on nil, so a nil span parents children at
+// the root).
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.ID
+}
+
+// SetAttr sets one attribute. Attributes set after End are dropped.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		if s.rec.Attrs == nil {
+			s.rec.Attrs = make(map[string]string, 4)
+		}
+		s.rec.Attrs[key] = value
+	}
+	s.mu.Unlock()
+}
+
+// SetVirtual attaches a simulated-time interval (nanoseconds on the flow's
+// virtual clock) to the span.
+func (s *Span) SetVirtual(startNS, endNS int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.done {
+		s.rec.Virtual = true
+		s.rec.VStartNS, s.rec.VEndNS = startNS, endNS
+	}
+	s.mu.Unlock()
+}
+
+// End closes the span at now and records it. Safe to call at most once;
+// later calls (and calls on nil) are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.rec.EndNS = time.Now().UnixNano()
+	rec := s.rec
+	s.mu.Unlock()
+	s.t.Add(rec)
+}
