@@ -28,10 +28,15 @@ func (s span) contains(t time.Duration) bool { return t >= s.start && t < s.end 
 type Channel struct {
 	op         Operator
 	trip       railway.Trip
+	geo        railway.Geometry // trip kinematics compiled once (bit-identical to trip methods)
 	tripOffset time.Duration
 
 	handoffs []span // flow-local time, sorted
 	gaps     []span // flow-local time, sorted
+
+	timeline []tlSeg // compiled piecewise-constant view of the spans above
+	gen      uint64  // bumped on every compile; cursors re-sync on mismatch
+	stats    ChannelStats
 }
 
 // NewChannel builds the channel for a flow starting at tripOffset into trip.
@@ -44,7 +49,7 @@ func NewChannel(op Operator, trip railway.Trip, tripOffset, horizon time.Duratio
 	if tripOffset < 0 || horizon <= 0 {
 		return nil, fmt.Errorf("cellular: invalid tripOffset %v or horizon %v", tripOffset, horizon)
 	}
-	c := &Channel{op: op, trip: trip, tripOffset: tripOffset}
+	c := &Channel{op: op, trip: trip, geo: trip.Geometry(), tripOffset: tripOffset}
 	if trip.Stationary() {
 		// Even a stationary phone occasionally loses the channel for a few
 		// hundred milliseconds (interference, cell congestion transients).
@@ -56,6 +61,7 @@ func NewChannel(op Operator, trip railway.Trip, tripOffset, horizon time.Duratio
 		c.handoffs = mergeSpans(c.computeHandoffs(horizon, rng))
 		c.gaps = mergeSpans(c.computeGaps(horizon, rng))
 	}
+	c.compile()
 	return c, nil
 }
 
@@ -110,9 +116,9 @@ func mergeSpans(spans []span) []span {
 func (c *Channel) computeHandoffs(horizon time.Duration, rng *rand.Rand) []span {
 	const step = 50 * time.Millisecond
 	var out []span
-	prevCell := c.cellIndex(c.trip.PositionKm(c.tripOffset))
+	prevCell := c.cellIndex(c.geo.PositionKm(c.tripOffset))
 	for ft := step; ft <= horizon; ft += step {
-		cell := c.cellIndex(c.trip.PositionKm(c.tripOffset + ft))
+		cell := c.cellIndex(c.geo.PositionKm(c.tripOffset + ft))
 		if cell != prevCell {
 			dur := c.op.HandoffMin
 			if c.op.HandoffMax > c.op.HandoffMin {
@@ -158,7 +164,7 @@ func (c *Channel) computeGaps(horizon time.Duration, rng *rand.Rand) []span {
 	open := false
 	var openAt time.Duration
 	for ft := time.Duration(0); ft <= horizon; ft += step {
-		g := inGap(c.trip.PositionKm(c.tripOffset + ft))
+		g := inGap(c.geo.PositionKm(c.tripOffset + ft))
 		switch {
 		case g && !open:
 			open, openAt = true, ft
@@ -181,7 +187,7 @@ func (c *Channel) cellIndex(km float64) int {
 // speedFraction returns (v / 300 km/h)^2 at the given flow time, the scale
 // factor for Doppler-driven residual loss.
 func (c *Channel) speedFraction(flowTime time.Duration) float64 {
-	v := c.trip.SpeedKmh(c.tripOffset + flowTime)
+	v := c.geo.SpeedKmh(c.tripOffset + flowTime)
 	f := v / 300.0
 	return f * f
 }
@@ -212,6 +218,7 @@ func (c *Channel) AddOutages(outages []Outage) {
 		}
 	}
 	c.handoffs = mergeSpans(spans)
+	c.compile()
 }
 
 // InHandoff reports whether flow time t falls inside a handoff outage.

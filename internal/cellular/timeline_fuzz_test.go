@@ -1,0 +1,90 @@
+package cellular
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/railway"
+)
+
+// FuzzChannelTimeline is the differential target for the compiled timeline:
+// it builds a channel from fuzzed parameters, optionally injects fuzzed
+// outages mid-stream, and drives the cursor-backed lookups with a mixed
+// monotone/out-of-order query schedule, asserting every answer is
+// bit-identical (exact float64 equality, not approximate) to the legacy
+// span-based methods. Run in CI's fuzz smoke step.
+func FuzzChannelTimeline(f *testing.F) {
+	f.Add(int64(1), uint16(60), uint32(0), false, uint64(0x9e3779b97f4a7c15))
+	f.Add(int64(7), uint16(300), uint32(90), true, uint64(0xdeadbeefcafef00d))
+	f.Add(int64(42), uint16(600), uint32(2400), false, uint64(3))
+	f.Add(int64(-5), uint16(45), uint32(0), true, uint64(1<<63))
+
+	f.Fuzz(func(t *testing.T, seed int64, horizonSec uint16, offsetSec uint32, stationary bool, qseed uint64) {
+		profile := railway.DefaultProfile
+		if stationary {
+			profile = railway.StationaryProfile
+		}
+		trip, err := railway.NewTrip(railway.BeijingTianjin, profile)
+		if err != nil {
+			t.Fatalf("NewTrip: %v", err)
+		}
+		horizon := time.Duration(horizonSec%1800+1) * time.Second
+		offset := time.Duration(offsetSec%3600) * time.Second
+		ops := Operators()
+		op := ops[int(uint64(seed)%uint64(len(ops)))]
+		ch, err := NewChannel(op, trip, offset, horizon, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("NewChannel: %v", err)
+		}
+
+		qrng := rand.New(rand.NewSource(int64(qseed)))
+		data := ch.DataLossCursor()
+		ack := ch.AckLossCursor()
+		delay := ch.DelayCursor()
+
+		span := int64(horizon) + int64(time.Minute)
+		sent := time.Duration(0)
+		check := func(sent, arrival time.Duration) {
+			if got, want := data(sent, arrival), ch.DataTransitProb(sent, arrival); got != want {
+				t.Fatalf("data(%v,%v): cursor %v != legacy %v", sent, arrival, got, want)
+			}
+			if got, want := ack(sent, arrival), ch.AckTransitProb(sent, arrival); got != want {
+				t.Fatalf("ack(%v): cursor %v != legacy %v", sent, got, want)
+			}
+			if got, want := delay(sent), ch.ExtraDelay(sent); got != want {
+				t.Fatalf("delay(%v): cursor %v != legacy %v", sent, got, want)
+			}
+			if got, want := ch.TimelineAt(sent), legacyPointF(ch, sent); got != want {
+				t.Fatalf("TimelineAt(%v) = %+v, legacy %+v", sent, got, want)
+			}
+		}
+		for i := 0; i < 600; i++ {
+			switch qrng.Intn(10) {
+			case 0: // out-of-order jump anywhere, including before the cursor
+				at := time.Duration(qrng.Int63n(span))
+				check(at, at+time.Duration(qrng.Int63n(int64(time.Second))))
+			case 1: // recompile mid-stream: cursors must re-sync
+				start := time.Duration(qrng.Int63n(span))
+				ch.AddOutages([]Outage{{Start: start, End: start + time.Duration(qrng.Int63n(int64(3*time.Second))+1)}})
+				check(sent, sent)
+			default: // the packet path: nondecreasing sends, jittered arrivals
+				sent += time.Duration(qrng.Int63n(int64(80 * time.Millisecond)))
+				arrival := sent + time.Duration(qrng.Int63n(int64(400*time.Millisecond))) - 150*time.Millisecond
+				check(sent, arrival)
+			}
+		}
+	})
+}
+
+// legacyPointF mirrors legacyPoint for the fuzz target (kept separate so
+// the fuzz file stands alone when run with -run xxx -fuzz).
+func legacyPointF(c *Channel, at time.Duration) TimelinePoint {
+	return TimelinePoint{
+		InHandoff:    c.InHandoff(at),
+		InGap:        c.InGap(at),
+		DataLossProb: c.DataLossProb(at),
+		AckLossProb:  c.AckLossProb(at),
+		ExtraDelay:   c.ExtraDelay(at),
+	}
+}

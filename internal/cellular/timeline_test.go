@@ -1,0 +1,259 @@
+package cellular
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/railway"
+)
+
+func movingTrip(t *testing.T) railway.Trip { return btrTrip(t) }
+
+// legacyPoint answers the channel state through the span-based methods the
+// timeline must replicate bit-for-bit.
+func legacyPoint(c *Channel, at time.Duration) TimelinePoint {
+	return TimelinePoint{
+		InHandoff:    c.InHandoff(at),
+		InGap:        c.InGap(at),
+		DataLossProb: c.DataLossProb(at),
+		AckLossProb:  c.AckLossProb(at),
+		ExtraDelay:   c.ExtraDelay(at),
+	}
+}
+
+func checkPoint(t *testing.T, c *Channel, at time.Duration) {
+	t.Helper()
+	got, want := c.TimelineAt(at), legacyPoint(c, at)
+	if got != want {
+		t.Fatalf("TimelineAt(%v) = %+v, legacy %+v", at, got, want)
+	}
+}
+
+// TestTimelineMatchesLegacyProperty cross-checks TimelineAt against the
+// span-based answers at random times, for moving and stationary trips, at
+// several trip offsets, before and after AddOutages.
+func TestTimelineMatchesLegacyProperty(t *testing.T) {
+	trips := map[string]railway.Trip{
+		"moving":     movingTrip(t),
+		"stationary": stationaryTrip(t),
+	}
+	for name, trip := range trips {
+		for _, off := range []time.Duration{0, 90 * time.Second, 11 * time.Minute, 40 * time.Minute} {
+			rng := rand.New(rand.NewSource(42))
+			ch, err := NewChannel(ChinaTelecom3G, trip, off, 10*time.Minute, rng)
+			if err != nil {
+				t.Fatalf("%s off=%v: NewChannel: %v", name, off, err)
+			}
+			qrng := rand.New(rand.NewSource(7))
+			probe := func() {
+				for i := 0; i < 4000; i++ {
+					at := time.Duration(qrng.Int63n(int64(12 * time.Minute)))
+					checkPoint(t, ch, at)
+				}
+			}
+			probe()
+			ch.AddOutages([]Outage{
+				{Start: 10 * time.Second, End: 12 * time.Second},
+				{Start: 11 * time.Second, End: 14 * time.Second}, // overlaps the previous
+				{Start: 14 * time.Second, End: 15 * time.Second}, // adjacent: must merge
+			})
+			probe()
+		}
+	}
+}
+
+// TestTimelineBoundaryQueries hits every compiled span edge exactly, one
+// nanosecond before, and one nanosecond after.
+func TestTimelineBoundaryQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ch, err := NewChannel(ChinaTelecom3G, movingTrip(t), 2*time.Minute, 8*time.Minute, rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	edges := []time.Duration{0}
+	for _, s := range append(append([]span(nil), ch.handoffs...), ch.gaps...) {
+		edges = append(edges, s.start, s.end)
+	}
+	for _, e := range edges {
+		for _, at := range []time.Duration{e - time.Nanosecond, e, e + time.Nanosecond} {
+			checkPoint(t, ch, at)
+		}
+	}
+}
+
+// TestTimelineAddOutagesRecompiles verifies the timeline is rebuilt after
+// AddOutages and that live cursors re-sync via the generation counter.
+func TestTimelineAddOutagesRecompiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ch, err := NewChannel(ChinaMobileLTE, stationaryTrip(t), 0, 5*time.Minute, rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	if got := ch.Stats().Compiles; got != 1 {
+		t.Fatalf("Compiles after construction = %d, want 1", got)
+	}
+	cursor := ch.DelayCursor()
+	at := 30 * time.Second
+	if ch.InHandoff(at) {
+		t.Fatalf("test premise broken: %v already in outage", at)
+	}
+	if d := cursor(at); d != 0 {
+		t.Fatalf("ExtraDelay before outage = %v, want 0", d)
+	}
+	ch.AddOutages([]Outage{{Start: 29 * time.Second, End: 31 * time.Second}})
+	if got := ch.Stats().Compiles; got != 2 {
+		t.Fatalf("Compiles after AddOutages = %d, want 2", got)
+	}
+	want := ch.ExtraDelay(at)
+	if want == 0 {
+		t.Fatalf("legacy ExtraDelay inside injected outage = 0")
+	}
+	// The same cursor (created before the recompile) must see the outage.
+	if d := cursor(at); d != want {
+		t.Fatalf("cursor after recompile = %v, want %v", d, want)
+	}
+}
+
+// TestTimelineAdjacentSegmentsMerge checks the compile-time merge: injecting
+// an outage adjacent to an existing one must not grow the segment count by
+// a full span's worth of boundaries, and the merged timeline still matches.
+func TestTimelineAdjacentSegmentsMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ch, err := NewChannel(ChinaMobileLTE, stationaryTrip(t), 0, 5*time.Minute, rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	ch.AddOutages([]Outage{{Start: 10 * time.Second, End: 11 * time.Second}})
+	before := len(ch.handoffs)
+	segsBefore := ch.TimelineSegments()
+	ch.AddOutages([]Outage{{Start: 11 * time.Second, End: 12 * time.Second}})
+	if got := len(ch.handoffs); got != before {
+		t.Fatalf("adjacent outage did not merge: %d spans, want %d", got, before)
+	}
+	if got := ch.TimelineSegments(); got != segsBefore {
+		t.Fatalf("adjacent outage changed segment count: %d, want %d", got, segsBefore)
+	}
+	for at := 9 * time.Second; at <= 13*time.Second; at += 100 * time.Millisecond {
+		checkPoint(t, ch, at)
+	}
+}
+
+// TestTimelineCursorMonotoneAndFallback drives the cursors with the real
+// access pattern — nondecreasing sent times, jittered arrivals, occasional
+// backwards jumps — and asserts bit-identity plus the expected counter
+// movement (monotone scans advance, backwards jumps fall back).
+func TestTimelineCursorMonotoneAndFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ch, err := NewChannel(ChinaTelecom3G, movingTrip(t), time.Minute, 10*time.Minute, rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	data := ch.DataLossCursor()
+	ack := ch.AckLossCursor()
+	delay := ch.DelayCursor()
+
+	qrng := rand.New(rand.NewSource(23))
+	sent := time.Duration(0)
+	for i := 0; i < 20000; i++ {
+		sent += time.Duration(qrng.Int63n(int64(40 * time.Millisecond)))
+		arrival := sent + time.Duration(qrng.Int63n(int64(300*time.Millisecond))) - 100*time.Millisecond
+		if got, want := data(sent, arrival), ch.DataTransitProb(sent, arrival); got != want {
+			t.Fatalf("data(%v,%v) = %v, want %v", sent, arrival, got, want)
+		}
+		if got, want := ack(sent, sent), ch.AckTransitProb(sent, sent); got != want {
+			t.Fatalf("ack(%v) = %v, want %v", sent, got, want)
+		}
+		if got, want := delay(sent), ch.ExtraDelay(sent); got != want {
+			t.Fatalf("delay(%v) = %v, want %v", sent, got, want)
+		}
+		if i%1000 == 999 {
+			// Out-of-order probe far behind the cursor: must fall back, not
+			// derail subsequent monotone queries.
+			back := time.Duration(qrng.Int63n(int64(sent + 1)))
+			if got, want := data(back, back), ch.DataTransitProb(back, back); got != want {
+				t.Fatalf("out-of-order data(%v) = %v, want %v", back, got, want)
+			}
+		}
+	}
+	st := ch.Stats()
+	if st.CursorQueries == 0 || st.CursorAdvances == 0 {
+		t.Fatalf("cursor counters did not move: %+v", st)
+	}
+	if st.CursorFallbacks == 0 {
+		t.Fatalf("backwards probes recorded no fallbacks: %+v", st)
+	}
+	if st.Segments == 0 || st.Compiles == 0 {
+		t.Fatalf("compile counters empty: %+v", st)
+	}
+}
+
+// TestTimelineStationaryConstant asserts a stationary channel compiles to a
+// constant-speed timeline (every probability precomputed) and still matches
+// the legacy path, including inside its micro-outages.
+func TestTimelineStationaryConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ch, err := NewChannel(ChinaMobileLTE, stationaryTrip(t), 0, time.Hour, rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	for _, s := range ch.timeline {
+		if !s.constSpeed {
+			t.Fatalf("stationary segment [%v,%v) not constSpeed", s.start, s.end)
+		}
+		if s.speedF != 0 {
+			t.Fatalf("stationary segment speedF = %v, want 0", s.speedF)
+		}
+	}
+	qrng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		checkPoint(t, ch, time.Duration(qrng.Int63n(int64(time.Hour))))
+	}
+	for _, h := range ch.handoffs { // micro-outages: probe inside each
+		checkPoint(t, ch, h.start)
+		checkPoint(t, ch, h.start+(h.end-h.start)/2)
+		checkPoint(t, ch, h.end-time.Nanosecond)
+	}
+}
+
+// TestTimelineNegativeTime pins the t < 0 contract: no outage, no gap, and
+// the same speed-term evaluation as the legacy methods.
+func TestTimelineNegativeTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ch, err := NewChannel(ChinaMobileLTE, movingTrip(t), 5*time.Minute, 5*time.Minute, rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	for _, at := range []time.Duration{-time.Nanosecond, -time.Second, -time.Minute} {
+		checkPoint(t, ch, at)
+	}
+}
+
+// TestTimelineCursorZeroAlloc is the CI gate on the cursor hot path: once a
+// flow's cursors exist, per-packet timeline queries — including the binary
+// fallback for out-of-order arrivals — allocate nothing.
+func TestTimelineCursorZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ch, err := NewChannel(ChinaMobileLTE, movingTrip(t), 2*time.Minute, 10*time.Minute, rng)
+	if err != nil {
+		t.Fatalf("NewChannel: %v", err)
+	}
+	data := ch.DataLossCursor()
+	ack := ch.AckLossCursor()
+	delay := ch.DelayCursor()
+	var at time.Duration
+	var sink float64
+	avg := testing.AllocsPerRun(1000, func() {
+		sink += data(at, at+8*time.Millisecond)
+		sink += ack(at+time.Millisecond, at+time.Millisecond)
+		sink += float64(delay(at))
+		if at > 20*time.Second {
+			at -= 15 * time.Second // periodic out-of-order probe: fallback path
+		}
+		at += 40 * time.Millisecond
+	})
+	if avg != 0 {
+		t.Fatalf("timeline cursor queries allocate %.1f/op, want 0", avg)
+	}
+	_ = sink
+}

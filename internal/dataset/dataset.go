@@ -84,15 +84,18 @@ func BuildPath(simulator *sim.Simulator, sc Scenario) (*netem.Path, *cellular.Ch
 		ch.AddOutages(sc.Faults.StormOutages(sc.Seed))
 	}
 	op := sc.Operator
-	dataLoss := netem.LossModel(netem.NewTransitLossFunc(ch.DataTransitProb, sim.NewRand(sc.Seed, sim.StreamDataLoss)))
-	ackLoss := netem.LossModel(netem.NewTransitLossFunc(ch.AckTransitProb, sim.NewRand(sc.Seed, sim.StreamAckLoss)))
+	// Each per-packet consumer gets its own timeline cursor (bit-identical
+	// to the span-based Channel methods, O(1) amortized for the mostly
+	// monotone query series a flow produces).
+	dataLoss := netem.LossModel(netem.NewTransitLossFunc(ch.DataLossCursor(), sim.NewRand(sc.Seed, sim.StreamDataLoss)))
+	ackLoss := netem.LossModel(netem.NewTransitLossFunc(ch.AckLossCursor(), sim.NewRand(sc.Seed, sim.StreamAckLoss)))
 	fwdDelay := netem.DelayModel(netem.NewSumDelay(
 		netem.NewUniformDelay(op.DownDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay)),
-		netem.DelayFunc{Fn: ch.ExtraDelay},
+		netem.DelayFunc{Fn: ch.DelayCursor()},
 	))
 	revDelay := netem.DelayModel(netem.NewSumDelay(
 		netem.NewUniformDelay(op.UpDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay+1000)),
-		netem.DelayFunc{Fn: ch.ExtraDelay},
+		netem.DelayFunc{Fn: ch.DelayCursor()},
 	))
 	var rateScale func(time.Duration) float64
 	if faulted {
@@ -154,15 +157,15 @@ func BuildSubflowPath(simulator *sim.Simulator, sc Scenario, sharedDown, sharedU
 		ch.AddOutages(sc.Faults.StormOutages(sc.Seed))
 	}
 	op := sc.Operator
-	dataLoss := netem.LossModel(netem.NewTransitLossFunc(ch.DataTransitProb, sim.NewRand(sc.Seed, sim.StreamDataLoss)))
-	ackLoss := netem.LossModel(netem.NewTransitLossFunc(ch.AckTransitProb, sim.NewRand(sc.Seed, sim.StreamAckLoss)))
+	dataLoss := netem.LossModel(netem.NewTransitLossFunc(ch.DataLossCursor(), sim.NewRand(sc.Seed, sim.StreamDataLoss)))
+	ackLoss := netem.LossModel(netem.NewTransitLossFunc(ch.AckLossCursor(), sim.NewRand(sc.Seed, sim.StreamAckLoss)))
 	fwdDelay := netem.DelayModel(netem.NewSumDelay(
 		netem.NewUniformDelay(op.DownDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay)),
-		netem.DelayFunc{Fn: ch.ExtraDelay},
+		netem.DelayFunc{Fn: ch.DelayCursor()},
 	))
 	revDelay := netem.DelayModel(netem.NewSumDelay(
 		netem.NewUniformDelay(op.UpDelay, op.Jitter, sim.NewRand(sc.Seed, sim.StreamDelay+1000)),
-		netem.DelayFunc{Fn: ch.ExtraDelay},
+		netem.DelayFunc{Fn: ch.DelayCursor()},
 	))
 	if faulted {
 		dataLoss = sc.Faults.WrapDataLoss(dataLoss, sim.NewRand(sc.Seed, sim.StreamFaultData))
@@ -221,7 +224,7 @@ func runScenario(sc Scenario, rec trace.Recorder) (tcp.Stats, error) {
 	if tel != nil {
 		simulator.SetTelemetry(&tel.Kernel)
 	}
-	path, _, err := BuildPath(simulator, sc)
+	path, ch, err := BuildPath(simulator, sc)
 	if err != nil {
 		return tcp.Stats{}, err
 	}
@@ -244,7 +247,7 @@ func runScenario(sc Scenario, rec trace.Recorder) (tcp.Stats, error) {
 			sc.ID, budget, simulator.Now())
 	}
 	if tel != nil {
-		harvestFlow(tel, sc, simulator, path, conn, budget, wallStart)
+		harvestFlow(tel, sc, simulator, path, ch, conn, budget, wallStart)
 	}
 	return conn.Stats(), nil
 }
@@ -256,6 +259,11 @@ func runScenario(sc Scenario, rec trace.Recorder) (tcp.Stats, error) {
 // list.
 func RunFlow(sc Scenario) (*trace.FlowTrace, tcp.Stats, error) {
 	ft := &trace.FlowTrace{Meta: sc.FlowMeta()}
+	// A materialized flow produces on the order of a thousand events per
+	// flow-second (four per delivered packet, operator-dependent); reserving
+	// that up front replaces log2(n) append doublings — each a full copy of
+	// a multi-megabyte list — with at most one growth.
+	ft.Grow(int(sc.FlowDuration/time.Second+1) * 1200)
 	st, err := runScenario(sc, ft)
 	if err != nil {
 		return nil, tcp.Stats{}, err
@@ -285,7 +293,7 @@ func RunFlowMetrics(sc Scenario) (*analysis.FlowMetrics, tcp.Stats, error) {
 // harvestFlow fills the telemetry bundle's end-of-run sections: kernel time
 // and budget, link counters (read once from the links instead of per-packet
 // instrumentation), fault-schedule activity, and the endpoint flush.
-func harvestFlow(tel *telemetry.Flow, sc Scenario, simulator *sim.Simulator, path *netem.Path, conn *tcp.Conn, budget int64, wallStart time.Time) {
+func harvestFlow(tel *telemetry.Flow, sc Scenario, simulator *sim.Simulator, path *netem.Path, ch *cellular.Channel, conn *tcp.Conn, budget int64, wallStart time.Time) {
 	tel.Kernel.VirtualNS = int64(simulator.Now())
 	tel.Kernel.BudgetEvents = budget
 	if l, ok := path.Forward.(*netem.Link); ok {
@@ -293,6 +301,14 @@ func harvestFlow(tel *telemetry.Flow, sc Scenario, simulator *sim.Simulator, pat
 	}
 	if l, ok := path.Reverse.(*netem.Link); ok {
 		harvestLink(&tel.Net.Ack, l.Stats())
+	}
+	if ch != nil {
+		st := ch.Stats()
+		tel.Channel.Compiles += st.Compiles
+		tel.Channel.Segments += st.Segments
+		tel.Channel.CursorQueries += st.CursorQueries
+		tel.Channel.CursorAdvances += st.CursorAdvances
+		tel.Channel.CursorFallbacks += st.CursorFallbacks
 	}
 	if !sc.Faults.Empty() {
 		tel.Faults.Schedules++
@@ -313,6 +329,8 @@ func harvestLink(dst *telemetry.LinkCounters, st netem.LinkStats) {
 	if pb := int64(st.PeakBacklog); pb > dst.PeakBacklog {
 		dst.PeakBacklog = pb
 	}
+	dst.VectorBursts += int64(st.VectorBursts)
+	dst.VectorPackets += int64(st.VectorPackets)
 }
 
 // AnalyzeFlow runs a scenario and reduces it to metrics through the

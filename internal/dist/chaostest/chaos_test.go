@@ -72,7 +72,11 @@ func TestCampaignByteIdentityUnderChaos(t *testing.T) {
 	schedules := []Schedule{
 		{Seed: 1, KillP: 0.4},
 		{Seed: 2, StallP: 0.25},
-		{Seed: 3, TruncateP: 0.4},
+		// Seed 27 truncates ordinal 0 on both workers, so the injected>0
+		// sanity check below holds however few requests a fast campaign
+		// makes (heartbeat count scales with wall time, and flows are now
+		// quick enough that a campaign can finish inside one interval).
+		{Seed: 27, TruncateP: 0.4},
 		{Seed: 4, KillP: 0.15, StallP: 0.1, TruncateP: 0.15, SlowP: 0.3},
 		{Seed: 5, KillP: 0.7}, // heavy enough to exhaust retries into local fallback
 	}

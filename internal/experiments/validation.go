@@ -93,6 +93,7 @@ func runStaticFlow(cfg Config, pd float64) (float64, *analysis.FlowMetrics, erro
 		MSS: tcpCfg.MSS, DelayedAckB: tcpCfg.DelayedAckB, WindowLimit: tcpCfg.WindowLimit,
 		Duration: 3 * cfg.FlowDuration,
 	}}
+	ft.Grow(int(3*cfg.FlowDuration/time.Second+1) * 1200)
 	conn, err := tcp.New(s, netem.NewPath(fwd, rev), tcpCfg, ft)
 	if err != nil {
 		return 0, nil, err

@@ -16,6 +16,7 @@ package mptcp
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/dataset"
@@ -73,6 +74,7 @@ func RunDuplex(base dataset.Scenario, n int) (*DuplexResult, error) {
 			DelayedAckB: sc.TCP.DelayedAckB, WindowLimit: sc.TCP.WindowLimit,
 			Duration: sc.FlowDuration,
 		}}
+		ft.Grow(int(sc.FlowDuration/time.Second+1) * 1200)
 		conn, err := tcp.New(simulator, path, sc.TCP, ft)
 		if err != nil {
 			return nil, err
@@ -140,6 +142,7 @@ func RunBackup(base dataset.Scenario) (*BackupResult, error) {
 		DelayedAckB: base.TCP.DelayedAckB, WindowLimit: base.TCP.WindowLimit,
 		Duration: base.FlowDuration,
 	}}
+	ft.Grow(int(base.FlowDuration/time.Second+1) * 1200)
 	conn, err := tcp.New(simulator, primary, base.TCP, ft)
 	if err != nil {
 		return nil, err

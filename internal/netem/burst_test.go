@@ -1,0 +1,212 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// burstRun drives one link through a schedule of bursts and records every
+// externally observable effect: per-packet verdicts, delivery times in fire
+// order, final stats, and the post-run state of the RNGs (witnessed by
+// draining a few extra draws).
+type burstRun struct {
+	verdicts   []DropKind // per offered packet; 0 = accepted
+	deliveries []time.Duration
+	stats      LinkStats
+	rngTail    [8]int64
+}
+
+// runBurstSchedule executes bursts of the given sizes back to back on a
+// fresh link, advancing virtual time between bursts. vectorized selects
+// BeginBurstN vs the scalar BeginBurst + n Sends.
+func runBurstSchedule(seed int64, rate float64, maxQueue int, jitter time.Duration,
+	lossP float64, counts []int, vectorized bool) burstRun {
+
+	s := sim.New()
+	delayRng := rand.New(rand.NewSource(seed))
+	lossRng := rand.New(rand.NewSource(seed ^ 0x5deece66d))
+	cfg := LinkConfig{
+		Rate:     rate,
+		MaxQueue: maxQueue,
+		Delay:    NewUniformDelay(5*time.Millisecond, jitter, delayRng),
+		Loss: NewTransitLossFunc(func(sent, arrival time.Duration) float64 {
+			// Time-dependent probability with a p == 0 stretch, so the
+			// "no draw when p == 0" path is exercised by both
+			// implementations.
+			if sent%(20*time.Millisecond) < 4*time.Millisecond {
+				return 0
+			}
+			return lossP
+		}, lossRng),
+	}
+	l := NewLink(s, cfg)
+
+	var run burstRun
+	at := time.Duration(0)
+	for _, n := range counts {
+		at += 10 * time.Millisecond
+		n := n
+		s.At(at, func() {
+			var b Burst
+			if vectorized {
+				b = l.BeginBurstN(1400, n)
+			} else {
+				b = l.BeginBurst(1400)
+			}
+			for i := 0; i < n; i++ {
+				ok, kind := b.Send(HandlerFunc(func() {
+					run.deliveries = append(run.deliveries, s.Now())
+				}))
+				if ok {
+					kind = 0
+				}
+				run.verdicts = append(run.verdicts, kind)
+			}
+		})
+	}
+	s.Run()
+	run.stats = l.stats
+	for i := range run.rngTail {
+		run.rngTail[i] = delayRng.Int63() ^ lossRng.Int63()
+	}
+	return run
+}
+
+func diffBurstRuns(t *testing.T, scalar, vector burstRun) {
+	t.Helper()
+	if len(scalar.verdicts) != len(vector.verdicts) {
+		t.Fatalf("verdict counts differ: scalar %d, vector %d", len(scalar.verdicts), len(vector.verdicts))
+	}
+	for i := range scalar.verdicts {
+		if scalar.verdicts[i] != vector.verdicts[i] {
+			t.Fatalf("packet %d verdict: scalar %v, vector %v", i, scalar.verdicts[i], vector.verdicts[i])
+		}
+	}
+	if len(scalar.deliveries) != len(vector.deliveries) {
+		t.Fatalf("delivery counts differ: scalar %d, vector %d", len(scalar.deliveries), len(vector.deliveries))
+	}
+	for i := range scalar.deliveries {
+		if scalar.deliveries[i] != vector.deliveries[i] {
+			t.Fatalf("delivery %d at %v scalar vs %v vector", i, scalar.deliveries[i], vector.deliveries[i])
+		}
+	}
+	// Stats must match except the vector counters, which only the
+	// vectorized run accrues.
+	sv, vv := scalar.stats, vector.stats
+	sv.VectorBursts, sv.VectorPackets = 0, 0
+	vv.VectorBursts, vv.VectorPackets = 0, 0
+	if sv != vv {
+		t.Fatalf("stats differ: scalar %+v, vector %+v", sv, vv)
+	}
+	if scalar.rngTail != vector.rngTail {
+		t.Fatalf("RNG state diverged: scalar tail %v, vector tail %v", scalar.rngTail, vector.rngTail)
+	}
+}
+
+// TestBurstVectorizedMatchesScalar pins the headline contract on a fixed
+// schedule mixing queue pressure, jitter, and loss.
+func TestBurstVectorizedMatchesScalar(t *testing.T) {
+	counts := []int{1, 4, 28, 2, 16, 0, 9, 28, 28, 3}
+	scalar := runBurstSchedule(7, 50e6, 8, 3*time.Millisecond, 0.3, counts, false)
+	vector := runBurstSchedule(7, 50e6, 8, 3*time.Millisecond, 0.3, counts, true)
+	diffBurstRuns(t, scalar, vector)
+	if vector.stats.VectorBursts == 0 || vector.stats.VectorPackets == 0 {
+		t.Fatalf("vector counters did not move: %+v", vector.stats)
+	}
+}
+
+// TestBurstUnderconsumedPanics pins the exactly-n contract: beginning a new
+// burst with primed outcomes unconsumed must panic rather than silently
+// desynchronize the RNG stream.
+func TestBurstUnderconsumedPanics(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, LinkConfig{Delay: FixedDelay(time.Millisecond)})
+	b := l.BeginBurstN(1000, 3)
+	b.Send(HandlerFunc(func() {}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BeginBurst after underconsumed vectorized burst did not panic")
+		}
+	}()
+	l.BeginBurst(1000)
+}
+
+// TestBurstOverconsumedPanics: the (n+1)th Send on a vectorized burst must
+// panic.
+func TestBurstOverconsumedPanics(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, LinkConfig{Delay: FixedDelay(time.Millisecond)})
+	b := l.BeginBurstN(1000, 1)
+	b.Send(HandlerFunc(func() {}))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overconsuming a vectorized burst did not panic")
+		}
+	}()
+	b.Send(HandlerFunc(func() {}))
+}
+
+// TestBurstPrimedZeroAlloc gates the vectorized hot path at 0 allocs/op
+// once the scratch buffer and event pool are warm.
+func TestBurstPrimedZeroAlloc(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, LinkConfig{
+		Rate:     100e6,
+		MaxQueue: 64,
+		Delay:    NewUniformDelay(time.Millisecond, time.Millisecond, rand.New(rand.NewSource(1))),
+		Loss:     NewBernoulli(0.05, rand.New(rand.NewSource(2))),
+	})
+	h := HandlerFunc(func() {})
+	const n = 16
+	// Warm the scratch buffer and the event pool.
+	b := l.BeginBurstN(1400, n)
+	for i := 0; i < n; i++ {
+		b.Send(h)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		b := l.BeginBurstN(1400, n)
+		for i := 0; i < n; i++ {
+			b.Send(h)
+		}
+		s.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("vectorized burst path allocates %v/op, want 0", allocs)
+	}
+}
+
+// FuzzBurstSampling is the differential target for burst vectorization: a
+// fuzzed link shape and burst schedule is run through the scalar and the
+// vectorized submission paths, and every observable — per-packet verdicts,
+// delivery times, final stats, and the RNG stream positions afterwards —
+// must match exactly. Run in CI's fuzz smoke step.
+func FuzzBurstSampling(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint16(0), uint16(300), []byte{1, 4, 28})
+	f.Add(int64(9), uint8(50), uint8(8), uint16(3000), uint16(900), []byte{28, 0, 2, 28, 16})
+	f.Add(int64(-3), uint8(255), uint8(1), uint16(1), uint16(0), []byte{7, 7, 7, 7})
+
+	f.Fuzz(func(t *testing.T, seed int64, rateSel, maxQueue uint8, jitterUS uint16, lossPM uint16, schedule []byte) {
+		if len(schedule) == 0 || len(schedule) > 64 {
+			t.Skip()
+		}
+		counts := make([]int, len(schedule))
+		for i, c := range schedule {
+			counts[i] = int(c % 33)
+		}
+		var rate float64
+		if rateSel > 0 {
+			// 0 keeps the infinitely fast path in the mix; otherwise rates
+			// from ~0.4 Mbps (heavy queueing) up to ~100 Mbps.
+			rate = float64(rateSel) * 400e3
+		}
+		jitter := time.Duration(jitterUS) * time.Microsecond
+		lossP := float64(lossPM%1001) / 1000
+		scalar := runBurstSchedule(seed, rate, int(maxQueue), jitter, lossP, counts, false)
+		vector := runBurstSchedule(seed, rate, int(maxQueue), jitter, lossP, counts, true)
+		diffBurstRuns(t, scalar, vector)
+	})
+}

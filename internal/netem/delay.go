@@ -9,6 +9,14 @@ import (
 // DelayModel samples the one-way propagation delay for a packet entering the
 // link at virtual time now (serialization time is handled separately by the
 // Link's rate limiter).
+//
+// Contract: Sample is invoked exactly once per packet that reaches the
+// channel (queue tail drops never sample), in submission order, with the
+// packet's entry epoch as now. Time-invariant models may ignore now, but
+// models that consume randomness must draw the same RNG sequence regardless
+// of its value — the vectorized burst path (Link.BeginBurstN) replays the
+// per-packet call sequence verbatim and the FuzzBurstSampling differential
+// target asserts draw-order stability against the scalar path.
 type DelayModel interface {
 	Sample(now time.Duration) time.Duration
 }
@@ -35,7 +43,10 @@ func NewUniformDelay(base, jitter time.Duration, rng *rand.Rand) *UniformDelay {
 	return &UniformDelay{Base: base, Jitter: jitter, rng: rng}
 }
 
-// Sample implements DelayModel.
+// Sample implements DelayModel. It ignores now by design: the jitter
+// distribution is time-invariant, and per the DelayModel contract the draw
+// count (one Int63n per sampled packet when Jitter > 0, none otherwise)
+// depends only on the packet sequence, never on the clock.
 func (d *UniformDelay) Sample(time.Duration) time.Duration {
 	if d.Jitter == 0 {
 		return d.Base

@@ -44,6 +44,11 @@ type LinkStats struct {
 	// arriving one, including the one in service) observed on a
 	// bounded-queue link; always 0 on unbounded or infinitely fast links.
 	PeakBacklog int
+	// VectorBursts counts BeginBurstN submissions whose admission, delay and
+	// loss outcomes were sampled in one vectorized pass; VectorPackets counts
+	// the packets primed that way.
+	VectorBursts  int
+	VectorPackets int
 }
 
 // LossRate returns the fraction of offered packets that were dropped for any
@@ -104,6 +109,16 @@ type Link struct {
 	nextFree     time.Duration // when the serializer becomes idle
 	lastDelivery time.Duration // monotone delivery horizon (no reordering)
 	free         *linkEvent    // pooled in-flight delivery events
+
+	scratch     []burstOutcome // reused vectorized-burst outcome buffer
+	scratchLive int            // primed outcomes not yet consumed by Send
+}
+
+// burstOutcome is the precomputed fate of one packet of a vectorized burst:
+// its drop verdict and, for survivors, the pre-FIFO-clamp arrival epoch.
+type burstOutcome struct {
+	arrival time.Duration
+	kind    DropKind // 0 = delivered
 }
 
 // linkEvent is the pooled in-flight state of one packet: it bumps the
@@ -179,6 +194,9 @@ type Burst struct {
 	now    time.Duration
 	size   int
 	txTime time.Duration // resolved on first Send; 0 while unresolved or rate-unlimited
+
+	outcomes []burstOutcome // primed by BeginBurstN; nil on the scalar path
+	i        int            // next primed outcome to consume
 }
 
 // BeginBurst starts a batched submission of size-byte packets at the current
@@ -188,10 +206,102 @@ func (l *Link) BeginBurst(size int) Burst {
 	if size <= 0 {
 		panic(fmt.Sprintf("netem: Send with non-positive size %d", size))
 	}
+	if l.scratchLive != 0 {
+		panic(fmt.Sprintf("netem: new burst begun with %d primed packets unconsumed", l.scratchLive))
+	}
 	return Burst{l: l, now: l.simulator.Now(), size: size}
 }
 
-// Send offers one packet of the burst; semantics match Link.Send.
+// BeginBurstN starts a burst whose packet count is known up front and
+// samples every packet's fate — queue admission, propagation delay, channel
+// loss — in one vectorized pass over a link-owned scratch buffer. The pass
+// replicates the scalar Send sequence exactly, packet by packet in
+// submission order (queue-dropped packets consume no RNG draws, survivors
+// draw delay then loss), so the RNG stream and every outcome are
+// bit-identical to n plain Sends; the differential fuzz target
+// FuzzBurstSampling proves it.
+//
+// Contract: the caller must invoke Send exactly n times before beginning
+// the next burst on this link. The serializer and RNG state advance during
+// priming, so consuming fewer (or attempting more) would diverge from the
+// scalar path; both are detected and panic.
+func (l *Link) BeginBurstN(size, n int) Burst {
+	b := l.BeginBurst(size)
+	if n <= 0 {
+		return b
+	}
+	if cap(l.scratch) < n {
+		l.scratch = make([]burstOutcome, n)
+	}
+	out := l.scratch[:n]
+	now := b.now
+
+	rateLimited := l.cfg.Rate > 0
+	var txTime time.Duration
+	if rateLimited {
+		// Same effective-rate resolution the scalar path performs on the
+		// first Send: RateScale is a pure function of virtual time, so one
+		// evaluation serves the whole burst.
+		rate := l.cfg.Rate
+		if l.cfg.RateScale != nil {
+			f := l.cfg.RateScale(now)
+			if f < minRateScale {
+				f = minRateScale
+			}
+			rate *= f
+		}
+		txTime = time.Duration(float64(size*8) / rate * float64(time.Second))
+		if txTime <= 0 {
+			txTime = time.Nanosecond
+		}
+		b.txTime = txTime
+	}
+
+	delay, loss := l.cfg.Delay, l.cfg.Loss
+	nextFree := l.nextFree
+	maxQueue := l.cfg.MaxQueue
+	peak := l.stats.PeakBacklog
+	for i := range out {
+		departure := now
+		if rateLimited {
+			start := now
+			if nextFree > start {
+				start = nextFree
+			}
+			if maxQueue > 0 {
+				backlog := int((start - now) / txTime)
+				if backlog > peak {
+					peak = backlog
+				}
+				if backlog > maxQueue {
+					// Tail drop before the channel: no delay or loss draw,
+					// exactly like the scalar path's early return.
+					out[i] = burstOutcome{kind: DropQueue}
+					continue
+				}
+			}
+			departure = start + txTime
+			nextFree = departure
+		}
+		arrival := departure + delay.Sample(now)
+		if loss.Drop(now, arrival) {
+			out[i] = burstOutcome{kind: DropChannel}
+			continue
+		}
+		out[i] = burstOutcome{arrival: arrival}
+	}
+	l.nextFree = nextFree
+	l.stats.PeakBacklog = peak
+	l.stats.VectorBursts++
+	l.stats.VectorPackets += n
+	l.scratchLive = n
+	b.outcomes = out
+	return b
+}
+
+// Send offers one packet of the burst; semantics match Link.Send. On a
+// vectorized burst it consumes the next precomputed outcome; only the FIFO
+// delivery clamp and event scheduling remain per packet.
 func (b *Burst) Send(deliver Handler) (bool, DropKind) {
 	if deliver == nil {
 		panic("netem: Send with nil deliver callback")
@@ -200,6 +310,38 @@ func (b *Burst) Send(deliver Handler) (bool, DropKind) {
 	now := b.now
 	if l.simulator.Now() != now {
 		panic(fmt.Sprintf("netem: Burst begun at %v used at %v", now, l.simulator.Now()))
+	}
+	if b.outcomes != nil {
+		if b.i >= len(b.outcomes) {
+			panic(fmt.Sprintf("netem: vectorized burst of %d overconsumed", len(b.outcomes)))
+		}
+		o := b.outcomes[b.i]
+		b.i++
+		l.scratchLive--
+		l.stats.Offered++
+		switch o.kind {
+		case DropQueue:
+			l.stats.QueueDrops++
+			return false, DropQueue
+		case DropChannel:
+			l.stats.ChannelDrops++
+			return false, DropChannel
+		}
+		arrival := o.arrival
+		if arrival < l.lastDelivery {
+			arrival = l.lastDelivery // preserve FIFO delivery
+		}
+		l.lastDelivery = arrival
+		ev := l.free
+		if ev == nil {
+			ev = &linkEvent{l: l}
+		} else {
+			l.free = ev.next
+			ev.next = nil
+		}
+		ev.deliver = deliver
+		l.simulator.AtFire(arrival, ev)
+		return true, 0
 	}
 	l.stats.Offered++
 

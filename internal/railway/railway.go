@@ -102,53 +102,107 @@ func (t Trip) Duration() time.Duration {
 	return 2*t.rampTime() + time.Duration(cruiseSec*float64(time.Second))
 }
 
+// Geometry is the trip's trapezoid compiled down to its breakpoints and
+// constants: the ramp and total durations, the ramp distance, and the
+// acceleration, each computed once. Position and speed lookups then reduce to
+// one branch on the phase breakpoints plus a couple of multiplies — no
+// per-call sqrt/div geometry. Geometry methods are the single implementation
+// of the trip kinematics (Trip.PositionKm and Trip.SpeedKmh delegate here),
+// so a held memo is bit-identical to querying the Trip directly.
+type Geometry struct {
+	stationary bool
+	lengthKm   float64
+	cruiseKmh  float64
+	a          float64       // acceleration magnitude, m/s^2
+	v          float64       // cruise speed, m/s
+	ramp       time.Duration // duration of one ramp
+	total      time.Duration // one-way trip duration
+	rampSec    float64       // ramp.Seconds(), precomputed
+	rampM      float64       // distance covered by one ramp, metres
+}
+
+// Geometry compiles the trip's kinematic constants. Hot paths that query
+// position or speed per packet should hold the returned memo instead of
+// calling the Trip methods, which recompute the trapezoid on every call.
+func (t Trip) Geometry() Geometry {
+	g := Geometry{
+		stationary: t.Profile.CruiseKmh == 0,
+		lengthKm:   t.Track.LengthKm,
+		cruiseKmh:  t.Profile.CruiseKmh,
+		a:          t.Profile.AccelMS2,
+	}
+	if g.stationary {
+		return g
+	}
+	g.v = t.cruiseMS()
+	g.ramp = t.rampTime()
+	g.total = t.Duration()
+	g.rampSec = g.ramp.Seconds()
+	g.rampM = t.rampDistM()
+	return g
+}
+
+// Duration returns the one-way travel time (0 for a stationary trip).
+func (g *Geometry) Duration() time.Duration { return g.total }
+
+// RampTime returns the duration of the acceleration (= deceleration) ramp.
+func (g *Geometry) RampTime() time.Duration { return g.ramp }
+
+// Stationary reports whether the underlying trip never moves.
+func (g *Geometry) Stationary() bool { return g.stationary }
+
+// PositionKm is Trip.PositionKm evaluated against the precomputed constants.
+func (g *Geometry) PositionKm(at time.Duration) float64 {
+	if g.stationary || at <= 0 {
+		return 0
+	}
+	if at >= g.total {
+		return g.lengthKm
+	}
+	sec := at.Seconds()
+	switch {
+	case at < g.ramp:
+		return 0.5 * g.a * sec * sec / 1000
+	case at < g.total-g.ramp:
+		cruiseSec := sec - g.rampSec
+		return (g.rampM + g.v*cruiseSec) / 1000
+	default:
+		// Decelerating: symmetric to the acceleration ramp from the far end.
+		remain := (g.total - at).Seconds()
+		return g.lengthKm - 0.5*g.a*remain*remain/1000
+	}
+}
+
+// SpeedKmh is Trip.SpeedKmh evaluated against the precomputed constants.
+func (g *Geometry) SpeedKmh(at time.Duration) float64 {
+	if g.stationary || at <= 0 {
+		return 0
+	}
+	if at >= g.total {
+		return 0
+	}
+	switch {
+	case at < g.ramp:
+		return g.a * at.Seconds() * 3.6
+	case at < g.total-g.ramp:
+		return g.cruiseKmh
+	default:
+		return g.a * (g.total - at).Seconds() * 3.6
+	}
+}
+
 // PositionKm returns the train's track position (km from the origin
 // station) at the given time into the trip. Times past the arrival clamp to
 // the track end; a stationary trip is always at km 0.
 func (t Trip) PositionKm(at time.Duration) float64 {
-	if t.Profile.CruiseKmh == 0 || at <= 0 {
-		return 0
-	}
-	total := t.Duration()
-	if at >= total {
-		return t.Track.LengthKm
-	}
-	ramp := t.rampTime()
-	v := t.cruiseMS()
-	a := t.Profile.AccelMS2
-	sec := at.Seconds()
-	switch {
-	case at < ramp:
-		return 0.5 * a * sec * sec / 1000
-	case at < total-ramp:
-		cruiseSec := sec - ramp.Seconds()
-		return (t.rampDistM() + v*cruiseSec) / 1000
-	default:
-		// Decelerating: symmetric to the acceleration ramp from the far end.
-		remain := (total - at).Seconds()
-		return t.Track.LengthKm - 0.5*a*remain*remain/1000
-	}
+	g := t.Geometry()
+	return g.PositionKm(at)
 }
 
 // SpeedKmh returns the instantaneous speed at the given time into the trip.
 func (t Trip) SpeedKmh(at time.Duration) float64 {
-	if t.Profile.CruiseKmh == 0 || at <= 0 {
-		return 0
-	}
-	total := t.Duration()
-	if at >= total {
-		return 0
-	}
-	ramp := t.rampTime()
-	a := t.Profile.AccelMS2
-	switch {
-	case at < ramp:
-		return a * at.Seconds() * 3.6
-	case at < total-ramp:
-		return t.Profile.CruiseKmh
-	default:
-		return a * (total - at).Seconds() * 3.6
-	}
+	g := t.Geometry()
+	return g.SpeedKmh(at)
 }
 
 // CruiseWindow returns the time interval [start, end) during which the train

@@ -171,9 +171,9 @@ func New(simulator *sim.Simulator, path *netem.Path, cfg Config, rec trace.Recor
 		cwnd:     cfg.InitialCwnd,
 		ssthresh: cfg.InitialSSThresh,
 		rto:      newRTOEstimator(cfg.MinRTO, cfg.MaxRTO),
-		sent:     make(map[int64]sendInfo),
+		sent:     newSendRing(cfg.WindowLimit),
 	}
-	c.rcv = receiver{c: c, ooo: make(map[int64]bool), curB: cfg.DelayedAckB}
+	c.rcv = receiver{c: c, ooo: newSeqSet(cfg.WindowLimit), curB: cfg.DelayedAckB}
 	if cfg.AdaptiveDelAck {
 		c.rcv.curB = 1
 	}
@@ -311,7 +311,7 @@ func (c *Conn) InjectAck(ackNo int64) {
 
 // LastTransmitNo returns how many times segment seq has been transmitted so
 // far (0 if never or already acknowledged).
-func (c *Conn) LastTransmitNo(seq int64) int { return c.snd.sent[seq].txNo }
+func (c *Conn) LastTransmitNo(seq int64) int { return c.snd.sent.txNo(seq) }
 
 // sendInfo tracks the latest transmission of one segment.
 type sendInfo struct {
@@ -342,7 +342,9 @@ type sender struct {
 	rto      *rtoEstimator
 	rtoTimer *sim.Timer
 
-	sent map[int64]sendInfo
+	// sent is the retransmission state of the in-window segments: a dense
+	// ring indexed by sequence number (the window bounds live occupancy).
+	sent sendRing
 
 	// spuriousSignal marks that the ACK currently being processed proves an
 	// original transmission arrived (duplicate payload or an original-
@@ -419,7 +421,10 @@ func (s *sender) trySend() {
 	var burst netem.Burst
 	var b *netem.Burst
 	if link := s.c.fwdLink; link != nil {
-		burst = link.BeginBurst(s.c.cfg.MSS + s.c.cfg.HeaderBytes)
+		// The fill size is known up front, so the burst's queue admission
+		// and delay/loss draws are sampled in one vectorized pass; the
+		// per-segment loop below consumes exactly n outcomes.
+		burst = link.BeginBurstN(s.c.cfg.MSS+s.c.cfg.HeaderBytes, int(n))
 		b = &burst
 	}
 	for ; n > 0; n-- {
@@ -439,8 +444,8 @@ func (s *sender) transmit(seq int64) {
 
 // transmitVia is transmit with an optional open burst to submit through.
 func (s *sender) transmitVia(b *netem.Burst, seq int64) {
-	txNo := s.sent[seq].txNo + 1
-	s.sent[seq] = sendInfo{at: s.now(), txNo: txNo}
+	txNo := s.sent.txNo(seq) + 1
+	s.sent.set(seq, s.now(), txNo)
 	s.stats.DataSent++
 	if txNo > 1 {
 		s.stats.Retransmissions++
@@ -529,11 +534,11 @@ func (s *sender) onNewAck(ackNo int64) {
 	// RTT sampling per Karn's rule: only from segments acked on their first
 	// transmission. Use the newest acked segment, the one that most likely
 	// triggered this ACK.
-	if info, ok := s.sent[ackNo-1]; ok && info.txNo == 1 {
+	if info, ok := s.sent.get(ackNo - 1); ok && info.txNo == 1 {
 		s.rto.Sample(s.now() - info.at)
 	}
 	for seq := s.sndUna; seq < ackNo; seq++ {
-		delete(s.sent, seq)
+		s.sent.clear(seq)
 	}
 	s.sndUna = ackNo
 	if s.sndNxt < s.sndUna {
@@ -715,8 +720,10 @@ func halfInflight(inflight int64) float64 {
 type receiver struct {
 	c *Conn
 
-	rcvNxt  int64
-	ooo     map[int64]bool
+	rcvNxt int64
+	// ooo is the out-of-order segment set: a dense ring indexed by sequence
+	// number (every held segment lies within one window of rcvNxt).
+	ooo     seqSet
 	pending int // in-order segments not yet acknowledged (delayed ACK)
 	delack  *sim.Timer
 	ackHook func(ackNo int64)
@@ -747,7 +754,7 @@ func (r *receiver) onData(seq int64, txNo int) {
 	})
 	r.trigTxNo = txNo
 	switch {
-	case seq < r.rcvNxt || r.ooo[seq]:
+	case seq < r.rcvNxt || r.ooo.contains(seq):
 		// Duplicate payload (e.g. a spurious retransmission after ACK burst
 		// loss): acknowledge immediately so the sender resynchronizes.
 		r.dups++
@@ -756,8 +763,8 @@ func (r *receiver) onData(seq int64, txNo int) {
 	case seq == r.rcvNxt:
 		r.unique++
 		r.rcvNxt++
-		for r.ooo[r.rcvNxt] {
-			delete(r.ooo, r.rcvNxt)
+		for r.ooo.contains(r.rcvNxt) {
+			r.ooo.remove(r.rcvNxt)
 			r.rcvNxt++
 		}
 		r.adapt()
@@ -771,7 +778,7 @@ func (r *receiver) onData(seq int64, txNo int) {
 		}
 	default: // out of order: immediate duplicate ACK
 		r.unique++
-		r.ooo[seq] = true
+		r.ooo.add(seq)
 		r.disturbed()
 		r.sendAckNow(false)
 	}

@@ -1,0 +1,73 @@
+package tcp
+
+import "testing"
+
+func TestRingCapPowerOfTwoAboveWindow(t *testing.T) {
+	for _, tc := range []struct{ w, want int }{
+		{2, 4}, {3, 4}, {4, 8}, {28, 32}, {31, 32}, {32, 64}, {100, 128},
+	} {
+		if got := ringCap(tc.w); got != int64(tc.want) {
+			t.Errorf("ringCap(%d) = %d, want %d", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestSendRingLifecycle(t *testing.T) {
+	r := newSendRing(28)
+	if got := r.txNo(5); got != 0 {
+		t.Fatalf("txNo of unsent = %d, want 0", got)
+	}
+	r.set(5, 100, 1)
+	r.set(5, 200, 2) // retransmission overwrites in place
+	if info, ok := r.get(5); !ok || info.txNo != 2 || info.at != 200 {
+		t.Fatalf("get(5) = %+v, %v", info, ok)
+	}
+	r.clear(5)
+	if _, ok := r.get(5); ok {
+		t.Fatal("get after clear still live")
+	}
+	// The slot is free again: a far-future sequence mapping to it may claim it.
+	r.set(5+32, 300, 1)
+	if got := r.txNo(5); got != 0 {
+		t.Fatalf("foreign occupant leaked txNo %d for seq 5", got)
+	}
+}
+
+func TestSendRingCollisionPanics(t *testing.T) {
+	r := newSendRing(28)
+	r.set(1, 100, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("aliasing write did not panic")
+		}
+	}()
+	r.set(1+32, 200, 1) // same slot, different live sequence
+}
+
+func TestSeqSetLifecycle(t *testing.T) {
+	s := newSeqSet(28)
+	if s.contains(7) {
+		t.Fatal("empty set contains 7")
+	}
+	s.add(7)
+	s.add(7) // idempotent
+	if !s.contains(7) {
+		t.Fatal("set lost 7")
+	}
+	s.remove(7)
+	if s.contains(7) {
+		t.Fatal("remove left 7")
+	}
+	s.remove(7) // idempotent on empty
+}
+
+func TestSeqSetCollisionPanics(t *testing.T) {
+	s := newSeqSet(28)
+	s.add(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("aliasing add did not panic")
+		}
+	}()
+	s.add(3 + 32)
+}

@@ -151,6 +151,16 @@ func (e *TextExposer) Campaign(c *Campaign) {
 	e.Int("net_ack_delivered_total", n.Ack.Delivered)
 	e.Int("net_ack_channel_drops_total", n.Ack.ChannelDrops)
 	e.Int("net_ack_queue_drops_total", n.Ack.QueueDrops)
+	e.Int("net_data_vector_bursts_total", n.Data.VectorBursts)
+	e.Int("net_data_vector_packets_total", n.Data.VectorPackets)
+	e.Int("net_ack_vector_bursts_total", n.Ack.VectorBursts)
+	e.Int("net_ack_vector_packets_total", n.Ack.VectorPackets)
+	ch := c.ChannelCounters()
+	e.Int("channel_compiles_total", ch.Compiles)
+	e.Int("channel_segments_total", ch.Segments)
+	e.Int("channel_cursor_queries_total", ch.CursorQueries)
+	e.Int("channel_cursor_advances_total", ch.CursorAdvances)
+	e.Int("channel_cursor_fallbacks_total", ch.CursorFallbacks)
 	e.Int("faults_schedules_total", f.Schedules)
 	e.Int("faults_episodes_total", f.Episodes)
 	e.Int("faults_data_drops_total", f.DataDrops)

@@ -318,6 +318,11 @@ type LinkCounters struct {
 	ChannelDrops int64 `json:"channel_drops"`
 	QueueDrops   int64 `json:"queue_drops"`
 	PeakBacklog  int64 `json:"peak_backlog"` // peak queued packets (max-merged)
+	// VectorBursts/VectorPackets count window fills whose admission and
+	// delay/loss sampling ran through the vectorized burst path
+	// (netem.Link.BeginBurstN) and the packets primed that way.
+	VectorBursts  int64 `json:"vector_bursts"`
+	VectorPackets int64 `json:"vector_packets"`
 }
 
 // Merge folds other into c.
@@ -329,6 +334,8 @@ func (c *LinkCounters) Merge(other *LinkCounters) {
 	if other.PeakBacklog > c.PeakBacklog {
 		c.PeakBacklog = other.PeakBacklog
 	}
+	c.VectorBursts += other.VectorBursts
+	c.VectorPackets += other.VectorPackets
 }
 
 // Net groups link telemetry by direction: Data is the downlink (data
@@ -342,6 +349,30 @@ type Net struct {
 func (n *Net) Merge(other *Net) {
 	n.Data.Merge(&other.Data)
 	n.Ack.Merge(&other.Ack)
+}
+
+// Channel counts the cellular channel's compiled-timeline activity: how
+// many times the timeline was compiled (once at construction plus once per
+// AddOutages), how many piecewise-constant segments the compilations
+// produced, and how the per-packet cursor lookups resolved — a cache hit in
+// the current segment (Queries minus Advances minus Fallbacks), a short
+// monotonic walk forward (Advances), or a binary-search fallback for
+// out-of-order queries (Fallbacks). Deterministic for a given seed.
+type Channel struct {
+	Compiles        int64 `json:"compiles"`
+	Segments        int64 `json:"segments"`
+	CursorQueries   int64 `json:"cursor_queries"`
+	CursorAdvances  int64 `json:"cursor_advances"`
+	CursorFallbacks int64 `json:"cursor_fallbacks"`
+}
+
+// Merge folds other into c.
+func (c *Channel) Merge(other *Channel) {
+	c.Compiles += other.Compiles
+	c.Segments += other.Segments
+	c.CursorQueries += other.CursorQueries
+	c.CursorAdvances += other.CursorAdvances
+	c.CursorFallbacks += other.CursorFallbacks
 }
 
 // Faults counts fault-schedule activity: how many flows carried a
@@ -400,10 +431,11 @@ func (c *Cache) Merge(other *Cache) {
 // to a dataset.Scenario to collect it; every section except WallNS is
 // deterministic for a given seed.
 type Flow struct {
-	Kernel Kernel `json:"kernel"`
-	TCP    TCP    `json:"tcp"`
-	Net    Net    `json:"net"`
-	Faults Faults `json:"faults"`
+	Kernel  Kernel  `json:"kernel"`
+	TCP     TCP     `json:"tcp"`
+	Net     Net     `json:"net"`
+	Channel Channel `json:"channel"`
+	Faults  Faults  `json:"faults"`
 	// WallNS is host wall-clock time spent simulating the flow. It is a
 	// resource metric and NOT reproducible across runs or -jobs settings.
 	WallNS int64 `json:"wall_ns"`
@@ -455,11 +487,12 @@ func (s *FlowState) Restore() *Flow {
 type Campaign struct {
 	mu sync.Mutex
 
-	FlowCount int64  `json:"flows"`
-	Kernel    Kernel `json:"kernel"`
-	TCP       TCP    `json:"tcp"`
-	Net       Net    `json:"net"`
-	Faults    Faults `json:"faults"`
+	FlowCount int64   `json:"flows"`
+	Kernel    Kernel  `json:"kernel"`
+	TCP       TCP     `json:"tcp"`
+	Net       Net     `json:"net"`
+	Channel   Channel `json:"channel"`
+	Faults    Faults  `json:"faults"`
 	// WallNS sums per-flow host wall time (resource metric, not
 	// reproducible; flows running in parallel each contribute fully).
 	WallNS int64 `json:"wall_ns"`
@@ -476,6 +509,7 @@ func (c *Campaign) AddFlow(f *Flow) {
 	c.Kernel.Merge(&f.Kernel)
 	c.TCP.Merge(&f.TCP)
 	c.Net.Merge(&f.Net)
+	c.Channel.Merge(&f.Channel)
 	c.Faults.Merge(&f.Faults)
 	c.WallNS += f.WallNS
 }
@@ -486,6 +520,14 @@ func (c *Campaign) Counters() (int64, Kernel, TCP, Net, Faults) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.FlowCount, c.Kernel, c.TCP, c.Net, c.Faults
+}
+
+// ChannelCounters returns a copy of the campaign's channel-timeline section
+// (deterministic, like the Counters sections).
+func (c *Campaign) ChannelCounters() Channel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Channel
 }
 
 // Merge folds another campaign's totals into c, so a long-running service
@@ -504,6 +546,7 @@ func (c *Campaign) Merge(other *Campaign) {
 	c.Kernel.Merge(&snap.Kernel)
 	c.TCP.Merge(&snap.TCP)
 	c.Net.Merge(&snap.Net)
+	c.Channel.Merge(&snap.Channel)
 	c.Faults.Merge(&snap.Faults)
 	c.WallNS += snap.WallNS
 }
@@ -515,6 +558,7 @@ type campaignSnapshot struct {
 	Kernel    Kernel
 	TCP       TCP
 	Net       Net
+	Channel   Channel
 	Faults    Faults
 	WallNS    int64
 }
@@ -530,6 +574,7 @@ func (c *Campaign) snapshot() campaignSnapshot {
 		Kernel:    c.Kernel,
 		TCP:       c.TCP,
 		Net:       c.Net,
+		Channel:   c.Channel,
 		Faults:    c.Faults,
 		WallNS:    c.WallNS,
 	}

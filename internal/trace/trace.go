@@ -91,6 +91,19 @@ func (f *FlowTrace) Record(ev Event) {
 	f.Events = append(f.Events, ev)
 }
 
+// Grow reserves capacity for at least n further events. Materializing
+// callers that can estimate the event count from the flow length use it to
+// avoid repeated append doublings over multi-megabyte event lists; capacity
+// never affects the recorded contents.
+func (f *FlowTrace) Grow(n int) {
+	if n <= cap(f.Events)-len(f.Events) {
+		return
+	}
+	grown := make([]Event, len(f.Events), len(f.Events)+n)
+	copy(grown, f.Events)
+	f.Events = grown
+}
+
 // Recorder receives packet events as the simulation produces them.
 type Recorder interface {
 	Record(Event)
