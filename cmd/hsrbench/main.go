@@ -5,14 +5,16 @@
 // Usage:
 //
 //	hsrbench [-quick] [-seed N] [-duration 120s] [-flows N] [-jobs N]
-//	         [-timeout D] [-run name,...] [-progress] [-metrics out.json]
-//	         [-cache DIR] [-cache-max-bytes N] [-bench-json out.json]
-//	         [-trace-out trace.json] [-cpuprofile f] [-memprofile f]
-//	         [-version]
+//	         [-timeout D] [-run name,...] [-list] [-progress]
+//	         [-metrics out.json] [-cache DIR] [-cache-max-bytes N]
+//	         [-bench-json out.json] [-trace-out trace.json]
+//	         [-cpuprofile f] [-memprofile f] [-version]
 //
 // Experiment names: table1, fig1, fig2, fig3, fig4, fig6, fig10, fig12,
 // window, scalars, delack, ablation, backupq, eifel, sensitivity, variants,
-// speed, validation, faults, all (default).
+// speed, validation, faults, all (default), plus the opt-in shared-
+// bottleneck experiments fairness and ccmix ("all" does not include them;
+// request them by name). -list prints the catalog with descriptions.
 //
 // Experiments run on a dependency-aware parallel scheduler: -jobs N runs up
 // to N independent experiments concurrently (default 1; 0 means GOMAXPROCS).
@@ -38,6 +40,7 @@ import (
 	"runtime/pprof"
 	"strings"
 	"sync"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/buildinfo"
@@ -63,7 +66,8 @@ func run(args []string) error {
 	flows := fs.Int("flows", 0, "override flows per Table I row (0 = paper counts)")
 	jobs := fs.Int("jobs", 1, "concurrent experiments (0 = GOMAXPROCS); output order is deterministic")
 	timeout := fs.Duration("timeout", 0, "cancel the campaign after this much wall time (0 = no deadline)")
-	runList := fs.String("run", "all", "comma-separated experiments to run")
+	runList := fs.String("run", "all", "comma-separated experiments to run (\"all\" = the paper suite; opt-in experiments like fairness/ccmix must be named)")
+	list := fs.Bool("list", false, "list every catalog experiment with its description and exit")
 	csvDir := fs.String("csv", "", "also write figure series as CSV files into this directory")
 	reportPath := fs.String("report", "", "write a markdown reproduction report to this file (runs the full suite)")
 	progress := fs.Bool("progress", false, "print flow and experiment completion progress to stderr")
@@ -82,6 +86,17 @@ func run(args []string) error {
 	if *version {
 		fmt.Println(buildinfo.Line("hsrbench"))
 		return nil
+	}
+	if *list {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		for _, e := range experiments.CatalogList() {
+			note := ""
+			if e.OptIn {
+				note = " (opt-in: not part of -run all)"
+			}
+			fmt.Fprintf(w, "%s\t%s%s\n", e.Name, e.Description, note)
+		}
+		return w.Flush()
 	}
 	if *benchJSON != "" {
 		snap, err := experiments.RunBenchSnapshot(experiments.BenchOptions{Seed: *seed})
@@ -195,15 +210,21 @@ func run(args []string) error {
 	}
 
 	// Resolve the -run list against the canonical catalog. Unknown names
-	// simply select nothing (documented behaviour); "all" selects the whole
-	// catalog; the hidden "panic" self-test is handled below.
+	// simply select nothing (documented behaviour); "all" selects the paper
+	// suite (opt-in experiments still need to be named); the hidden "panic"
+	// self-test is handled below.
 	want := map[string]bool{}
 	for _, name := range strings.Split(*runList, ",") {
 		want[strings.TrimSpace(name)] = true
 	}
+	if want["all"] {
+		for _, name := range experiments.DefaultCatalogNames() {
+			want[name] = true
+		}
+	}
 	var names []string
 	for _, name := range experiments.CatalogNames() {
-		if want["all"] || want[name] {
+		if want[name] {
 			names = append(names, name)
 		}
 	}
@@ -325,6 +346,7 @@ func run(args []string) error {
 			cc = &c
 		}
 		rep := experiments.MetricsReport("hsrbench", cfg.Seed, camp, cc, results, wallStart)
+		rep.CC = cat.CCReport()
 		f, err := os.Create(*metricsPath)
 		if err != nil {
 			return fmt.Errorf("metrics: %w", err)

@@ -25,8 +25,9 @@ import (
 
 // cacheSchema names the on-disk entry layout. It participates in the
 // content-addressed key, so bumping it orphans (never corrupts) every entry
-// written under the previous layout.
-const cacheSchema = 1
+// written under the previous layout. Schema 2 added the congestion-control
+// variant name to the key.
+const cacheSchema = 2
 
 // entryMagic is the first token of every cache entry file.
 const entryMagic = "hsrflowcache"
@@ -126,8 +127,13 @@ type cacheKey struct {
 	FlowDuration time.Duration     `json:"flow_duration"`
 	Seed         int64             `json:"seed"`
 	TCP          tcp.Config        `json:"tcp"`
-	Scenario     string            `json:"scenario"`
-	Faults       *faults.Schedule  `json:"faults,omitempty"`
+	// CC is the congestion-control variant name. The numeric Variant inside
+	// TCP already distinguishes variants, but the name participates on its
+	// own so a renumbering of the enum can never silently alias two
+	// variants' entries.
+	CC       string           `json:"cc"`
+	Scenario string           `json:"scenario"`
+	Faults   *faults.Schedule `json:"faults,omitempty"`
 }
 
 // key computes the scenario's content address under this cache's version.
@@ -142,6 +148,7 @@ func (c *FlowCache) key(sc Scenario) (string, error) {
 		FlowDuration: sc.FlowDuration,
 		Seed:         sc.Seed,
 		TCP:          sc.TCP,
+		CC:           sc.TCP.Variant.String(),
 		Scenario:     sc.Scenario,
 		Faults:       sc.Faults,
 	}

@@ -3,10 +3,13 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/export"
+	"repro/internal/telemetry"
 )
 
 // Task names of the shared-state producers every consumer depends on.
@@ -23,28 +26,36 @@ const (
 // consuming the exemplar flow.
 var catalogSections = []struct {
 	name     string
+	desc     string
 	needCtx  bool
 	needFig1 bool
+	// optIn marks experiments "all" does not expand to: they are scheduled
+	// only when named explicitly. The shared-bottleneck contention
+	// experiments are opt-in so the default suite's output stays exactly
+	// the paper reproduction.
+	optIn bool
 }{
-	{name: "table1", needCtx: true},
-	{name: "fig1", needFig1: true},
-	{name: "fig2", needFig1: true},
-	{name: "window", needFig1: true},
-	{name: "fig3", needCtx: true},
-	{name: "fig4", needCtx: true},
-	{name: "fig6", needCtx: true},
-	{name: "fig10", needCtx: true},
-	{name: "fig12"},
-	{name: "scalars", needCtx: true},
-	{name: "delack"},
-	{name: "ablation", needCtx: true},
-	{name: "backupq"},
-	{name: "eifel"},
-	{name: "sensitivity"},
-	{name: "variants"},
-	{name: "speed"},
-	{name: "validation"},
-	{name: "faults"},
+	{name: "table1", desc: "Table I: per-operator HSR vs stationary campaign summary", needCtx: true},
+	{name: "fig1", desc: "Figure 1: exemplar HSR flow delivery timeline", needFig1: true},
+	{name: "fig2", desc: "Figure 2: exemplar flow RTT evolution", needFig1: true},
+	{name: "window", desc: "Window evolution of the exemplar flow (live Figs 7-9)", needFig1: true},
+	{name: "fig3", desc: "Figure 3: packet-loss-rate comparison across campaigns", needCtx: true},
+	{name: "fig4", desc: "Figure 4: ACK-loss versus timeout correlation", needCtx: true},
+	{name: "fig6", desc: "Figure 6: ACK loss rates by operator and mobility", needCtx: true},
+	{name: "fig10", desc: "Figure 10: throughput-model fits against campaign data", needCtx: true},
+	{name: "fig12", desc: "Figure 12: MPTCP subflow comparison"},
+	{name: "scalars", desc: "Headline scalar claims from the paper's measurement study", needCtx: true},
+	{name: "delack", desc: "Delayed-ACK parameter sweep (Section V-A)"},
+	{name: "ablation", desc: "Throughput-model term ablation", needCtx: true},
+	{name: "backupq", desc: "MPTCP backup-mode handoff mitigation (Section V-B)"},
+	{name: "eifel", desc: "Eifel-style spurious-RTO detection and response"},
+	{name: "sensitivity", desc: "Channel ablation: handoff-duration sensitivity sweep"},
+	{name: "variants", desc: "Reno vs NewReno loss-recovery comparison"},
+	{name: "speed", desc: "Train-speed sweep from 0 to 300 km/h"},
+	{name: "validation", desc: "Pipeline validation on a static Bernoulli channel"},
+	{name: "faults", desc: "Fault-injection severity sweep (storms, blackouts, bursts)"},
+	{name: "fairness", desc: "Intra-variant fairness: same-CC flows sharing one bottleneck cell", optIn: true},
+	{name: "ccmix", desc: "Mixed congestion control: one flow per variant on a shared cell", optIn: true},
 }
 
 // CatalogNames returns every experiment name in canonical render order.
@@ -54,6 +65,38 @@ func CatalogNames() []string {
 		names[i] = s.name
 	}
 	return names
+}
+
+// DefaultCatalogNames returns the experiments "all" expands to — the paper
+// reproduction suite, excluding the opt-in contention experiments — in
+// canonical render order.
+func DefaultCatalogNames() []string {
+	names := make([]string, 0, len(catalogSections))
+	for _, s := range catalogSections {
+		if !s.optIn {
+			names = append(names, s.name)
+		}
+	}
+	return names
+}
+
+// CatalogEntry is one experiment's listing: its schedulable name and a
+// one-line description.
+type CatalogEntry struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// OptIn marks experiments excluded from the "all" expansion.
+	OptIn bool `json:"opt_in,omitempty"`
+}
+
+// CatalogList returns every experiment with its description, in canonical
+// render order (the -list flag and the /v1/experiments endpoint).
+func CatalogList() []CatalogEntry {
+	out := make([]CatalogEntry, len(catalogSections))
+	for i, s := range catalogSections {
+		out[i] = CatalogEntry{Name: s.name, Description: s.desc, OptIn: s.optIn}
+	}
+	return out
 }
 
 // IsCatalogName reports whether name is a known catalog experiment.
@@ -93,12 +136,43 @@ type Catalog struct {
 	opt  CatalogOptions
 	ectx *Context
 	fig1 *Figure1Result
+
+	ccMu sync.Mutex
+	cc   []telemetry.CCGroup
 }
 
 // Context returns the shared campaigns Context. It is only non-nil after
 // the catalog's campaigns task has run (schedule a dependent task on
 // CampaignsTaskName to consume it safely).
 func (c *Catalog) Context() *Context { return c.ectx }
+
+// addCCGroups records shared-bottleneck group results from an experiment
+// task (tasks may run concurrently under RunDAG).
+func (c *Catalog) addCCGroups(groups ...telemetry.CCGroup) {
+	c.ccMu.Lock()
+	c.cc = append(c.cc, groups...)
+	c.ccMu.Unlock()
+}
+
+// CCReport returns the congestion-control section collected from the
+// fairness/ccmix tasks, sorted by (experiment, label) so the report is
+// deterministic at any parallelism; nil when neither experiment ran.
+func (c *Catalog) CCReport() *telemetry.CCReport {
+	c.ccMu.Lock()
+	defer c.ccMu.Unlock()
+	if len(c.cc) == 0 {
+		return nil
+	}
+	groups := make([]telemetry.CCGroup, len(c.cc))
+	copy(groups, c.cc)
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].Experiment != groups[j].Experiment {
+			return groups[i].Experiment < groups[j].Experiment
+		}
+		return groups[i].Label < groups[j].Label
+	})
+	return &telemetry.CCReport{Groups: groups}
+}
 
 // sectionHeader renders an hsrbench output section heading.
 func sectionHeader(s string) string { return strings.Repeat("=", 90) + "\n" + s + "\n\n" }
@@ -359,6 +433,30 @@ func NewCatalog(ctx context.Context, cfg Config, names []string, opt CatalogOpti
 				return "", err
 			}
 			return sectionHeader("FAULT-INJECTION SEVERITY SWEEP") + f.Render() + "\n", nil
+		})
+	}
+	if want["fairness"] {
+		add("fairness", nil, func() (string, error) {
+			r, err := Fairness(cfg)
+			if err != nil {
+				return "", err
+			}
+			for i := range r.Groups {
+				cat.addCCGroups(r.Groups[i].telemetryGroup("fairness"))
+			}
+			return sectionHeader("SHARED-BOTTLENECK FAIRNESS") + r.Render() + "\n", nil
+		})
+	}
+	if want["ccmix"] {
+		add("ccmix", nil, func() (string, error) {
+			r, err := CCMix(cfg)
+			if err != nil {
+				return "", err
+			}
+			for i := range r.Groups {
+				cat.addCCGroups(r.Groups[i].telemetryGroup("ccmix"))
+			}
+			return sectionHeader("MIXED CONGESTION CONTROL ON ONE CELL") + r.Render() + "\n", nil
 		})
 	}
 	return cat, nil

@@ -269,8 +269,9 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct {
-		Experiments []string `json:"experiments"`
-	}{experiments.CatalogNames()})
+		Experiments []string                   `json:"experiments"`
+		Catalog     []experiments.CatalogEntry `json:"catalog"`
+	}{experiments.CatalogNames(), experiments.CatalogList()})
 }
 
 // httpError writes a JSON error body with the given status.
@@ -656,6 +657,7 @@ func (s *Server) runScheduledJob(ctx context.Context, spec *JobSpec, st *stream,
 		cc = &c
 	}
 	rep := experiments.MetricsReport("hsrserved", cfg.Seed, camp, cc, results, start)
+	rep.CC = cat.CCReport()
 	if s.cfg.FleetCounters != nil {
 		f := s.cfg.FleetCounters()
 		rep.Fleet = &f

@@ -1,0 +1,225 @@
+package tcp
+
+import "time"
+
+// BBR-style model parameters. The variant is "in the spirit of" BBR v1:
+// it keeps the bottleneck-bandwidth / propagation-RTT model and the
+// startup/drain/probe state machine, but applies the result purely as a
+// congestion-window cap (no pacing — the simulator's links already
+// serialize transmission), which is the form the window-limited paper
+// scenarios can express.
+const (
+	// bbrStartupGain is 2/ln2: fills the pipe in the same doublings as
+	// slow start while the bandwidth estimate still grows.
+	bbrStartupGain = 2.885
+	// bbrDrainGain empties the queue startup built.
+	bbrDrainGain = 0.75
+	// bbrBwRounds is the bandwidth max-filter window in packet-timed
+	// round trips; bbrRTTWindow the propagation-RTT min-filter window.
+	bbrBwRounds  = 10
+	bbrRTTWindow = 10 * time.Second
+	// bbrProbeRTTDuration holds the window at bbrMinCwnd long enough for
+	// the queue to drain and expose the propagation RTT.
+	bbrProbeRTTDuration = 200 * time.Millisecond
+	bbrMinCwnd          = 4.0
+)
+
+// bbrProbeGains is the PROBE_BW gain cycle: probe above the estimated BDP
+// for one round, drain for one, then cruise. The cycle always starts at
+// the probing phase — deterministically, where the reference
+// implementation randomizes — so equal-seed runs stay byte-identical.
+var bbrProbeGains = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+const (
+	bbrStartup = iota
+	bbrDrain
+	bbrProbeBW
+	bbrProbeRTT
+)
+
+// bbrControl estimates the path's delivery rate and propagation RTT from
+// the ACK stream and sets cwnd = gain * estimated BDP. Loss barely moves
+// it: recovery episodes re-evaluate the model rather than halving, and
+// only an RTO collapses the window while the model rebuilds.
+type bbrControl struct {
+	cfg Config
+
+	state int
+
+	// Delivery-rate sampling: segments acknowledged per unit virtual time
+	// between consecutive new ACKs, max-filtered over bbrBwRounds
+	// packet-timed rounds.
+	lastAckAt  time.Duration
+	bwSamples  [bbrBwRounds]float64
+	roundBw    float64
+	roundCount int64
+	roundEnd   int64 // sndNxt when the current round started
+
+	// Propagation estimate: min-filtered RTT with a bbrRTTWindow expiry.
+	minRTT      time.Duration
+	minRTTAt    time.Duration
+	probeRTTEnd time.Duration
+	priorCwnd   float64
+
+	// Startup full-pipe detection: bandwidth must keep growing >= 25% per
+	// round or the pipe is declared full after three flat rounds.
+	fullBw      float64
+	fullBwCount int
+
+	cycleIdx int
+	cycleAt  time.Duration
+}
+
+func newBBRControl(cfg Config) *bbrControl {
+	return &bbrControl{cfg: cfg}
+}
+
+func (b *bbrControl) Name() string { return "bbr" }
+
+// btlBw returns the max-filtered bottleneck bandwidth estimate in
+// packets per second.
+func (b *bbrControl) btlBw() float64 {
+	best := b.roundBw
+	for _, s := range b.bwSamples {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// bdp returns the estimated bandwidth-delay product in packets, or 0
+// while either half of the model is still empty.
+func (b *bbrControl) bdp() float64 {
+	if b.minRTT <= 0 {
+		return 0
+	}
+	return b.btlBw() * b.minRTT.Seconds()
+}
+
+func (b *bbrControl) observe(a Ack) (newRound bool) {
+	// Packet-timed rounds: a round ends when the ACK stream passes the
+	// sndNxt recorded at its start.
+	if a.AckNo > b.roundEnd {
+		b.bwSamples[b.roundCount%bbrBwRounds] = b.roundBw
+		b.roundBw = 0
+		b.roundCount++
+		b.roundEnd = a.NextSeq
+		newRound = true
+	}
+	if b.lastAckAt > 0 && a.Now > b.lastAckAt && a.Acked > 0 {
+		rate := float64(a.Acked) / (a.Now - b.lastAckAt).Seconds()
+		if rate > b.roundBw {
+			b.roundBw = rate
+		}
+	}
+	b.lastAckAt = a.Now
+	if a.RTT > 0 && (b.minRTT == 0 || a.RTT <= b.minRTT || a.Now-b.minRTTAt > bbrRTTWindow) {
+		b.minRTT = a.RTT
+		b.minRTTAt = a.Now
+	}
+	return newRound
+}
+
+func (b *bbrControl) OnNewAck(w *Window, a Ack) {
+	newRound := b.observe(a)
+	bdp := b.bdp()
+
+	switch b.state {
+	case bbrStartup:
+		// Exponential fill: grow by the acknowledged count (slow-start
+		// shape) until the bandwidth estimate stops improving.
+		w.Cwnd += float64(a.Acked)
+		if newRound {
+			if bw := b.btlBw(); bw >= b.fullBw*1.25 {
+				b.fullBw = bw
+				b.fullBwCount = 0
+			} else {
+				b.fullBwCount++
+				if b.fullBwCount >= 3 && bdp > 0 {
+					b.state = bbrDrain
+				}
+			}
+		}
+	case bbrDrain:
+		w.Cwnd = clampMin(bbrDrainGain*bbrStartupGain*bdp, bbrMinCwnd)
+		if float64(a.Inflight) <= clampMin(bdp, bbrMinCwnd) {
+			b.state = bbrProbeBW
+			b.cycleIdx = 0
+			b.cycleAt = a.Now
+		}
+	case bbrProbeBW:
+		if b.minRTT > 0 && a.Now-b.cycleAt >= b.minRTT {
+			b.cycleIdx = (b.cycleIdx + 1) % len(bbrProbeGains)
+			b.cycleAt = a.Now
+		}
+		w.Cwnd = clampMin(bbrProbeGains[b.cycleIdx]*bdp, bbrMinCwnd)
+	case bbrProbeRTT:
+		w.Cwnd = bbrMinCwnd
+		if a.Now >= b.probeRTTEnd {
+			b.minRTTAt = a.Now
+			b.state = bbrProbeBW
+			b.cycleIdx = 0
+			b.cycleAt = a.Now
+			w.Cwnd = clampMin(max(b.priorCwnd, bdp), bbrMinCwnd)
+		}
+	}
+
+	// Periodically surrender the window so the queue drains and the
+	// propagation RTT becomes observable again.
+	if b.state != bbrProbeRTT && b.state != bbrStartup &&
+		b.minRTT > 0 && a.Now-b.minRTTAt > bbrRTTWindow {
+		b.state = bbrProbeRTT
+		b.priorCwnd = w.Cwnd
+		b.probeRTTEnd = a.Now + bbrProbeRTTDuration
+		w.Cwnd = bbrMinCwnd
+	}
+
+	if w.Cwnd < 1 {
+		w.Cwnd = 1
+	}
+	if wm := float64(b.cfg.WindowLimit); w.Cwnd > wm {
+		w.Cwnd = wm
+	}
+}
+
+func (b *bbrControl) OnPartialAck(w *Window, a Ack) bool {
+	// Stay in recovery so the hole is retransmitted immediately; the
+	// window keeps tracking the model rather than deflating.
+	return true
+}
+
+func (b *bbrControl) OnExitRecovery(w *Window, a Ack) {
+	if bdp := b.bdp(); bdp > 0 {
+		w.Cwnd = clampMin(bdp, bbrMinCwnd)
+		if wm := float64(b.cfg.WindowLimit); w.Cwnd > wm {
+			w.Cwnd = wm
+		}
+	}
+}
+
+func (b *bbrControl) OnDupAck(w *Window, a Ack) {}
+
+func (b *bbrControl) OnEnterRecovery(w *Window, a Ack) {
+	// Bookkeeping only: the ssthresh convention keeps the invariant suite
+	// uniform, but the window stays model-driven.
+	w.SSThresh = halfInflight(a.Inflight)
+}
+
+func (b *bbrControl) OnRTO(w *Window, a Ack) {
+	// Conservation on timeout, like the reference implementation: one
+	// packet in flight until ACKs restart the model.
+	w.SSThresh = halfInflight(a.Inflight)
+	w.Cwnd = 1
+}
+
+func (b *bbrControl) OnSpuriousTimeout(w *Window, a Ack) {}
+
+func (b *bbrControl) SendWindow(w *Window) float64 { return w.Cwnd }
+
+func clampMin(v, lo float64) float64 {
+	if v < lo {
+		return lo
+	}
+	return v
+}

@@ -1,0 +1,168 @@
+package tcp
+
+import "time"
+
+// Window is the congestion state a CongestionControl owns: the congestion
+// window and slow-start threshold, both in packets. The sender's
+// loss-recovery machinery (dup-ACK counting, fast-recovery bookkeeping,
+// go-back-N, the Eifel response) stays in the sender; every change to the
+// two window variables goes through a controller hook, so a variant is
+// exactly its window arithmetic.
+type Window struct {
+	Cwnd     float64
+	SSThresh float64
+}
+
+// Ack carries the per-event facts a controller may consult. Fields the
+// triggering event cannot supply are zero (RTT on ACKs that produced no
+// Karn-valid sample, Acked outside new-ACK hooks).
+type Ack struct {
+	// Now is the current virtual time.
+	Now time.Duration
+	// RTT is the round-trip sample taken from this ACK under Karn's rule,
+	// or 0 when the ACK produced none.
+	RTT time.Duration
+	// SRTT is the smoothed RTT estimate (0 before the first sample).
+	SRTT time.Duration
+	// MinRTT is the lowest Karn-valid sample seen on this connection so
+	// far (0 before the first sample) — the delay-based variants' estimate
+	// of the propagation delay.
+	MinRTT time.Duration
+	// Acked is how many segments this ACK newly acknowledged (new-ACK and
+	// partial-ACK hooks only).
+	Acked int64
+	// Inflight is the current number of window-occupying segments.
+	Inflight int64
+	// AckNo is the cumulative acknowledgement number.
+	AckNo int64
+	// NextSeq is the sender's next sequence number to transmit.
+	NextSeq int64
+}
+
+// CongestionControl is the pluggable window-arithmetic half of a sender.
+// One controller instance serves one connection; implementations may keep
+// state but must be deterministic functions of the hook sequence (no
+// wall-clock or randomness), since campaign results are byte-compared
+// across process and worker topologies.
+//
+// Hook contract (see docs/CONGESTION.md for the full narrative):
+//
+//   - OnNewAck: a cumulative ACK advanced the window outside any recovery;
+//     grow the window (slow start below SSThresh, the variant's avoidance
+//     law above it).
+//   - OnPartialAck: a new ACK arrived during fast recovery without
+//     covering the recovery point. Return true to stay in fast recovery
+//     (the sender then retransmits the next hole); false hands the ACK to
+//     OnExitRecovery. Classic Reno returns false.
+//   - OnExitRecovery: fast recovery completed; deflate the window.
+//   - OnDupAck: a duplicate ACK arrived while already in fast recovery
+//     (window inflation — each dup signals a departure).
+//   - OnEnterRecovery: the third duplicate ACK arrived; the fast
+//     retransmission has already been sent. Set the new threshold and the
+//     in-recovery window.
+//   - OnRTO: the retransmission timer fired (before the go-back-N rewind,
+//     so Ack.Inflight still reflects the stalled window).
+//   - OnSpuriousTimeout: the sender's Eifel response just restored the
+//     pre-timeout Window; reset any epoch state derived from the bogus
+//     collapse.
+//   - SendWindow: the window the transmit path should respect right now,
+//     in packets; the sender clamps it to the receiver-advertised limit.
+type CongestionControl interface {
+	Name() string
+	OnNewAck(w *Window, a Ack)
+	OnPartialAck(w *Window, a Ack) bool
+	OnExitRecovery(w *Window, a Ack)
+	OnDupAck(w *Window, a Ack)
+	OnEnterRecovery(w *Window, a Ack)
+	OnRTO(w *Window, a Ack)
+	OnSpuriousTimeout(w *Window, a Ack)
+	SendWindow(w *Window) float64
+}
+
+// newController builds the controller for cfg.Variant. cfg has been
+// validated, so unknown variants cannot reach here.
+func newController(cfg Config) CongestionControl {
+	switch cfg.Variant {
+	case VariantNewReno:
+		return &renoControl{cfg: cfg, newReno: true}
+	case VariantCUBIC:
+		return newCubicControl(cfg)
+	case VariantCompound:
+		return newCompoundControl(cfg)
+	case VariantBBR:
+		return newBBRControl(cfg)
+	default:
+		return &renoControl{cfg: cfg}
+	}
+}
+
+// renoControl implements classic Reno and, with newReno set, the RFC 6582
+// partial-ACK variant. Its arithmetic is the paper's model: +1 per ACK in
+// slow start, +1/cwnd in congestion avoidance, halving on loss.
+type renoControl struct {
+	cfg     Config
+	newReno bool
+}
+
+func (r *renoControl) Name() string {
+	if r.newReno {
+		return "newreno"
+	}
+	return "reno"
+}
+
+func (r *renoControl) OnNewAck(w *Window, a Ack) {
+	// Per-ACK window growth (RFC 5681 without byte counting): +1 in slow
+	// start, +1/cwnd in congestion avoidance. With delayed ACKs every b
+	// segments this yields the 1-packet-per-b-rounds CA growth the paper's
+	// model assumes.
+	if w.Cwnd < w.SSThresh {
+		w.Cwnd++
+		if w.Cwnd > w.SSThresh {
+			w.Cwnd = w.SSThresh
+		}
+	} else {
+		w.Cwnd += 1 / w.Cwnd
+	}
+	if wm := float64(r.cfg.WindowLimit); w.Cwnd > wm {
+		w.Cwnd = wm
+	}
+}
+
+func (r *renoControl) OnPartialAck(w *Window, a Ack) bool {
+	if !r.newReno {
+		return false
+	}
+	// NewReno partial ACK (RFC 6582): deflate by the amount acknowledged
+	// (keeping one segment's worth for the hole retransmission) and stay
+	// in fast recovery.
+	w.Cwnd -= float64(a.Acked) - 1
+	if w.Cwnd < 1 {
+		w.Cwnd = 1
+	}
+	return true
+}
+
+func (r *renoControl) OnExitRecovery(w *Window, a Ack) {
+	w.Cwnd = w.SSThresh
+}
+
+func (r *renoControl) OnDupAck(w *Window, a Ack) {
+	// Window inflation: each further dup ACK signals one segment left the
+	// network.
+	w.Cwnd++
+}
+
+func (r *renoControl) OnEnterRecovery(w *Window, a Ack) {
+	w.SSThresh = halfInflight(a.Inflight)
+	w.Cwnd = w.SSThresh + 3
+}
+
+func (r *renoControl) OnRTO(w *Window, a Ack) {
+	w.SSThresh = halfInflight(a.Inflight)
+	w.Cwnd = 1
+}
+
+func (r *renoControl) OnSpuriousTimeout(w *Window, a Ack) {}
+
+func (r *renoControl) SendWindow(w *Window) float64 { return w.Cwnd }

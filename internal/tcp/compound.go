@@ -1,0 +1,128 @@
+package tcp
+
+import "math"
+
+// TCP Compound parameters (Tan et al., with the exponent/gain pair used in
+// Poojary & Sharma's asymptotic analysis): the delay window grows
+// binomially as alpha*win^k per RTT, backs off by zeta per packet of
+// estimated queue, and the whole window halves on loss (beta = 0.5).
+const (
+	compoundAlpha = 0.125
+	compoundBeta  = 0.5
+	compoundK     = 0.75
+	compoundZeta  = 0.5
+	// compoundGamma is the queue estimate (in packets) above which the
+	// delay component treats the path as congested and retreats.
+	compoundGamma = 30.0
+)
+
+// compoundControl implements TCP Compound: the send window is the sum of a
+// Reno-style loss window (Window.Cwnd) and a delay-based window dwnd that
+// grows aggressively while the bottleneck queue is empty and retreats as
+// queueing delay builds, leaving loss behaviour Reno-compatible.
+type compoundControl struct {
+	cfg  Config
+	dwnd float64
+}
+
+func newCompoundControl(cfg Config) *compoundControl {
+	return &compoundControl{cfg: cfg}
+}
+
+func (c *compoundControl) Name() string { return "compound" }
+
+func (c *compoundControl) OnNewAck(w *Window, a Ack) {
+	win := w.Cwnd + c.dwnd
+	if win < w.SSThresh {
+		// Slow start on the loss window, delay component dormant.
+		w.Cwnd++
+		if w.Cwnd > w.SSThresh {
+			w.Cwnd = w.SSThresh
+		}
+	} else {
+		// The loss window grows at the Reno rate of the *total* window:
+		// one packet per window of ACKs.
+		w.Cwnd += 1 / win
+		// Delay window: estimate the standing queue from the RTT inflation
+		// over the propagation floor, diff = win * (1 - baseRTT/RTT).
+		rtt, base := a.SRTT, a.MinRTT
+		if rtt > 0 && base > 0 {
+			diff := win * (1 - float64(base)/float64(rtt))
+			if diff < compoundGamma {
+				// Queue empty enough: binomial increase, spread per ACK.
+				c.dwnd += (compoundAlpha*math.Pow(win, compoundK) - 1) / win
+				if c.dwnd < 0 {
+					c.dwnd = 0
+				}
+			} else {
+				// Early congestion: retreat proportionally to the queue.
+				c.dwnd -= compoundZeta * diff / win
+				if c.dwnd < 0 {
+					c.dwnd = 0
+				}
+			}
+		}
+	}
+	c.clamp(w)
+}
+
+// clamp bounds the combined window to the receiver limit by trimming the
+// delay component first (it is the speculative half).
+func (c *compoundControl) clamp(w *Window) {
+	wm := float64(c.cfg.WindowLimit)
+	if w.Cwnd > wm {
+		w.Cwnd = wm
+	}
+	if w.Cwnd+c.dwnd > wm {
+		c.dwnd = wm - w.Cwnd
+		if c.dwnd < 0 {
+			c.dwnd = 0
+		}
+	}
+}
+
+func (c *compoundControl) OnPartialAck(w *Window, a Ack) bool {
+	w.Cwnd -= float64(a.Acked) - 1
+	if w.Cwnd < 1 {
+		w.Cwnd = 1
+	}
+	return true
+}
+
+func (c *compoundControl) OnExitRecovery(w *Window, a Ack) {
+	w.Cwnd = w.SSThresh
+}
+
+func (c *compoundControl) OnDupAck(w *Window, a Ack) {
+	w.Cwnd++
+}
+
+func (c *compoundControl) OnEnterRecovery(w *Window, a Ack) {
+	// Loss halves the *combined* window (beta = 0.5) and folds the delay
+	// component back into the loss window for the recovery episode.
+	win := w.Cwnd + c.dwnd
+	w.SSThresh = win * (1 - compoundBeta)
+	if w.SSThresh < 2 {
+		w.SSThresh = 2
+	}
+	c.dwnd = 0
+	w.Cwnd = w.SSThresh + 3
+}
+
+func (c *compoundControl) OnRTO(w *Window, a Ack) {
+	win := w.Cwnd + c.dwnd
+	w.SSThresh = win * (1 - compoundBeta)
+	if w.SSThresh < 2 {
+		w.SSThresh = 2
+	}
+	c.dwnd = 0
+	w.Cwnd = 1
+}
+
+func (c *compoundControl) OnSpuriousTimeout(w *Window, a Ack) {
+	// The restored window is the loss component; the delay window restarts
+	// from zero and re-probes.
+	c.dwnd = 0
+}
+
+func (c *compoundControl) SendWindow(w *Window) float64 { return w.Cwnd + c.dwnd }

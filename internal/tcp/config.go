@@ -36,7 +36,37 @@ const (
 	// ACK that does not cover the recovery point retransmits the next hole
 	// and stays in fast recovery, often avoiding the timeout entirely.
 	VariantNewReno
+	// VariantCUBIC grows the window along the RFC 8312 cubic curve
+	// W(t) = C(t-K)^3 + Wmax with a TCP-friendly region, reducing by the
+	// factor 0.7 on loss. Loss recovery is NewReno-style.
+	VariantCUBIC
+	// VariantCompound adds a delay-based window (TCP Compound's dwnd,
+	// binomial increase alpha*win^k with k = 0.75) on top of a Reno loss
+	// window, backing the delay component off as queueing delay builds —
+	// the mixed-CC regime analyzed by Poojary & Sharma.
+	VariantCompound
+	// VariantBBR is a model-based variant in the BBR spirit: it estimates
+	// the bottleneck bandwidth and propagation RTT from the ACK stream and
+	// caps the congestion window at a gain times the estimated BDP,
+	// cycling probe gains instead of reacting to individual losses.
+	VariantBBR
 )
+
+// Variants lists every supported congestion-control variant in enum order.
+func Variants() []Variant {
+	return []Variant{VariantReno, VariantNewReno, VariantCUBIC, VariantCompound, VariantBBR}
+}
+
+// ParseVariant maps a variant name (as produced by String) back to its
+// enum value.
+func ParseVariant(name string) (Variant, error) {
+	for _, v := range Variants() {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("tcp: unknown variant %q", name)
+}
 
 // String implements fmt.Stringer.
 func (v Variant) String() string {
@@ -45,6 +75,12 @@ func (v Variant) String() string {
 		return "reno"
 	case VariantNewReno:
 		return "newreno"
+	case VariantCUBIC:
+		return "cubic"
+	case VariantCompound:
+		return "compound"
+	case VariantBBR:
+		return "bbr"
 	default:
 		return fmt.Sprintf("Variant(%d)", int(v))
 	}
@@ -119,7 +155,7 @@ func DefaultConfig() Config {
 
 // Validate checks the configuration for consistency.
 func (c Config) Validate() error {
-	if c.Variant != VariantReno && c.Variant != VariantNewReno {
+	if c.Variant < VariantReno || c.Variant > VariantBBR {
 		return fmt.Errorf("tcp: unknown variant %v", c.Variant)
 	}
 	if c.MSS <= 0 {

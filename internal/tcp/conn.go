@@ -167,11 +167,11 @@ func New(simulator *sim.Simulator, path *netem.Path, cfg Config, rec trace.Recor
 		c.fwdLink = l
 	}
 	c.snd = sender{
-		c:        c,
-		cwnd:     cfg.InitialCwnd,
-		ssthresh: cfg.InitialSSThresh,
-		rto:      newRTOEstimator(cfg.MinRTO, cfg.MaxRTO),
-		sent:     newSendRing(cfg.WindowLimit),
+		c:    c,
+		wnd:  Window{Cwnd: cfg.InitialCwnd, SSThresh: cfg.InitialSSThresh},
+		cc:   newController(cfg),
+		rto:  newRTOEstimator(cfg.MinRTO, cfg.MaxRTO),
+		sent: newSendRing(cfg.WindowLimit),
 	}
 	c.rcv = receiver{c: c, ooo: newSeqSet(cfg.WindowLimit), curB: cfg.DelayedAckB}
 	if cfg.AdaptiveDelAck {
@@ -273,10 +273,28 @@ func (c *Conn) FlushTelemetry() {
 	c.tel.Timeouts += st.Timeouts
 	c.tel.FastRetransmits += st.FastRetransmits
 	c.tel.SpuriousRecoveries += st.SpuriousRecoveries
+	// Per-variant breakdown. The sink holds exactly this flow's data at
+	// flush time (dataset attaches a fresh bundle per flow), so folding the
+	// flow's cwnd histogram into the variant bucket labels every sample
+	// with the connection's controller.
+	cs := c.tel.CC(c.snd.cc.Name())
+	cs.Flows++
+	cs.DataSent += st.DataSent
+	cs.Retransmissions += st.Retransmissions
+	cs.UniqueDelivered += st.UniqueDelivered
+	cs.Timeouts += st.Timeouts
+	cs.FastRetransmits += st.FastRetransmits
+	cs.SpuriousRecoveries += st.SpuriousRecoveries
+	cs.RecoveryPhases += c.tel.RecoveryPhases
+	cs.CwndHist.Merge(&c.tel.CwndHist)
 }
 
 // Cwnd returns the sender's current congestion window in packets.
-func (c *Conn) Cwnd() float64 { return c.snd.cwnd }
+func (c *Conn) Cwnd() float64 { return c.snd.wnd.Cwnd }
+
+// CC returns the name of the congestion-control variant driving the
+// sender's window ("reno", "cubic", ...).
+func (c *Conn) CC() string { return c.snd.cc.Name() }
 
 // SRTT returns the sender's smoothed RTT estimate.
 func (c *Conn) SRTT() time.Duration { return c.snd.rto.SRTT() }
@@ -327,8 +345,15 @@ type sender struct {
 	sndNxt int64 // next segment to transmit (rewound to sndUna after an RTO: go-back-N)
 	sndMax int64 // highest segment ever transmitted + 1
 
-	cwnd     float64
-	ssthresh float64
+	// wnd is the congestion state owned by cc: every change to it goes
+	// through a CongestionControl hook, so the sender's recovery machinery
+	// is variant-agnostic.
+	wnd Window
+	cc  CongestionControl
+
+	// minRTT is the lowest Karn-valid RTT sample seen so far; the
+	// delay-based controllers read it through Ack.MinRTT.
+	minRTT time.Duration
 
 	dupAcks           int
 	fastRecovery      bool
@@ -368,13 +393,29 @@ func (s *sender) now() time.Duration { return s.c.simulator.Now() }
 // between the oldest unacknowledged segment and the send pointer.
 func (s *sender) inflight() int64 { return s.sndNxt - s.sndUna }
 
-// effWindow returns min(cwnd, W_m) in packets.
+// effWindow returns min(controller window, W_m) in packets.
 func (s *sender) effWindow() float64 {
-	w := s.cwnd
+	w := s.cc.SendWindow(&s.wnd)
 	if wm := float64(s.c.cfg.WindowLimit); w > wm {
 		w = wm
 	}
 	return w
+}
+
+// ackInfo assembles the controller's view of the current event. acked is
+// the newly acknowledged segment count where the hook has one (0 for
+// dup-ACK and RTO hooks); rtt is this ACK's Karn-valid sample, or 0.
+func (s *sender) ackInfo(acked int64, rtt time.Duration, ackNo int64) Ack {
+	return Ack{
+		Now:      s.now(),
+		RTT:      rtt,
+		SRTT:     s.rto.SRTT(),
+		MinRTT:   s.minRTT,
+		Acked:    acked,
+		Inflight: s.inflight(),
+		AckNo:    ackNo,
+		NextSeq:  s.sndNxt,
+	}
 }
 
 // sendable returns how many segments the window fill will transmit right
@@ -452,7 +493,7 @@ func (s *sender) transmitVia(b *netem.Burst, seq int64) {
 	}
 	s.c.rec.Record(trace.Event{
 		At: s.now(), Type: trace.EvDataSend,
-		Seq: seq, Ack: -1, TransmitNo: txNo, Cwnd: s.cwnd,
+		Seq: seq, Ack: -1, TransmitNo: txNo, Cwnd: s.wnd.Cwnd,
 	})
 	ev := s.c.getDataEvent(seq, txNo)
 	var ok bool
@@ -507,14 +548,8 @@ func (s *sender) armTimer() {
 // transmission reached the receiver.
 func (s *sender) onAck(ackNo int64, trigTxNo int, dsack bool) {
 	s.stats.AcksReceived++
-	if s.c.tel != nil {
-		// Per-ACK cwnd sampling: the window evolution the paper's Fig 3/4
-		// plots, summarized as a running distribution plus a coarse histogram.
-		s.c.tel.Cwnd.Add(s.cwnd)
-		s.c.tel.CwndHist.Add(s.cwnd)
-	}
 	s.c.rec.Record(trace.Event{
-		At: s.now(), Type: trace.EvAckRecv, Seq: -1, Ack: ackNo, Cwnd: s.cwnd,
+		At: s.now(), Type: trace.EvAckRecv, Seq: -1, Ack: ackNo, Cwnd: s.wnd.Cwnd,
 	})
 	if dsack || trigTxNo == 1 {
 		s.spuriousSignal = true
@@ -527,6 +562,16 @@ func (s *sender) onAck(ackNo int64, trigTxNo int, dsack bool) {
 	}
 	s.spuriousSignal = false
 	// ACKs below sndUna are stale and ignored.
+	if s.c.tel != nil {
+		// Per-ACK cwnd sampling: the window evolution the paper's Fig 3/4
+		// plots, summarized as a running distribution plus a coarse
+		// histogram. Sampled at this single post-update point — after the
+		// variant hooks and their clamps have run, on every ACK path alike
+		// (growth, dup-ACK, partial ACK, Eifel restore) — so all variants
+		// report identically-placed samples.
+		s.c.tel.Cwnd.Add(s.wnd.Cwnd)
+		s.c.tel.CwndHist.Add(s.wnd.Cwnd)
+	}
 }
 
 func (s *sender) onNewAck(ackNo int64) {
@@ -534,8 +579,13 @@ func (s *sender) onNewAck(ackNo int64) {
 	// RTT sampling per Karn's rule: only from segments acked on their first
 	// transmission. Use the newest acked segment, the one that most likely
 	// triggered this ACK.
+	var rttSample time.Duration
 	if info, ok := s.sent.get(ackNo - 1); ok && info.txNo == 1 {
-		s.rto.Sample(s.now() - info.at)
+		rttSample = s.now() - info.at
+		s.rto.Sample(rttSample)
+		if s.minRTT == 0 || rttSample < s.minRTT {
+			s.minRTT = rttSample
+		}
 	}
 	for seq := s.sndUna; seq < ackNo; seq++ {
 		s.sent.clear(seq)
@@ -551,6 +601,8 @@ func (s *sender) onNewAck(ackNo int64) {
 		s.c.completedAt = s.now()
 	}
 
+	a := s.ackInfo(acked, rttSample, ackNo)
+
 	if s.inTimeoutRecovery {
 		// Leaving the timeout recovery phase: the paper's "recovered"
 		// boundary, after which the sender slow-starts.
@@ -559,7 +611,7 @@ func (s *sender) onNewAck(ackNo int64) {
 			s.c.tel.RecoveryNS += int64(s.now() - s.recoveryStart)
 		}
 		s.c.rec.Record(trace.Event{
-			At: s.now(), Type: trace.EvRecovered, Seq: -1, Ack: ackNo, Cwnd: s.cwnd,
+			At: s.now(), Type: trace.EvRecovered, Seq: -1, Ack: ackNo, Cwnd: s.wnd.Cwnd,
 		})
 		if s.c.cfg.SpuriousRTORecovery && s.spuriousSignal && s.preTO.valid {
 			// Eifel response: the recovery-ending ACK carries the duplicate
@@ -571,14 +623,15 @@ func (s *sender) onNewAck(ackNo int64) {
 			// resume congestion avoidance at half the pre-timeout window
 			// rather than the full one — the channel that delayed the ACKs
 			// may not be fully healthy yet.
-			s.ssthresh = s.preTO.ssthresh
-			s.cwnd = s.preTO.cwnd / 2
-			if s.cwnd < 2 {
-				s.cwnd = 2
+			s.wnd.SSThresh = s.preTO.ssthresh
+			s.wnd.Cwnd = s.preTO.cwnd / 2
+			if s.wnd.Cwnd < 2 {
+				s.wnd.Cwnd = 2
 			}
-			if wm := float64(s.c.cfg.WindowLimit); s.cwnd > wm {
-				s.cwnd = wm
+			if wm := float64(s.c.cfg.WindowLimit); s.wnd.Cwnd > wm {
+				s.wnd.Cwnd = wm
 			}
+			s.cc.OnSpuriousTimeout(&s.wnd, a)
 			// The send pointer is intentionally NOT restored: the go-back-N
 			// resend still runs (at the restored window's pace) because
 			// packets that straddled the outage may genuinely be missing,
@@ -592,39 +645,21 @@ func (s *sender) onNewAck(ackNo int64) {
 	s.preTO.valid = false
 
 	if s.fastRecovery {
-		if s.c.cfg.Variant == VariantNewReno && ackNo < s.recoverPoint {
-			// NewReno partial ACK (RFC 6582): the ACK uncovered the next
-			// hole — retransmit it immediately, deflate the window by the
-			// amount acknowledged, and stay in fast recovery.
-			s.cwnd -= float64(acked) - 1
-			if s.cwnd < 1 {
-				s.cwnd = 1
-			}
+		if ackNo < s.recoverPoint && s.cc.OnPartialAck(&s.wnd, a) {
+			// Partial ACK with a variant that stays in fast recovery: the
+			// ACK uncovered the next hole — retransmit it immediately at
+			// the deflated window the controller chose.
 			s.transmit(s.sndUna)
 			s.armTimer()
 			s.trySend()
 			return
 		}
-		// Classic Reno (and NewReno at full ACK): terminate fast recovery
-		// and deflate the window to ssthresh.
+		// Full ACK (or a variant that terminates recovery on any new ACK):
+		// leave fast recovery and let the controller deflate the window.
 		s.fastRecovery = false
-		s.cwnd = s.ssthresh
+		s.cc.OnExitRecovery(&s.wnd, a)
 	} else {
-		// Per-ACK window growth (RFC 5681 without byte counting): +1 in
-		// slow start, +1/cwnd in congestion avoidance. With delayed ACKs
-		// every b segments this yields the 1-packet-per-b-rounds CA growth
-		// the paper's model assumes.
-		if s.cwnd < s.ssthresh {
-			s.cwnd++
-			if s.cwnd > s.ssthresh {
-				s.cwnd = s.ssthresh
-			}
-		} else {
-			s.cwnd += 1 / s.cwnd
-		}
-		if wm := float64(s.c.cfg.WindowLimit); s.cwnd > wm {
-			s.cwnd = wm
-		}
+		s.cc.OnNewAck(&s.wnd, a)
 	}
 
 	s.armTimer()
@@ -635,21 +670,21 @@ func (s *sender) onDupAck() {
 	s.dupAcks++
 	switch {
 	case s.fastRecovery:
-		// Window inflation: each further dup ACK signals one segment left
-		// the network.
-		s.cwnd++
+		s.cc.OnDupAck(&s.wnd, s.ackInfo(0, 0, s.sndUna))
 		s.trySend()
 	case s.dupAcks == 3:
 		s.stats.FastRetransmits++
 		s.c.rec.Record(trace.Event{
 			At: s.now(), Type: trace.EvFastRetx,
-			Seq: s.sndUna, Ack: -1, Cwnd: s.cwnd,
+			Seq: s.sndUna, Ack: -1, Cwnd: s.wnd.Cwnd,
 		})
-		s.ssthresh = halfInflight(s.inflight())
+		a := s.ackInfo(0, 0, s.sndUna)
 		s.recoverPoint = s.sndMax
 		s.fastRecovery = true
+		// The fast retransmission goes out before the controller reduces
+		// the window, so its trace event carries the pre-loss cwnd.
 		s.transmit(s.sndUna)
-		s.cwnd = s.ssthresh + 3
+		s.cc.OnEnterRecovery(&s.wnd, a)
 	}
 }
 
@@ -662,14 +697,14 @@ func (s *sender) onRTO() {
 	s.stats.Timeouts++
 	s.c.rec.Record(trace.Event{
 		At: s.now(), Type: trace.EvTimeout,
-		Seq: s.sndUna, Ack: -1, Cwnd: s.cwnd, Backoff: s.backoff,
+		Seq: s.sndUna, Ack: -1, Cwnd: s.wnd.Cwnd, Backoff: s.backoff,
 	})
 	if !s.inTimeoutRecovery {
 		// Remember the congestion state the timeout destroys, so an
 		// Eifel-style response can restore it if the timeout turns out to
 		// have been spurious.
 		s.preTO = preTimeoutState{
-			cwnd: s.cwnd, ssthresh: s.ssthresh, sndNxt: s.sndNxt, valid: true,
+			cwnd: s.wnd.Cwnd, ssthresh: s.wnd.SSThresh, sndNxt: s.sndNxt, valid: true,
 		}
 		if s.c.tel != nil {
 			s.c.tel.RecoveryPhases++
@@ -682,8 +717,7 @@ func (s *sender) onRTO() {
 	s.inTimeoutRecovery = true
 	s.fastRecovery = false
 	s.dupAcks = 0
-	s.ssthresh = halfInflight(s.inflight())
-	s.cwnd = 1
+	s.cc.OnRTO(&s.wnd, s.ackInfo(0, 0, s.sndUna))
 	// Go-back-N: rewind the send pointer so slow start resends everything
 	// unacknowledged; with cwnd = 1 only the oldest segment goes out now
 	// (the paper's "only one packet is retransmitted after a timeout").

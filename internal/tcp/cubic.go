@@ -1,0 +1,147 @@
+package tcp
+
+import (
+	"math"
+	"time"
+)
+
+// RFC 8312 constants: beta is the multiplicative decrease factor applied to
+// the window on loss, c the scaling constant of the cubic growth curve.
+const (
+	cubicBeta = 0.7
+	cubicC    = 0.4
+)
+
+// cubicControl implements the RFC 8312 CUBIC window law. The window grows
+// along W(t) = C(t-K)^3 + Wmax, where t is the time since the congestion
+// epoch began and K the time the curve takes to climb back to the
+// pre-reduction plateau Wmax; a parallel Reno-rate estimate (the
+// TCP-friendly region) floors the window where cubic growth would lose to
+// standard TCP. Loss recovery is NewReno-style: partial ACKs deflate and
+// stay in fast recovery.
+type cubicControl struct {
+	cfg Config
+
+	// wMax is the plateau the curve aims back at; epochStart anchors t,
+	// and k is the curve's plateau-crossing time in seconds. epochStart 0
+	// means the next congestion-avoidance ACK starts a fresh epoch.
+	wMax       float64
+	k          float64
+	epochStart time.Duration
+
+	// wEst is the TCP-friendly Reno-rate estimate for the current epoch.
+	wEst float64
+}
+
+func newCubicControl(cfg Config) *cubicControl {
+	return &cubicControl{cfg: cfg}
+}
+
+func (c *cubicControl) Name() string { return "cubic" }
+
+func (c *cubicControl) OnNewAck(w *Window, a Ack) {
+	if w.Cwnd < w.SSThresh {
+		// Slow start is unchanged from Reno.
+		w.Cwnd++
+		if w.Cwnd > w.SSThresh {
+			w.Cwnd = w.SSThresh
+		}
+	} else {
+		rtt := a.SRTT
+		if rtt <= 0 {
+			rtt = a.RTT
+		}
+		if rtt <= 0 {
+			// Congestion avoidance before any RTT sample (tiny initial
+			// ssthresh): fall back to Reno growth for this ACK.
+			w.Cwnd += 1 / w.Cwnd
+		} else {
+			if c.epochStart == 0 {
+				c.epochStart = a.Now
+				if c.wMax < w.Cwnd {
+					// The window grew past the old plateau without a loss:
+					// restart the curve from here (K = 0, pure convex probing).
+					c.wMax = w.Cwnd
+					c.k = 0
+				} else {
+					c.k = math.Cbrt((c.wMax - w.Cwnd) / cubicC)
+				}
+				c.wEst = w.Cwnd
+			}
+			// Aim one RTT ahead on the curve and close the gap at 1/cwnd
+			// per ACK, per RFC 8312's per-ACK approximation.
+			t := (a.Now - c.epochStart + rtt).Seconds()
+			target := c.wMax + cubicC*math.Pow(t-c.k, 3)
+			if target > w.Cwnd {
+				w.Cwnd += (target - w.Cwnd) / w.Cwnd
+			} else {
+				// In the plateau region the curve is flat; keep a token
+				// growth so the window is never fully frozen.
+				w.Cwnd += 0.01 / w.Cwnd
+			}
+			// TCP-friendly region: a Reno flow would gain
+			// 3(1-beta)/(1+beta) packets per RTT after the same reduction;
+			// never run slower than that.
+			c.wEst += 3 * (1 - cubicBeta) / (1 + cubicBeta) / w.Cwnd
+			if c.wEst > w.Cwnd {
+				w.Cwnd = c.wEst
+			}
+		}
+	}
+	if wm := float64(c.cfg.WindowLimit); w.Cwnd > wm {
+		w.Cwnd = wm
+		if c.wEst > wm {
+			c.wEst = wm
+		}
+	}
+}
+
+func (c *cubicControl) OnPartialAck(w *Window, a Ack) bool {
+	w.Cwnd -= float64(a.Acked) - 1
+	if w.Cwnd < 1 {
+		w.Cwnd = 1
+	}
+	return true
+}
+
+func (c *cubicControl) OnExitRecovery(w *Window, a Ack) {
+	w.Cwnd = w.SSThresh
+}
+
+func (c *cubicControl) OnDupAck(w *Window, a Ack) {
+	w.Cwnd++
+}
+
+// reduce applies the multiplicative decrease and starts a new congestion
+// epoch, with RFC 8312 fast convergence: a flow whose window shrank since
+// the last loss releases extra bandwidth by aiming below the old plateau.
+func (c *cubicControl) reduce(w *Window) {
+	if w.Cwnd < c.wMax {
+		c.wMax = w.Cwnd * (1 + cubicBeta) / 2
+	} else {
+		c.wMax = w.Cwnd
+	}
+	w.SSThresh = w.Cwnd * cubicBeta
+	if w.SSThresh < 2 {
+		w.SSThresh = 2
+	}
+	c.epochStart = 0
+}
+
+func (c *cubicControl) OnEnterRecovery(w *Window, a Ack) {
+	c.reduce(w)
+	w.Cwnd = w.SSThresh + 3
+}
+
+func (c *cubicControl) OnRTO(w *Window, a Ack) {
+	c.reduce(w)
+	w.Cwnd = 1
+}
+
+func (c *cubicControl) OnSpuriousTimeout(w *Window, a Ack) {
+	// The collapse was bogus; re-anchor the curve at the restored window
+	// on the next avoidance ACK.
+	c.epochStart = 0
+}
+
+func (c *cubicControl) SendWindow(w *Window) float64 { return w.Cwnd }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 )
 
@@ -143,6 +144,23 @@ func (e *TextExposer) Campaign(c *Campaign) {
 	e.Int("tcp_fast_retransmits_total", t.FastRetransmits)
 	e.Int("tcp_spurious_recoveries_total", t.SpuriousRecoveries)
 	e.Int("tcp_recovery_phases_total", t.RecoveryPhases)
+	// Per-variant breakdown, sorted by variant name so scrapes of
+	// identical state stay byte-identical.
+	ccNames := make([]string, 0, len(t.ByCC))
+	for name := range t.ByCC {
+		ccNames = append(ccNames, name)
+	}
+	sort.Strings(ccNames)
+	for _, name := range ccNames {
+		s := t.ByCC[name]
+		e.IntLabeled("tcp_cc_flows_total", s.Flows, "cc", name)
+		e.IntLabeled("tcp_cc_data_sent_total", s.DataSent, "cc", name)
+		e.IntLabeled("tcp_cc_retransmissions_total", s.Retransmissions, "cc", name)
+		e.IntLabeled("tcp_cc_unique_delivered_total", s.UniqueDelivered, "cc", name)
+		e.IntLabeled("tcp_cc_timeouts_total", s.Timeouts, "cc", name)
+		e.IntLabeled("tcp_cc_fast_retransmits_total", s.FastRetransmits, "cc", name)
+		e.IntLabeled("tcp_cc_cwnd_samples_total", s.CwndHist.Total(), "cc", name)
+	}
 	e.Int("net_data_offered_total", n.Data.Offered)
 	e.Int("net_data_delivered_total", n.Data.Delivered)
 	e.Int("net_data_channel_drops_total", n.Data.ChannelDrops)

@@ -55,9 +55,44 @@ type Report struct {
 	// reassignments, degraded mode) when the run executed on a coordinator;
 	// nil for single-node runs. Like Resources it is host-side accounting:
 	// the campaign counters above stay byte-identical with or without it.
-	Fleet     *Fleet       `json:"fleet,omitempty"`
+	Fleet *Fleet `json:"fleet,omitempty"`
+	// CC carries the shared-bottleneck congestion-control results (Jain's
+	// fairness index and per-flow throughput by variant) when the run
+	// included the fairness or ccmix experiments; nil otherwise. Derived
+	// entirely from single-simulator groups, so it is deterministic across
+	// surfaces and worker counts.
+	CC        *CCReport    `json:"cc,omitempty"`
 	Tasks     []TaskReport `json:"tasks"`
 	Resources Resources    `json:"resources"`
+}
+
+// CCReport is the congestion-control section of a Report: one entry per
+// shared-bottleneck group run, in deterministic (experiment, label) order.
+type CCReport struct {
+	Groups []CCGroup `json:"groups"`
+}
+
+// CCGroup is one shared-bottleneck contention group's summary.
+type CCGroup struct {
+	// Experiment is the catalog experiment that ran the group ("fairness"
+	// or "ccmix"); Label distinguishes the group within it (variant name
+	// plus channel condition, e.g. "cubic/storm" or "mix/clean").
+	Experiment string `json:"experiment"`
+	Label      string `json:"label"`
+	// JainIndex is Jain's fairness index over the group's per-flow
+	// throughputs: 1 is perfectly fair, 1/n maximally unfair.
+	JainIndex float64 `json:"jain_index"`
+	Flows     []CCFlowResult `json:"flows"`
+}
+
+// CCFlowResult is one contending flow's outcome.
+type CCFlowResult struct {
+	ID              string  `json:"id"`
+	CC              string  `json:"cc"`
+	ThroughputPps   float64 `json:"throughput_pps"`
+	Retransmissions int64   `json:"retransmissions"`
+	Timeouts        int64   `json:"timeouts"`
+	FastRetransmits int64   `json:"fast_retransmits"`
 }
 
 // WriteJSON writes the report as indented JSON. The counter sections are

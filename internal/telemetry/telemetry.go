@@ -276,6 +276,78 @@ type TCP struct {
 	Cwnd        Dist `json:"cwnd"`
 	CwndHist    Hist `json:"cwnd_hist"`
 	BackoffHist Hist `json:"backoff_hist"`
+
+	// ByCC breaks the headline counters down by congestion-control variant
+	// name ("reno", "cubic", ...). Everything in a CCStats is an integer
+	// counter or an exact histogram, so the breakdown — unlike a Dist —
+	// merges order-independently and survives JSON round trips bit for
+	// bit, which keeps mixed-CC campaigns byte-identical at any -jobs or
+	// worker count. Nil until the first flow reports a variant.
+	ByCC map[string]*CCStats `json:"by_cc,omitempty"`
+}
+
+// CCStats is the per-congestion-control slice of the TCP section: the
+// counters a fairness analysis needs, labeled by variant name.
+type CCStats struct {
+	Flows              int64 `json:"flows"`
+	DataSent           int64 `json:"data_sent"`
+	Retransmissions    int64 `json:"retransmissions"`
+	UniqueDelivered    int64 `json:"unique_delivered"`
+	Timeouts           int64 `json:"timeouts"`
+	FastRetransmits    int64 `json:"fast_retransmits"`
+	SpuriousRecoveries int64 `json:"spurious_recoveries"`
+	RecoveryPhases     int64 `json:"recovery_phases"`
+	// CwndHist buckets this variant's per-ACK window samples (the same
+	// bounds as TCP.CwndHist), so variant window shapes are comparable in
+	// one report.
+	CwndHist Hist `json:"cwnd_hist"`
+}
+
+// Merge folds other into s. Integer adds and exact histogram adds only, so
+// merge order never changes the result.
+func (s *CCStats) Merge(other *CCStats) {
+	s.Flows += other.Flows
+	s.DataSent += other.DataSent
+	s.Retransmissions += other.Retransmissions
+	s.UniqueDelivered += other.UniqueDelivered
+	s.Timeouts += other.Timeouts
+	s.FastRetransmits += other.FastRetransmits
+	s.SpuriousRecoveries += other.SpuriousRecoveries
+	s.RecoveryPhases += other.RecoveryPhases
+	s.CwndHist.Merge(&other.CwndHist)
+}
+
+// CC returns the named per-variant slice, creating it (with the standard
+// cwnd histogram bounds) on first use.
+func (t *TCP) CC(name string) *CCStats {
+	if t.ByCC == nil {
+		t.ByCC = make(map[string]*CCStats)
+	}
+	s := t.ByCC[name]
+	if s == nil {
+		s = &CCStats{CwndHist: NewHist(1, 2, 4, 8, 16, 32, 64, 128)}
+		t.ByCC[name] = s
+	}
+	return s
+}
+
+// cloneCCStats deep-copies one per-variant slice.
+func cloneCCStats(s *CCStats) *CCStats {
+	cp := *s
+	cp.CwndHist = cloneHist(s.CwndHist)
+	return &cp
+}
+
+// cloneByCC deep-copies a per-variant breakdown (nil stays nil).
+func cloneByCC(m map[string]*CCStats) map[string]*CCStats {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]*CCStats, len(m))
+	for name, s := range m {
+		out[name] = cloneCCStats(s)
+	}
+	return out
 }
 
 // NewTCP returns a TCP metrics block with the standard cwnd and backoff
@@ -308,6 +380,18 @@ func (t *TCP) Merge(other *TCP) {
 	t.Cwnd.Merge(&other.Cwnd)
 	t.CwndHist.Merge(&other.CwndHist)
 	t.BackoffHist.Merge(&other.BackoffHist)
+	for name, o := range other.ByCC {
+		// Map iteration order is irrelevant here: every CCStats field
+		// merges by integer addition, which commutes bitwise.
+		if t.ByCC == nil {
+			t.ByCC = make(map[string]*CCStats, len(other.ByCC))
+		}
+		if s := t.ByCC[name]; s != nil {
+			s.Merge(o)
+		} else {
+			t.ByCC[name] = cloneCCStats(o)
+		}
+	}
 }
 
 // LinkCounters is the telemetry view of one link direction, harvested from
@@ -466,6 +550,7 @@ func (f *Flow) State() FlowState {
 	s := FlowState{Flow: *f, CwndState: f.TCP.Cwnd.State()}
 	s.Flow.TCP.CwndHist = cloneHist(f.TCP.CwndHist)
 	s.Flow.TCP.BackoffHist = cloneHist(f.TCP.BackoffHist)
+	s.Flow.TCP.ByCC = cloneByCC(f.TCP.ByCC)
 	return s
 }
 
@@ -476,6 +561,7 @@ func (s *FlowState) Restore() *Flow {
 	f.TCP.Cwnd = RestoreDist(s.CwndState)
 	f.TCP.CwndHist = cloneHist(s.Flow.TCP.CwndHist)
 	f.TCP.BackoffHist = cloneHist(s.Flow.TCP.BackoffHist)
+	f.TCP.ByCC = cloneByCC(s.Flow.TCP.ByCC)
 	return &f
 }
 
@@ -519,7 +605,11 @@ func (c *Campaign) AddFlow(f *Flow) {
 func (c *Campaign) Counters() (int64, Kernel, TCP, Net, Faults) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.FlowCount, c.Kernel, c.TCP, c.Net, c.Faults
+	t := c.TCP
+	t.CwndHist = cloneHist(c.TCP.CwndHist)
+	t.BackoffHist = cloneHist(c.TCP.BackoffHist)
+	t.ByCC = cloneByCC(c.TCP.ByCC)
+	return c.FlowCount, c.Kernel, t, c.Net, c.Faults
 }
 
 // ChannelCounters returns a copy of the campaign's channel-timeline section
@@ -580,6 +670,7 @@ func (c *Campaign) snapshot() campaignSnapshot {
 	}
 	snap.TCP.CwndHist = cloneHist(c.TCP.CwndHist)
 	snap.TCP.BackoffHist = cloneHist(c.TCP.BackoffHist)
+	snap.TCP.ByCC = cloneByCC(c.TCP.ByCC)
 	return snap
 }
 
